@@ -1,0 +1,90 @@
+"""Shared experiment harness for the per-figure/per-table benchmarks.
+
+Each benchmark file reproduces one table or figure of the paper: it builds
+the workload(s) on the right simulated machine, monitors them with the
+actual tiptop tool (full stack), renders the paper-shaped output (an ASCII
+curve or a table), saves it under ``benchmarks/out/``, and asserts the
+paper's quantitative shape with tolerances. EXPERIMENTS.md indexes the
+artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import Options, SimHost, TipTop
+from repro.analysis.timeseries import MetricSeries
+from repro.core.phases import pid_metric_series
+from repro.core.recorder import Recorder
+from repro.core.screen import Screen, get_screen
+from repro.sim.arch import ArchModel
+from repro.sim.machine import SimMachine
+from repro.sim.process import SimProcess
+from repro.sim.workload import Workload
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write one experiment's rendered output under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def monitor_workload(
+    arch: ArchModel,
+    workload: Workload,
+    *,
+    delay: float = 5.0,
+    tick: float = 1.0,
+    screen: Screen | None = None,
+    seed: int = 1,
+    max_samples: int = 50_000,
+    cores: int = 4,
+    command: str | None = None,
+) -> tuple[Recorder, SimProcess]:
+    """Run one workload to completion under tiptop; return the recording.
+
+    The monitoring loop stops as soon as the process exits (like watching a
+    benchmark finish in the paper's figures).
+    """
+    machine = SimMachine(arch, sockets=1, cores_per_socket=cores, tick=tick, seed=seed)
+    proc = machine.spawn(command or workload.name, workload)
+    app = TipTop(
+        SimHost(machine),
+        Options(delay=delay),
+        screen or get_screen("default"),
+    )
+    recorder = Recorder()
+    with app:
+        for i, snapshot in enumerate(app.snapshots()):
+            if i > 0:
+                recorder.record(snapshot)
+            if not proc.alive or i >= max_samples:
+                break
+    return recorder, proc
+
+
+def ipc_series(recorder: Recorder, proc: SimProcess, label: str) -> MetricSeries:
+    """The recorded IPC-versus-time series of one process."""
+    series = pid_metric_series(recorder, proc.pid, "IPC")
+    return MetricSeries(series.x, series.y, label)
+
+
+def ipc_vs_instructions(
+    recorder: Recorder, proc: SimProcess, label: str
+) -> MetricSeries:
+    """IPC against cumulative instructions retired (Fig. 8's axes)."""
+    xs, ys = recorder.series_vs_instructions(proc.pid, "IPC")
+    return MetricSeries(xs, ys, label)
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic; a single round both times them and
+    produces the figure data.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

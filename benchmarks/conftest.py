@@ -1,0 +1,6 @@
+"""Make the harness importable and keep artefact output tidy."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,65 @@
+"""Figure 1: the tiptop snapshot of a loaded data-center node.
+
+Paper: eleven processes of three users on a 16-logical-core bi-Xeon E5640;
+columns PID USER %CPU Mcycle Minst IPC DMIS COMMAND. IPCs range 0.66-2.36,
+ten processes at ~100 %CPU and one at 43.7 %, process6 shows DMIS 0.9.
+"""
+
+import pytest
+from _harness import once, save_artifact
+
+from repro import Options, SimHost, TipTop
+from repro.core.formatter import render_frame
+from repro.sim.workloads import datacenter
+
+
+def _run_snapshot():
+    machine = datacenter.make_node(tick=0.5, seed=7)
+    procs = datacenter.populate_fig1(machine)
+    app = TipTop(SimHost(machine), Options(delay=10.0))
+    with app:
+        snapshots = []
+        for i, snap in enumerate(app.snapshots()):
+            snapshots.append(snap)
+            if i >= 12:  # two minutes of refreshes, report the last
+                break
+    return app.screen, snapshots, procs
+
+
+def test_fig01_snapshot(benchmark):
+    screen, snapshots, procs = once(benchmark, _run_snapshot)
+    snapshot = snapshots[-1]
+    frame = render_frame(screen, snapshot)
+    save_artifact("fig01_snapshot", frame)
+
+    rows = {r.comm: r for r in snapshot.rows}
+    assert len(snapshot.rows) == 11
+    assert {r.user for r in snapshot.rows} == {"user1", "user2", "user3"}
+
+    # Ten busy processes at ~100 %CPU, one I/O-bound at ~43.7 % (averaged
+    # over the refreshes; a single 10 s window of a duty-cycled process is
+    # noisy, exactly as on a real node).
+    busy = [r for r in snapshot.rows if r.comm != "process11"]
+    assert all(r.cpu_pct > 95.0 for r in busy)
+    p11 = [
+        s.row_for(rows["process11"].pid).cpu_pct
+        for s in snapshots[1:]
+        if s.row_for(rows["process11"].pid)
+    ]
+    assert sum(p11) / len(p11) == pytest.approx(43.7, abs=12.0)
+
+    # IPC spread: the snapshot spans low (process6 at 0.66-ish) to
+    # high (process4 at ~2.36); relative ordering of the extremes holds.
+    assert rows["process6"].metric("IPC") < 1.0
+    assert rows["process4"].metric("IPC") > 2.0
+    assert rows["process4"].metric("IPC") > rows["process6"].metric("IPC")
+
+    # DMIS: only process6 misses the LLC noticeably (paper: 0.9 vs 0.0).
+    assert rows["process6"].metric("DMIS") > 0.4
+    others = [r.metric("DMIS") for r in snapshot.rows if r.comm != "process6"]
+    assert all(d < 0.3 for d in others)
+
+    # The rendered frame has the Figure 1 column layout.
+    header = frame.splitlines()[1]
+    for col in ("PID", "USER", "%CPU", "Mcycle", "Minst", "IPC", "DMIS", "COMMAND"):
+        assert col in header

@@ -1,0 +1,100 @@
+"""Figure 3: IPC of the R evolutionary algorithm.
+
+Paper panels:
+(a) original on Nehalem — IPC ~1.0 (noisy) for 953 five-second samples,
+    then a collapse to ~0.03 with brief pulses; 3327 samples total.
+(b) clipped variant on Nehalem — IPC stays ~1.0; the run completes in
+    ~2 hours (2.3x overall speedup, 4.8x on the faulty part).
+(c) zoom at the transition — the IPC drop coincides with the FP-assist
+    rate rising from 0 to ~12-15 per 100 instructions.
+(d) original on PPC970 — lower IPC (~0.35-0.4), much longer run, and *no*
+    collapse (no micro-code assist mechanism).
+"""
+
+import numpy as np
+import pytest
+from _harness import ipc_series, monitor_workload, once, save_artifact
+
+from repro.analysis.phase_detect import transition_points
+from repro.core.phases import pid_metric_series
+from repro.core.screen import get_screen
+from repro.sim import NEHALEM, PPC970
+from repro.sim.workloads import revolve
+
+
+def _run_panel(arch, workload, screen="fpassist", tick=2.5):
+    recorder, proc = monitor_workload(
+        arch,
+        workload,
+        delay=revolve.SAMPLE_PERIOD,
+        tick=tick,
+        screen=get_screen(screen),
+        seed=31,
+        command="R",
+    )
+    return recorder, proc
+
+
+def test_fig03a_original_nehalem(benchmark):
+    recorder, proc = once(
+        benchmark, lambda: _run_panel(NEHALEM, revolve.original())
+    )
+    series = ipc_series(recorder, proc, "Fig 3a: revolve original, Nehalem IPC")
+    save_artifact("fig03a_revolve_nehalem", series.ascii_plot())
+
+    n = len(series)
+    assert n == pytest.approx(3327, rel=0.12)  # total samples
+
+    # Nominal plateau at IPC ~1.0 (noisy), collapse to ~0.03.
+    head = series.y[: int(0.2 * n)]
+    assert head.mean() == pytest.approx(1.0, abs=0.08)
+    tail = series.y[int(0.5 * n) :]
+    assert np.median(tail) == pytest.approx(0.03, abs=0.02)
+
+    # The transition lands at sample ~953 (the divergence step).
+    cuts = transition_points(series, window=20, threshold=0.5)
+    assert cuts, "collapse must be detected"
+    assert cuts[0] == pytest.approx(953, rel=0.1)
+
+    # Brief pulses: some post-collapse samples bounce visibly upward.
+    assert np.max(tail) > 0.3
+
+    # FP assists appear only after the collapse (Fig. 3c's correlation).
+    assists = pid_metric_series(recorder, proc.pid, "ASSIST")
+    pre = assists.y[: cuts[0] - 5]
+    post = assists.y[cuts[0] + 5 :]
+    assert pre.mean() < 0.5
+    assert np.median(post) == pytest.approx(12.25, abs=2.5)
+
+    zoom = series.window(series.x[max(0, cuts[0] - 100)], series.x[min(n - 1, cuts[0] + 100)])
+    save_artifact("fig03c_revolve_zoom", zoom.ascii_plot())
+
+
+def test_fig03b_clipped_nehalem(benchmark):
+    recorder, proc = once(
+        benchmark, lambda: _run_panel(NEHALEM, revolve.clipped())
+    )
+    series = ipc_series(recorder, proc, "Fig 3b: revolve clipped, Nehalem IPC")
+    save_artifact("fig03b_revolve_clipped", series.ascii_plot())
+
+    # No collapse: the whole run stays near IPC 1.0.
+    assert series.y.mean() == pytest.approx(1.0, abs=0.08)
+    assert np.min(series.y) > 0.6
+
+    # Run length ~1478 samples (~2 hours at 5 s/sample): the 2.3x speedup.
+    assert len(series) == pytest.approx(1478, rel=0.12)
+
+
+def test_fig03d_original_ppc970(benchmark):
+    recorder, proc = once(
+        benchmark,
+        lambda: _run_panel(PPC970, revolve.original(), screen="default", tick=5.0),
+    )
+    series = ipc_series(recorder, proc, "Fig 3d: revolve original, PPC970 IPC")
+    save_artifact("fig03d_revolve_ppc970", series.ascii_plot())
+
+    # Lower IPC, longer run, no collapse.
+    assert 0.25 < series.y.mean() < 0.5
+    assert len(series) > 3500  # longer than the Nehalem run's 3327 samples
+    cuts = transition_points(series, window=20, threshold=0.5)
+    assert cuts == []  # no detectable phase change

@@ -1,0 +1,79 @@
+"""Figure 9: IPC produced by different compilers (GCC 4.4.3 vs icc 11.0).
+
+Paper panels (SPEC INT/FP on the Nehalem workstation):
+(a) 456.hmmer   — icc's IPC is clearly higher and icc finishes first.
+(b) 482.sphinx3 — gcc's IPC is higher, yet icc finishes first
+                  (lower IPC wins: fewer instructions).
+(c) 464.h264ref — an *inversion*: gcc leads during the first (short)
+                  phase, trails during the second; total times are close.
+                  Invisible in Jayaseelan et al.'s aggregated totals.
+(d) 433.milc    — both executables run at exactly the same speed even
+                  though gcc's IPC is constantly higher.
+"""
+
+import numpy as np
+import pytest
+from _harness import ipc_series, monitor_workload, once, save_artifact
+
+from repro.sim import NEHALEM
+from repro.sim.workloads import spec
+
+
+def _trace(bench: str, compiler: str):
+    recorder, proc = monitor_workload(
+        NEHALEM,
+        spec.workload(bench, compiler),
+        delay=5.0,
+        tick=2.5,
+        seed=23,
+        command=f"{bench}-{compiler}",
+    )
+    return ipc_series(recorder, proc, f"{bench} {compiler} IPC")
+
+
+def _both(bench: str):
+    return {c: _trace(bench, c) for c in ("gcc", "icc")}
+
+
+def _save(bench, traces):
+    art = "\n\n".join(traces[c].ascii_plot() for c in ("gcc", "icc"))
+    save_artifact(f"fig09_{bench.replace('.', '_')}", art)
+
+
+def test_fig09a_hmmer_higher_ipc_wins(benchmark):
+    traces = once(benchmark, lambda: _both("456.hmmer"))
+    _save("456.hmmer", traces)
+    gcc, icc = traces["gcc"], traces["icc"]
+    assert icc.mean() > 1.15 * gcc.mean()       # clearly higher IPC
+    assert icc.x[-1] < 0.9 * gcc.x[-1]          # and a faster run
+
+
+def test_fig09b_sphinx3_lower_ipc_wins(benchmark):
+    traces = once(benchmark, lambda: _both("482.sphinx3"))
+    _save("482.sphinx3", traces)
+    gcc, icc = traces["gcc"], traces["icc"]
+    assert gcc.mean() > 1.1 * icc.mean()        # gcc's IPC higher...
+    assert icc.x[-1] < 0.95 * gcc.x[-1]         # ...but icc finishes first
+
+
+def test_fig09c_h264ref_inversion(benchmark):
+    traces = once(benchmark, lambda: _both("464.h264ref"))
+    _save("464.h264ref", traces)
+    gcc, icc = traces["gcc"], traces["icc"]
+    # Phase 1 is the first ~25 % of each run; phase 2 the rest.
+    cut_g, cut_i = int(0.2 * len(gcc)), int(0.2 * len(icc))
+    assert np.mean(gcc.y[:cut_g]) > np.mean(icc.y[:cut_i]) + 0.2   # gcc leads
+    assert np.mean(gcc.y[-cut_g:]) < np.mean(icc.y[-cut_i:]) - 0.1  # then trails
+    # Total run times are close.
+    assert gcc.x[-1] == pytest.approx(icc.x[-1], rel=0.1)
+
+
+def test_fig09d_milc_same_speed(benchmark):
+    traces = once(benchmark, lambda: _both("433.milc"))
+    _save("433.milc", traces)
+    gcc, icc = traces["gcc"], traces["icc"]
+    # Same wall time (within a sampling quantum)...
+    assert gcc.x[-1] == pytest.approx(icc.x[-1], rel=0.03)
+    # ...with gcc's IPC constantly higher.
+    n = min(len(gcc), len(icc)) - 1
+    assert np.all(gcc.y[:n] > icc.y[:n])

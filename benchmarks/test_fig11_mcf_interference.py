@@ -1,0 +1,123 @@
+"""Figure 11: cross-core interference for 429.mcf on quad-core Nehalem.
+
+Paper panels:
+(a) IPC with 1, 2, 3 co-running copies on distinct physical cores: IPC
+    declines with copies — up to ~30 % slowdown at three — while CPU usage
+    stays above 99.3 %.
+(b) L3 misses per 100 instructions rise with the number of copies
+    (shared LLC contention).
+(c) the machine topology (hwloc): one socket, shared 8 MB L3, per-core
+    256 KB L2 / 32 KB L1, PU#i and PU#(i+4) per core.
+(d) two copies pinned to *the same* physical core (PUs 0 and 4): L3
+    misses similar to the different-core case, L2 misses explode, and the
+    victims run ~2x slower.
+"""
+
+import numpy as np
+import pytest
+from _harness import once, save_artifact
+
+from repro import Options, SimHost, TipTop
+from repro.core.screen import get_screen
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.cpu_topology import Topology
+from repro.sim.workload import Workload
+from repro.sim.workloads import spec
+
+RUN_SECONDS = 240.0
+
+
+def _mcf_endless() -> Workload:
+    # A steady mcf slice (its dominant pricing phase), endless so every
+    # configuration measures the same code region.
+    phase = spec.workload("429.mcf").phases[2].with_budget(float("inf"))
+    return Workload("mcf", (phase,))
+
+
+def _corun(affinities: list[set[int]]) -> dict[str, float]:
+    machine = SimMachine(NEHALEM, sockets=1, cores_per_socket=4, tick=1.0, seed=19)
+    procs = [
+        machine.spawn(f"mcf{i}", _mcf_endless(), affinity=aff)
+        for i, aff in enumerate(affinities)
+    ]
+    app = TipTop(SimHost(machine), Options(delay=10.0), get_screen("cache"))
+    with app:
+        recorder = app.run_collect(int(RUN_SECONDS / 10.0))
+    ipcs, l2s, l3s, cpus = [], [], [], []
+    for p in procs:
+        ipcs.append(recorder.mean(p.pid, "IPC"))
+        l2s.append(recorder.mean(p.pid, "L2MIS"))
+        l3s.append(recorder.mean(p.pid, "L3MIS"))
+        cpus.append(np.mean([s.cpu_pct for s in recorder.for_pid(p.pid)]))
+    return {
+        "ipc": float(np.mean(ipcs)),
+        "l2": float(np.mean(l2s)),
+        "l3": float(np.mean(l3s)),
+        "cpu": float(np.mean(cpus)),
+    }
+
+
+def _run_all():
+    return {
+        "1 copy": _corun([{0}]),
+        "2 copies (cores 0,1)": _corun([{0}, {1}]),
+        "3 copies (cores 0,1,2)": _corun([{0}, {1}, {2}]),
+        "2 copies same core (PU0,PU4)": _corun([{0}, {4}]),
+    }
+
+
+def test_fig11_mcf_interference(benchmark):
+    results = once(benchmark, _run_all)
+
+    lines = [
+        "Fig 11: 429.mcf co-run interference on quad-core Nehalem",
+        f"{'configuration':32s} {'IPC':>6s} {'L2/100':>7s} {'L3/100':>7s} {'%CPU':>6s}",
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:32s} {r['ipc']:6.3f} {r['l2']:7.2f} {r['l3']:7.2f} {r['cpu']:6.1f}"
+        )
+    solo = results["1 copy"]
+    three = results["3 copies (cores 0,1,2)"]
+    same = results["2 copies same core (PU0,PU4)"]
+    diff2 = results["2 copies (cores 0,1)"]
+    lines.append(
+        f"3-copy slowdown: {100 * (1 - three['ipc'] / solo['ipc']):.1f} % "
+        "(paper: up to 30 %)"
+    )
+    lines.append(
+        f"same-core slowdown factor: {solo['ipc'] / same['ipc']:.2f}x (paper: 2x)"
+    )
+    lines.append("")
+    lines.append(Topology(NEHALEM, 1, 4).render(memory_bytes=5965 * 1024 * 1024))
+    save_artifact("fig11_mcf_interference", "\n".join(lines))
+
+    # (a) IPC declines with copies; ~30 % at three; CPU stays pegged.
+    assert solo["ipc"] > diff2["ipc"] > three["ipc"]
+    slow3 = 1 - three["ipc"] / solo["ipc"]
+    assert 0.2 < slow3 < 0.45
+    for r in results.values():
+        assert r["cpu"] > 99.3
+
+    # (b) L3 misses/100 instr rise with the number of copies.
+    assert solo["l3"] < diff2["l3"] < three["l3"]
+    assert solo["l3"] == pytest.approx(2.8, abs=0.8)
+
+    # (d) same-core: L3 similar to different-core, L2 explodes, ~2x slower.
+    assert same["l3"] == pytest.approx(diff2["l3"], rel=0.15)
+    assert same["l2"] > 3 * diff2["l2"]
+    factor = solo["ipc"] / same["ipc"]
+    assert factor == pytest.approx(2.0, abs=0.35)
+
+
+def test_fig11c_topology_rendering():
+    """Panel (c): the hwloc drawing of the quad-core Nehalem."""
+    text = Topology(NEHALEM, 1, 4).render(memory_bytes=5965 * 1024 * 1024)
+    assert "L3 (8192KB)" in text
+    assert text.count("L2 (256KB)") == 4
+    assert text.count("L1 (32KB)") == 4
+    # PU#0 and PU#4 share core 0 — the pinning target of panel (d).
+    lines = text.splitlines()
+    core0 = lines.index("      Core#0")
+    assert lines[core0 + 1].strip() == "PU#0"
+    assert lines[core0 + 2].strip() == "PU#4"

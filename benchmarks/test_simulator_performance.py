@@ -1,0 +1,90 @@
+"""Performance benchmarks of the substrate itself.
+
+Unlike the per-figure experiments (deterministic, run once), these use
+pytest-benchmark's repeated timing to track the simulator's own speed —
+the property that makes the full experiment suite run in seconds. Regression
+here means every figure bench slows down.
+"""
+
+import math
+
+from repro import Options, SimHost, TipTop
+from repro.core.expr import Expression
+from repro.core.screen import get_screen
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.cache import MemoryBehavior, miss_chain
+from repro.sim.core import compute_rates
+from repro.sim.workload import Workload
+from repro.sim.workloads import datacenter, spec
+
+
+def _loaded_machine(n_tasks=8):
+    machine = SimMachine(NEHALEM, sockets=2, cores_per_socket=4, tick=0.5, seed=2)
+    phase = spec.workload("429.mcf").phases[2].with_budget(math.inf)
+    for i in range(n_tasks):
+        machine.spawn(f"t{i}", Workload("w", (phase,)))
+    return machine
+
+
+def test_perf_machine_tick_throughput(benchmark):
+    """Advance a fully loaded 16-PU node: the inner loop of every figure."""
+    machine = _loaded_machine()
+    machine.run_for(5.0)  # warm the contention fixed point
+
+    def advance():
+        machine.run_for(10.0)
+
+    benchmark(advance)
+
+
+def test_perf_compute_rates(benchmark):
+    """One pipeline-model evaluation (called ~3x per task per tick)."""
+    phase = spec.workload("429.mcf").phases[2]
+    caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+    benchmark(compute_rates, NEHALEM, phase, caps)
+
+
+def test_perf_miss_chain(benchmark):
+    """The analytic cache model alone."""
+    behavior = MemoryBehavior(
+        working_set=1 << 30, level_hit_ratios=(0.85, 0.91, 0.92)
+    )
+    levels = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+    benchmark(miss_chain, behavior, 0.35, levels)
+
+
+def test_perf_sampler_snapshot(benchmark):
+    """One tiptop refresh over eleven tasks (Fig. 1's shape)."""
+    machine = datacenter.make_node(tick=0.5, seed=7)
+    datacenter.populate_fig1(machine)
+    app = TipTop(SimHost(machine), Options(delay=1.0))
+    app.sampler.sample()  # attach
+
+    def refresh():
+        machine.run_for(1.0)
+        return app.sampler.sample()
+
+    benchmark(refresh)
+    app.close()
+
+
+def test_perf_expression_eval(benchmark):
+    """Derived-column evaluation (a handful per row per refresh)."""
+    expr = Expression("100 * cache_misses / instructions")
+    env = {"cache_misses": 9.0, "instructions": 1000.0}
+    benchmark(expr.evaluate, env)
+
+
+def test_perf_screen_render(benchmark):
+    """Formatting one live frame."""
+    from repro.core import formatter
+
+    machine = datacenter.make_node(tick=0.5, seed=7)
+    datacenter.populate_fig1(machine)
+    app = TipTop(SimHost(machine), Options(delay=1.0))
+    app.sampler.sample()
+    machine.run_for(2.0)
+    snapshot = app.sampler.sample()
+    screen = get_screen("default")
+    benchmark(formatter.render_frame, screen, snapshot)
+    app.close()

@@ -1,0 +1,75 @@
+"""Table 1: the floating-point micro-benchmark.
+
+Paper (measured on Nehalem):
+
+                 finite            infinite/NaN
+           IPC   %FP assist    IPC     %FP assist
+    x87    1.33  0             0.015   25 %
+    SSE    1.33  0             1.33    0
+
+and the quoted slowdown of 87x (= 1.33 / 0.015).
+"""
+
+import math
+
+import pytest
+from _harness import once, save_artifact
+
+from repro import Options, SimHost, TipTop
+from repro.core.screen import get_screen
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.workloads.microbench import fp_microbench
+
+
+def _measure_cell(isa: str, operands: str) -> tuple[float, float]:
+    machine = SimMachine(NEHALEM, tick=0.5, seed=3)
+    proc = machine.spawn(
+        f"fp-{isa}-{operands}", fp_microbench(isa, operands, iterations=math.inf)
+    )
+    app = TipTop(SimHost(machine), Options(delay=2.0), get_screen("fpassist"))
+    with app:
+        recorder = app.run_collect(5)
+    return recorder.mean(proc.pid, "IPC"), recorder.mean(proc.pid, "ASSIST")
+
+
+def _run_table():
+    table = {}
+    for isa in ("x87", "sse"):
+        for operands in ("finite", "inf", "nan"):
+            table[(isa, operands)] = _measure_cell(isa, operands)
+    return table
+
+
+def test_table1_fp_assist(benchmark):
+    table = once(benchmark, _run_table)
+
+    lines = [
+        "Table 1: measured behaviour of the FP micro-benchmark (Nehalem)",
+        f"{'':6s} {'finite':>22s} {'infinite/NaN':>22s}",
+        f"{'':6s} {'IPC':>10s} {'%assist':>10s} {'IPC':>10s} {'%assist':>10s}",
+    ]
+    for isa in ("x87", "sse"):
+        fin = table[(isa, "finite")]
+        inf = table[(isa, "inf")]
+        lines.append(
+            f"{isa:6s} {fin[0]:10.3f} {fin[1]:10.1f} {inf[0]:10.3f} {inf[1]:10.1f}"
+        )
+    slowdown = table[("x87", "finite")][0] / table[("x87", "inf")][0]
+    lines.append(f"x87 slowdown on non-finite operands: {slowdown:.0f}x (paper: 87x)")
+    save_artifact("table1_fp_assist", "\n".join(lines))
+
+    # x87 row.
+    assert table[("x87", "finite")][0] == pytest.approx(1.33, abs=0.02)
+    assert table[("x87", "finite")][1] == pytest.approx(0.0, abs=0.01)
+    assert table[("x87", "inf")][0] == pytest.approx(0.015, abs=0.003)
+    assert table[("x87", "inf")][1] == pytest.approx(25.0, abs=0.5)
+    # Inf and NaN behave identically (reported together in the paper).
+    assert table[("x87", "nan")][0] == pytest.approx(
+        table[("x87", "inf")][0], rel=0.02
+    )
+    # SSE row: unaffected by operand class.
+    assert table[("sse", "finite")][0] == pytest.approx(1.33, abs=0.02)
+    assert table[("sse", "inf")][0] == pytest.approx(1.33, abs=0.02)
+    assert table[("sse", "inf")][1] == pytest.approx(0.0, abs=0.01)
+    # The headline 87x.
+    assert slowdown == pytest.approx(87.0, rel=0.08)

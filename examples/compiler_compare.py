@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compiler comparison at full speed (paper §3.3 / Figure 9).
+
+Jayaseelan et al. needed trace extraction plus a cycle-accurate simulator
+to study how compilers shape performance; tiptop just watches both binaries
+run. This example races the gcc and icc builds of four SPEC benchmarks and
+reports what each figure panel shows — including the h264ref phase
+*inversion* that aggregate totals hide.
+
+Run:  python examples/compiler_compare.py
+"""
+
+import numpy as np
+
+from repro import Options, SimHost, TipTop
+from repro.analysis.compare import compare_runs
+from repro.analysis.timeseries import MetricSeries
+from repro.core.phases import pid_metric_series
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.workload import Workload
+from repro.sim.workloads import spec
+
+SCALE = 10  # shrink the runs for a quick demo
+
+
+def race(bench: str) -> None:
+    print(f"--- {bench} ---")
+    traces = {}
+    for compiler in ("gcc", "icc"):
+        full = spec.workload(bench, compiler)
+        small = Workload(
+            full.name, tuple(p.with_budget(p.instructions / SCALE) for p in full.phases)
+        )
+        machine = SimMachine(NEHALEM, tick=0.5, seed=3)
+        proc = machine.spawn(f"{bench}-{compiler}", small)
+        app = TipTop(SimHost(machine), Options(delay=2.0))
+        recorder = app.run_collect(0)
+        with app:
+            for i, snap in enumerate(app.snapshots()):
+                if i > 0:
+                    recorder.record(snap)
+                if not proc.alive:
+                    break
+        series = pid_metric_series(recorder, proc.pid, "IPC")
+        traces[compiler] = MetricSeries(series.x, series.y, compiler)
+
+    for compiler, series in traces.items():
+        head = float(np.mean(series.y[: max(1, len(series) // 4)]))
+        tail = float(np.mean(series.y[-max(1, len(series) // 4):]))
+        print(
+            f"  {compiler}: ran {series.x[-1]:6.0f}s  mean IPC {series.mean():.2f}"
+            f"  (first quarter {head:.2f}, last quarter {tail:.2f})"
+        )
+
+    verdict = compare_runs(
+        traces["gcc"], traces["icc"], same_speed_tolerance=0.1
+    )
+    print(f"  => {verdict.describe()}")
+    print()
+
+
+def main() -> None:
+    for bench in ("456.hmmer", "482.sphinx3", "464.h264ref", "433.milc"):
+        race(bench)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Cross-core interference study (paper §3.4 / Figure 11).
+
+Runs one, two and three copies of the memory-hungry 429.mcf on a quad-core
+Nehalem — and then two copies pinned to the *same physical core* — and
+shows what %CPU cannot: every configuration reports ~100 % CPU, yet IPC
+falls and per-level cache misses tell exactly where the contention lives
+(shared L3 across cores; SMT-shared L1/L2 within a core).
+
+Run:  python examples/interference_study.py
+"""
+
+import numpy as np
+
+from repro import Options, SimHost, TipTop
+from repro.core.screen import get_screen
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.cpu_topology import Topology
+from repro.sim.workload import Workload
+from repro.sim.workloads import spec
+
+
+def mcf() -> Workload:
+    phase = spec.workload("429.mcf").phases[2].with_budget(float("inf"))
+    return Workload("mcf", (phase,))
+
+
+def corun(affinities):
+    machine = SimMachine(NEHALEM, sockets=1, cores_per_socket=4, tick=1.0, seed=5)
+    procs = [
+        machine.spawn(f"mcf{i}", mcf(), affinity=aff)
+        for i, aff in enumerate(affinities)
+    ]
+    app = TipTop(SimHost(machine), Options(delay=10.0), get_screen("cache"))
+    with app:
+        recorder = app.run_collect(12)
+    mean = lambda header: float(
+        np.mean([recorder.mean(p.pid, header) for p in procs])
+    )
+    cpu = float(np.mean([s.cpu_pct for s in recorder.samples]))
+    return mean("IPC"), mean("L2MIS"), mean("L3MIS"), cpu
+
+
+def main() -> None:
+    print("Machine (Fig. 11c):")
+    print(Topology(NEHALEM, 1, 4).render(memory_bytes=5965 * 1024 * 1024))
+    print()
+
+    configs = [
+        ("1 copy, core 0", [{0}]),
+        ("2 copies, cores 0+1", [{0}, {1}]),
+        ("3 copies, cores 0+1+2", [{0}, {1}, {2}]),
+        ("2 copies, SAME core (PU0+PU4)", [{0}, {4}]),
+    ]
+    print(f"{'configuration':32s} {'IPC':>6s} {'L2/100':>7s} {'L3/100':>7s} {'%CPU':>6s}")
+    results = {}
+    for name, aff in configs:
+        ipc, l2, l3, cpu = corun(aff)
+        results[name] = ipc
+        print(f"{name:32s} {ipc:6.3f} {l2:7.2f} {l3:7.2f} {cpu:6.1f}")
+
+    solo = results["1 copy, core 0"]
+    print()
+    print(f"3-copy slowdown:  {100 * (1 - results['3 copies, cores 0+1+2'] / solo):.0f} % "
+          "(paper: up to 30 %) — shared L3 contention")
+    print(f"same-core factor: {solo / results['2 copies, SAME core (PU0+PU4)']:.1f}x "
+          "(paper: 2x) — the SMT siblings thrash their shared L2")
+    print("...all while %CPU sat at 100 everywhere. That is the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

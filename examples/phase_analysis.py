@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Phase analysis: diagnose the biologists' R algorithm (paper §3.1).
+
+The scenario: an iterative algorithm "feels slow". %CPU says 100 % — no
+visible reason for concern. Tiptop's IPC column tells a different story:
+after ~950 time steps the IPC collapses from ~1.0 to ~0.03 while the new
+FP-assist column lights up — the matrices filled with Inf/NaN and every
+x87 operation takes a micro-code assist. Clipping the values fixes it.
+
+This example runs a 1/50-scale version of the Figure 3 experiment, detects
+the transition automatically, and verifies the fix.
+
+Run:  python examples/phase_analysis.py
+"""
+
+from repro import Options, SimHost, TipTop
+from repro.analysis.phase_detect import detect_phases
+from repro.core.phases import pid_metric_series
+from repro.core.screen import get_screen
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.workload import Workload
+from repro.sim.workloads import revolve
+
+SCALE = 50  # shrink the 4.6-hour run for a quick demo
+
+
+def scaled(workload: Workload) -> Workload:
+    return Workload(
+        workload.name,
+        tuple(p.with_budget(p.instructions / SCALE) for p in workload.phases),
+    )
+
+
+def run(workload: Workload, label: str) -> None:
+    machine = SimMachine(NEHALEM, tick=0.5, seed=42)
+    proc = machine.spawn("R", workload, user="biologist")
+    app = TipTop(SimHost(machine), Options(delay=2.0), get_screen("fpassist"))
+    recorder = app.run_collect(0)
+    with app:
+        for i, snap in enumerate(app.snapshots()):
+            if i > 0:
+                recorder.record(snap)
+            if not proc.alive:
+                break
+
+    ipc = pid_metric_series(recorder, proc.pid, "IPC")
+    assists = pid_metric_series(recorder, proc.pid, "ASSIST")
+    print(f"--- {label} ---")
+    print(f"run time: {ipc.x[-1]:.0f} virtual seconds, {len(ipc)} samples")
+    print(ipc.ascii_plot(width=64, height=9))
+
+    segments = detect_phases(ipc, window=8, threshold=0.5)
+    if len(segments) == 1:
+        print("no phase change detected: the algorithm is healthy\n")
+        return
+    print(f"detected {len(segments)} phases:")
+    for seg in segments:
+        window = assists.y[seg.start_index : seg.end_index]
+        mean_assist = float(window.mean()) if len(window) else 0.0
+        print(
+            f"  t={seg.start_x:7.0f}..{seg.end_x:7.0f}s  mean IPC {seg.mean:5.2f}  "
+            f"FP assists/100 instr {mean_assist:5.1f}"
+        )
+    print(
+        "diagnosis: the IPC collapse coincides with micro-code FP assists —\n"
+        "non-finite values crept into the computation (paper §3.1)\n"
+    )
+
+
+def main() -> None:
+    run(scaled(revolve.original()), "original algorithm (Nehalem)")
+    run(scaled(revolve.clipped()), "with value clipping (the fix)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 517/660
+editable installs (which shell out to ``bdist_wheel``) fail; this shim lets
+``pip install -e .`` take the classic ``setup.py develop`` path. All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Reproduction of *Tiptop: Hardware Performance Counters for the Masses*.
+
+Erven Rohou, INRIA RR-7789 (2011) / ICPP 2012.
+
+Subpackages:
+
+* :mod:`repro.core` — the tiptop tool: sampler, screens, live/batch modes.
+* :mod:`repro.perf` — the perf_event substrate (real syscall + simulated
+  kernel backends).
+* :mod:`repro.procfs` — /proc parsing (real and simulated).
+* :mod:`repro.sim` — the simulated hardware + OS the experiments run on.
+* :mod:`repro.analysis` — phase detection, interference, validation.
+* :mod:`repro.pin` — Pin-like instrumentation for the §2.4/§2.5 baselines.
+
+Quickstart::
+
+    from repro import TipTop, SimHost, Options
+    from repro.sim.workloads import datacenter
+
+    machine = datacenter.make_node()
+    datacenter.populate_fig1(machine)
+    with TipTop(SimHost(machine), Options(delay=5.0)) as app:
+        app.run_batch(iterations=3)
+"""
+
+from repro.core.app import RealHost, SimHost, TipTop
+from repro.core.options import Options
+from repro.core.recorder import Recorder
+from repro.core.screen import Screen, builtin_screens, get_screen, screen_from_config
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Options",
+    "RealHost",
+    "Recorder",
+    "ReproError",
+    "Screen",
+    "SimHost",
+    "TipTop",
+    "builtin_screens",
+    "get_screen",
+    "screen_from_config",
+    "__version__",
+]

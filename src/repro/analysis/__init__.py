@@ -1,0 +1,42 @@
+"""Offline analysis of recorded metric streams.
+
+What the paper does *by eye* on its figures — spotting the phase transition
+at step 953, the h264ref compiler inversion, the co-run IPC drop — this
+package does programmatically: time-series utilities, change-point
+detection, interference quantification, and the §2.4 validation comparison.
+"""
+
+from repro.analysis.compare import RunComparison, compare_runs
+from repro.analysis.fastforward import FastForward, compare_skips, recommend_skip
+from repro.analysis.interference import corun_slowdown, overlap_window
+from repro.analysis.phase_detect import PhaseSegment, detect_phases, transition_points
+from repro.analysis.roofline import (
+    MachineRoofline,
+    RooflinePoint,
+    machine_roofline,
+    point_from_deltas,
+    select_processor,
+)
+from repro.analysis.timeseries import MetricSeries
+from repro.analysis.validation import ValidationReport, compare_counts
+
+__all__ = [
+    "FastForward",
+    "MachineRoofline",
+    "MetricSeries",
+    "PhaseSegment",
+    "RunComparison",
+    "compare_runs",
+    "compare_skips",
+    "recommend_skip",
+    "RooflinePoint",
+    "ValidationReport",
+    "compare_counts",
+    "corun_slowdown",
+    "detect_phases",
+    "machine_roofline",
+    "overlap_window",
+    "point_from_deltas",
+    "select_processor",
+    "transition_points",
+]

@@ -1,0 +1,132 @@
+"""Side-by-side run comparison (the §3.3 workflow as an API).
+
+The paper's compiler study runs two builds of the same benchmark and reads
+the IPC traces against each other: who is faster, whose IPC is higher, and
+— the part aggregate totals hide — whether the winner *flips between
+phases* (Fig. 9c's inversion). :func:`compare_runs` packages that reading
+for any two labelled IPC traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.timeseries import MetricSeries
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """The §3.3 verdict for two labelled runs of the same work.
+
+    Attributes:
+        a_label / b_label: run names ("gcc", "icc").
+        a_time / b_time: completion times.
+        a_mean_ipc / b_mean_ipc: run-mean IPC.
+        inversion: True when the IPC leader flips between the early and
+            late parts of the runs (Fig. 9c).
+        verdict: one of "higher-ipc-wins", "lower-ipc-wins", "same-speed".
+    """
+
+    a_label: str
+    b_label: str
+    a_time: float
+    b_time: float
+    a_mean_ipc: float
+    b_mean_ipc: float
+    inversion: bool
+    verdict: str
+
+    @property
+    def faster(self) -> str:
+        """Label of the faster run (ties go to a)."""
+        return self.a_label if self.a_time <= self.b_time else self.b_label
+
+    @property
+    def higher_ipc(self) -> str:
+        """Label of the higher-mean-IPC run."""
+        return self.a_label if self.a_mean_ipc >= self.b_mean_ipc else self.b_label
+
+    def describe(self) -> str:
+        """One paragraph in the paper's terms."""
+        lines = [
+            f"{self.a_label}: {self.a_time:.0f}s at mean IPC {self.a_mean_ipc:.2f}; "
+            f"{self.b_label}: {self.b_time:.0f}s at mean IPC {self.b_mean_ipc:.2f}."
+        ]
+        if self.verdict == "same-speed":
+            lines.append(
+                f"Same speed despite different IPC: {self.higher_ipc} simply "
+                "executes more instructions (Fig. 9d pattern)."
+            )
+        elif self.verdict == "higher-ipc-wins":
+            lines.append(
+                f"{self.faster} wins with the higher IPC (Fig. 9a pattern)."
+            )
+        else:
+            lines.append(
+                f"{self.faster} wins despite the lower IPC — fewer "
+                "instructions (Fig. 9b pattern)."
+            )
+        if self.inversion:
+            lines.append(
+                "Inversion: the IPC leader flips between phases (Fig. 9c) — "
+                "invisible in aggregated totals."
+            )
+        return " ".join(lines)
+
+
+def compare_runs(
+    a: MetricSeries,
+    b: MetricSeries,
+    *,
+    same_speed_tolerance: float = 0.05,
+    phase_fraction: float = 0.25,
+    inversion_margin: float = 0.05,
+) -> RunComparison:
+    """Compare two IPC-versus-time traces of the same logical work.
+
+    Args:
+        a, b: labelled traces (their last x is the completion time).
+        same_speed_tolerance: relative time difference under which the runs
+            count as equally fast.
+        phase_fraction: fraction of each run treated as its "early" and
+            "late" phase for inversion detection.
+        inversion_margin: minimum IPC lead (absolute) in *both* phases for
+            an inversion call — guards against noise flips.
+
+    Raises:
+        ReproError: on empty traces.
+    """
+    if len(a) == 0 or len(b) == 0:
+        raise ReproError("compare_runs needs non-empty traces")
+    a_time, b_time = float(a.x[-1]), float(b.x[-1])
+    a_mean, b_mean = a.mean(), b.mean()
+
+    cut_a = max(1, int(phase_fraction * len(a)))
+    cut_b = max(1, int(phase_fraction * len(b)))
+    early = float(np.mean(a.y[:cut_a]) - np.mean(b.y[:cut_b]))
+    late = float(np.mean(a.y[-cut_a:]) - np.mean(b.y[-cut_b:]))
+    inversion = (
+        early > inversion_margin and late < -inversion_margin
+    ) or (early < -inversion_margin and late > inversion_margin)
+
+    if abs(a_time - b_time) / max(a_time, b_time) < same_speed_tolerance:
+        verdict = "same-speed"
+    else:
+        faster_is_a = a_time < b_time
+        higher_is_a = a_mean > b_mean
+        verdict = (
+            "higher-ipc-wins" if faster_is_a == higher_is_a else "lower-ipc-wins"
+        )
+    return RunComparison(
+        a_label=a.label or "a",
+        b_label=b.label or "b",
+        a_time=a_time,
+        b_time=b_time,
+        a_mean_ipc=a_mean,
+        b_mean_ipc=b_mean,
+        inversion=inversion,
+        verdict=verdict,
+    )

@@ -1,0 +1,96 @@
+"""Fast-forward counts for simulation studies (§3.2).
+
+"Many papers in computer architecture are based on simulators, and
+benchmarks are run after skipping the first billion instructions or so to
+avoid the initialization phase. Carefully looking at performance profiles
+can help define a more accurate number of instructions for each particular
+combination of architecture, compiler, and compiler flags."
+
+Given an IPC-versus-instructions profile (Fig. 8's axes), this module finds
+where the initialisation phase actually ends and recommends the skip count
+— instead of everyone's folklore 10^9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.phase_detect import detect_phases
+from repro.analysis.timeseries import MetricSeries
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class FastForward:
+    """A skip-count recommendation.
+
+    Attributes:
+        skip_instructions: instructions to fast-forward past.
+        initialization_mean_ipc: IPC of the skipped prefix.
+        steady_mean_ipc: IPC of the first post-skip phase.
+        fraction_of_run: skipped fraction of the whole profile.
+    """
+
+    skip_instructions: float
+    initialization_mean_ipc: float
+    steady_mean_ipc: float
+    fraction_of_run: float
+
+
+def recommend_skip(
+    profile: MetricSeries,
+    *,
+    window: int = 5,
+    threshold: float = 0.2,
+    max_fraction: float = 0.5,
+) -> FastForward:
+    """Recommend a fast-forward count from an IPC-vs-instructions profile.
+
+    The skip point is the first detected phase boundary, provided it lies
+    within ``max_fraction`` of the run (a boundary later than that is a
+    mid-run phase change, not initialisation — skip nothing then).
+
+    Raises:
+        ReproError: profile too short to segment.
+    """
+    if len(profile) < 2 * window:
+        raise ReproError(
+            f"profile of {len(profile)} samples is too short for window {window}"
+        )
+    segments = detect_phases(profile, window=window, threshold=threshold)
+    total = float(profile.x[-1])
+    if len(segments) < 2:
+        return FastForward(
+            skip_instructions=0.0,
+            initialization_mean_ipc=float("nan"),
+            steady_mean_ipc=segments[0].mean,
+            fraction_of_run=0.0,
+        )
+    first, second = segments[0], segments[1]
+    boundary = float(profile.x[first.end_index - 1])
+    if boundary / total > max_fraction:
+        return FastForward(
+            skip_instructions=0.0,
+            initialization_mean_ipc=float("nan"),
+            steady_mean_ipc=first.mean,
+            fraction_of_run=0.0,
+        )
+    return FastForward(
+        skip_instructions=boundary,
+        initialization_mean_ipc=first.mean,
+        steady_mean_ipc=second.mean,
+        fraction_of_run=boundary / total,
+    )
+
+
+def compare_skips(
+    profiles: dict[str, MetricSeries], **kwargs
+) -> dict[str, FastForward]:
+    """Per-architecture (or per-compiler) recommendations.
+
+    §3.2's point: the right skip count differs "for each particular
+    combination of architecture, compiler, and compiler flags".
+    """
+    return {name: recommend_skip(p, **kwargs) for name, p in profiles.items()}

@@ -1,0 +1,137 @@
+"""Change-point detection on metric streams.
+
+§3.1's payoff was *knowing the instant something changed*: "Knowing the
+instant when something changed let us focus the investigation." This module
+finds those instants automatically with a simple, robust sliding-window
+mean-shift detector: a transition is declared where the mean of the next
+window differs from the mean of the previous window by more than
+``threshold`` (relative), with a minimum segment length to suppress noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.timeseries import MetricSeries
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One detected phase.
+
+    Attributes:
+        start_index / end_index: half-open sample range [start, end).
+        start_x / end_x: sample positions of the range.
+        mean: mean metric value across the segment.
+    """
+
+    start_index: int
+    end_index: int
+    start_x: float
+    end_x: float
+    mean: float
+
+    @property
+    def length(self) -> int:
+        """Number of samples in the segment."""
+        return self.end_index - self.start_index
+
+
+def transition_points(
+    series: MetricSeries,
+    *,
+    window: int = 10,
+    threshold: float = 0.3,
+    min_gap: int | None = None,
+    level_floor_fraction: float = 0.1,
+) -> list[int]:
+    """Indices where the metric's local mean shifts by > ``threshold``.
+
+    Args:
+        series: the metric stream.
+        window: samples per side of the comparison windows.
+        threshold: relative mean shift that counts as a transition
+            (|after - before| over the local level).
+        min_gap: minimum samples between reported transitions
+            (default: ``window``).
+        level_floor_fraction: the local level is floored at this fraction
+            of the series' global range, so near-zero segments (IPC 0.03
+            after the Fig. 3a collapse) don't turn their own noise into
+            spurious relative shifts.
+
+    Returns:
+        Sorted sample indices (each is the first sample of the new phase).
+    """
+    if window < 1:
+        raise ReproError(f"window must be >= 1, got {window}")
+    if min_gap is None:
+        min_gap = window
+    y = np.asarray(series.y, dtype=float)
+    n = len(y)
+    if n < 2 * window:
+        return []
+    finite = y[np.isfinite(y)]
+    span = float(np.max(finite) - np.min(finite)) if len(finite) else 0.0
+    floor = max(level_floor_fraction * span, 1e-9)
+    # Rolling means and variances before/after each candidate point.
+    clean = np.nan_to_num(y)
+    csum = np.cumsum(np.insert(clean, 0, 0.0))
+    csum2 = np.cumsum(np.insert(clean**2, 0, 0.0))
+
+    def _stats(lo: int, hi: int) -> tuple[float, float]:
+        w = hi - lo
+        mean = (csum[hi] - csum[lo]) / w
+        var = max((csum2[hi] - csum2[lo]) / w - mean * mean, 0.0)
+        return mean, var
+
+    shifts = []
+    for i in range(window, n - window):
+        before, var_b = _stats(i - window, i)
+        after, var_a = _stats(i, i + window)
+        shift = abs(after - before)
+        # Welch-style significance: the shift must stand out from the
+        # windows' own noise, not just from the level.
+        sem = np.sqrt((var_b + var_a) / window)
+        if shift < 4.0 * sem:
+            continue
+        denom = max(abs(before), floor)
+        shifts.append((shift / denom, i))
+    out: list[int] = []
+    for magnitude, index in sorted(shifts, reverse=True):
+        if magnitude < threshold:
+            break
+        if all(abs(index - seen) >= min_gap for seen in out):
+            out.append(index)
+    return sorted(out)
+
+
+def detect_phases(
+    series: MetricSeries,
+    *,
+    window: int = 10,
+    threshold: float = 0.3,
+) -> list[PhaseSegment]:
+    """Segment a metric stream at its transitions.
+
+    Returns at least one segment covering the whole series.
+    """
+    cuts = transition_points(series, window=window, threshold=threshold)
+    bounds = [0, *cuts, len(series)]
+    segments = []
+    y = np.asarray(series.y, dtype=float)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi <= lo:
+            continue
+        segments.append(
+            PhaseSegment(
+                start_index=lo,
+                end_index=hi,
+                start_x=float(series.x[lo]),
+                end_x=float(series.x[hi - 1]),
+                mean=float(np.nanmean(y[lo:hi])),
+            )
+        )
+    return segments

@@ -1,0 +1,148 @@
+"""Roofline-style processor selection from counter-derived rates.
+
+§2.6: "The reported instruction mix is useful in selecting the most
+appropriate processor in a family of binary compatible chips, for example
+with the Roofline methodology [38]", combining Diamond et al.'s FPC/LPC
+machine-facing rates with the application-facing FPI/LPI/BPI mix.
+
+The model (Williams/Waterman/Patterson): attainable FP throughput is
+``min(peak_flops, operational_intensity x peak_bandwidth)``. Here the
+operational intensity comes straight from tiptop's counters —
+FP operations per byte of DRAM traffic (LLC misses x line size) — so a
+user can read a few columns off a running application and pick the chip
+whose roofline it exploits best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.sim.arch import ArchModel
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """An application's position in roofline coordinates.
+
+    Attributes:
+        operational_intensity: FP operations per byte of memory traffic.
+        flops_per_sec: measured FP throughput.
+    """
+
+    operational_intensity: float
+    flops_per_sec: float
+
+
+@dataclass(frozen=True)
+class MachineRoofline:
+    """A machine's roofline: compute ceiling and bandwidth slope.
+
+    Attributes:
+        name: machine name.
+        peak_flops: peak FP operations per second.
+        peak_bandwidth: peak DRAM bytes per second.
+    """
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.peak_bandwidth <= 0:
+            raise ReproError(f"roofline for {self.name} needs positive peaks")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Operational intensity where the two ceilings meet."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable(self, operational_intensity: float) -> float:
+        """Attainable FP throughput at the given intensity."""
+        if operational_intensity < 0:
+            raise ReproError("operational intensity must be >= 0")
+        return min(
+            self.peak_flops, operational_intensity * self.peak_bandwidth
+        )
+
+    def bound(self, operational_intensity: float) -> str:
+        """Which ceiling binds: "compute" or "memory"."""
+        return (
+            "memory"
+            if operational_intensity < self.ridge_intensity
+            else "compute"
+        )
+
+
+def machine_roofline(
+    arch: ArchModel,
+    *,
+    memory_bandwidth: float = 25e9,
+    fp_issue_per_cycle: float = 2.0,
+) -> MachineRoofline:
+    """Derive a roofline from an architecture model.
+
+    Args:
+        arch: the machine.
+        memory_bandwidth: sustainable DRAM bandwidth in bytes/s.
+        fp_issue_per_cycle: FP operations the core can retire per cycle.
+    """
+    return MachineRoofline(
+        name=arch.name,
+        peak_flops=arch.freq_hz * fp_issue_per_cycle,
+        peak_bandwidth=memory_bandwidth,
+    )
+
+
+def point_from_deltas(
+    deltas: dict[str, float],
+    interval: float,
+    *,
+    line_bytes: int = 64,
+) -> RooflinePoint:
+    """Roofline coordinates from one interval's counter deltas.
+
+    Needs ``fp-operations`` and ``cache-misses`` (memory traffic) deltas —
+    exactly what the ``mix`` screen counts.
+
+    Raises:
+        ReproError: missing counters or a zero-length interval.
+    """
+    if interval <= 0:
+        raise ReproError(f"interval must be positive, got {interval}")
+    try:
+        flops = deltas["fp-operations"]
+    except KeyError as exc:
+        raise ReproError(f"roofline needs an fp-operations delta: {exc}") from exc
+    for name in ("cache-misses", "l3-misses", "l2-misses"):
+        if name in deltas:
+            misses = deltas[name]
+            break
+    else:
+        raise ReproError(
+            "roofline needs an LLC-miss delta (cache-misses / l3-misses)"
+        )
+    traffic = misses * line_bytes
+    intensity = flops / traffic if traffic > 0 else float("inf")
+    return RooflinePoint(
+        operational_intensity=intensity, flops_per_sec=flops / interval
+    )
+
+
+def select_processor(
+    point: RooflinePoint, candidates: list[MachineRoofline]
+) -> tuple[MachineRoofline, dict[str, float]]:
+    """Pick the candidate with the highest attainable throughput.
+
+    Returns the winner and the attainable-FLOPs table for all candidates.
+
+    Raises:
+        ReproError: empty candidate list.
+    """
+    if not candidates:
+        raise ReproError("no candidate machines")
+    table = {
+        m.name: m.attainable(point.operational_intensity) for m in candidates
+    }
+    winner = max(candidates, key=lambda m: table[m.name])
+    return winner, table

@@ -1,0 +1,99 @@
+"""Command-line entry point: the ``tiptop`` command.
+
+Mirrors the original tool's interface (``-b`` batch, ``-d`` delay, ``-n``
+iterations, screen selection) with one addition forced by this
+reproduction's environment: ``--sim`` runs against a demo simulated node,
+because the container's kernel exposes no PMU. On real hardware the same
+command monitors live processes through ``perf_event_open``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.app import RealHost, SimHost, TipTop
+from repro.core.options import Options
+from repro.core.screen import builtin_screens, get_screen
+from repro.errors import PerfNotSupportedError, ReproError
+from repro.sim.workloads import datacenter
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tiptop argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tiptop",
+        description="Hardware performance counters for the masses "
+        "(reproduction of Rohou, ICPP 2012)",
+    )
+    parser.add_argument("-b", "--batch", action="store_true",
+                        help="batch mode: stream text (like top -b)")
+    parser.add_argument("-d", "--delay", type=float, default=2.0,
+                        help="refresh delay in seconds (default 2)")
+    parser.add_argument("-n", "--iterations", type=int, default=10,
+                        help="number of refreshes (default 10)")
+    parser.add_argument("-H", "--threads", action="store_true",
+                        help="count per thread instead of per process")
+    parser.add_argument("-u", "--uid", type=int, default=None,
+                        help="only watch processes of this uid")
+    parser.add_argument("-p", "--pid", type=int, action="append", default=[],
+                        help="only watch this pid (repeatable)")
+    parser.add_argument("-S", "--screen", default="default",
+                        help="screen name (see --list-screens)")
+    parser.add_argument("-W", "--screen-file", default=None,
+                        help="JSON file with user-defined screens "
+                             "(tiptop's XML config equivalent)")
+    parser.add_argument("--list-screens", action="store_true",
+                        help="list built-in screens and exit")
+    parser.add_argument("--sim", action="store_true",
+                        help="monitor a demo simulated node instead of the "
+                             "real kernel (required where no PMU exists)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point. Returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_screens:
+        for screen in builtin_screens():
+            print(f"{screen.name:10s} {screen.description}")
+        return 0
+    try:
+        options = Options(
+            delay=args.delay,
+            batch=args.batch,
+            iterations=args.iterations,
+            per_thread=args.threads,
+            watch_uid=args.uid,
+            watch_pids=frozenset(args.pid),
+            screen=args.screen,
+        )
+        if args.screen_file:
+            from repro.core.config_file import find_screen, load_screens
+
+            screen = find_screen(load_screens(args.screen_file), args.screen)
+        else:
+            screen = get_screen(args.screen)
+        if args.sim:
+            machine = datacenter.make_node(tick=min(0.5, args.delay / 4))
+            datacenter.populate_fig1(machine)
+            host = SimHost(machine)
+        else:
+            host = RealHost()
+        with TipTop(host, options, screen) as app:
+            if args.batch:
+                app.run_batch(args.iterations)
+            else:
+                app.run_live(args.iterations)
+    except PerfNotSupportedError as exc:
+        print(f"tiptop: {exc}", file=sys.stderr)
+        print("tiptop: hint: re-run with --sim", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"tiptop: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

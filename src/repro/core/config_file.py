@@ -1,0 +1,91 @@
+"""Screen configuration files — the equivalent of tiptop's XML config.
+
+Real tiptop reads user-defined screens from an XML file; this reproduction
+uses JSON (no extra dependencies) with the same information content: named
+screens made of derived columns over counter expressions. A file holds one
+screen or a list of screens::
+
+    {
+      "screens": [
+        {
+          "name": "hpc",
+          "description": "roofline-ish rates",
+          "columns": [
+            {"header": "FPC", "expr": "fp_operations / cycles"},
+            {"header": "LPC", "expr": "loads / cycles"}
+          ]
+        }
+      ]
+    }
+
+Loaded screens are validated eagerly (unknown identifiers fail at load
+time, not mid-monitoring) and can shadow built-ins by name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.screen import Screen, screen_from_config
+from repro.errors import ConfigError
+
+
+def parse_screens(data: object) -> list[Screen]:
+    """Build screens from a decoded config object.
+
+    Accepts a single screen dict, a list of screen dicts, or a dict with a
+    ``"screens"`` list.
+
+    Raises:
+        ConfigError: malformed structure or invalid screen definitions.
+    """
+    if isinstance(data, dict) and "screens" in data:
+        entries = data["screens"]
+    elif isinstance(data, dict):
+        entries = [data]
+    elif isinstance(data, list):
+        entries = data
+    else:
+        raise ConfigError(
+            f"screen config must be a dict or list, got {type(data).__name__}"
+        )
+    if not isinstance(entries, list) or not entries:
+        raise ConfigError("screen config contains no screens")
+    screens = [screen_from_config(entry) for entry in entries]
+    names = [s.name for s in screens]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate screen names in config: {names}")
+    return screens
+
+
+def load_screens(path: str | Path) -> list[Screen]:
+    """Load and validate screens from a JSON file.
+
+    Raises:
+        ConfigError: unreadable file, invalid JSON, or bad definitions.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigError(f"cannot read screen config {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+    return parse_screens(data)
+
+
+def find_screen(screens: list[Screen], name: str) -> Screen:
+    """Pick a screen by name from a loaded list.
+
+    Raises:
+        ConfigError: no screen of that name in the file.
+    """
+    for screen in screens:
+        if screen.name == name:
+            return screen
+    raise ConfigError(
+        f"no screen named {name!r} in config (has: {[s.name for s in screens]})"
+    )

@@ -1,0 +1,59 @@
+"""Rendering: live frames and top-b-style batch streams.
+
+Tiptop has no graphics (§2.1): live mode repaints a text screen (ncurses in
+the original; a plain string frame here, which is also what the tests
+assert against), batch mode appends snapshot blocks to a stream "convenient
+for further processing" with sed/awk-style tools.
+"""
+
+from __future__ import annotations
+
+from repro.core.sampler import Row, Snapshot
+from repro.core.screen import Screen
+from repro.util.tabulate import render_table
+from repro.util.units import format_seconds
+
+
+def render_rows(screen: Screen, rows: list[Row] | tuple[Row, ...]) -> str:
+    """The column table for a set of rows (header included)."""
+    formats = [c.to_format() for c in screen.columns]
+    data = [[row.values[c.header] for c in screen.columns] for row in rows]
+    return render_table(formats, data)
+
+
+def render_frame(
+    screen: Screen,
+    snapshot: Snapshot,
+    *,
+    idle_threshold: float = 0.0,
+) -> str:
+    """One live-mode frame: summary line plus the column table."""
+    rows = [r for r in snapshot.rows if r.cpu_pct >= idle_threshold]
+    busy = sum(1 for r in snapshot.rows if r.cpu_pct >= 50.0)
+    header = (
+        f"tiptop - up {format_seconds(snapshot.time)}, "
+        f"{len(snapshot.rows)} tasks, {busy} running, "
+        f"delay {snapshot.interval:.1f}s"
+    )
+    return header + "\n" + render_rows(screen, rows)
+
+
+def render_batch(screen: Screen, snapshot: Snapshot) -> str:
+    """One batch-mode block (timestamp line, table, trailing blank line)."""
+    stamp = f"--- t={snapshot.time:.1f}s interval={snapshot.interval:.1f}s ---"
+    return stamp + "\n" + render_rows(screen, snapshot.rows) + "\n"
+
+
+def render_csv_header(screen: Screen) -> str:
+    """CSV header matching :func:`render_csv_row`."""
+    cols = ",".join(c.header for c in screen.columns)
+    return f"time,{cols}"
+
+
+def render_csv_row(screen: Screen, snapshot: Snapshot, row: Row) -> str:
+    """One task-interval as a CSV line (for the recorder's export)."""
+    cells = []
+    for c in screen.columns:
+        v = row.values[c.header]
+        cells.append(f"{v:.6g}" if isinstance(v, float) else str(v))
+    return f"{snapshot.time:.1f}," + ",".join(cells)

@@ -1,0 +1,110 @@
+"""Canonical derived metrics (§2.6).
+
+The paper's position is that a few *simple* metrics characterise behaviour
+for most users: IPC first, then miss ratios to localise a bottleneck, plus
+the application-characterisation rates FPI/LPI/BPI and the Diamond et al.
+machine-facing FPC/LPC. Each metric is an expression over per-interval
+counter deltas (identifiers are underscored event names; ``delta_t`` is the
+interval length in seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.expr import Expression
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named derived metric.
+
+    Attributes:
+        name: canonical metric name ("IPC").
+        expression: compiled formula over counter deltas.
+        description: one-line meaning.
+    """
+
+    name: str
+    expression: Expression
+    description: str
+
+    def compute(self, env: dict[str, float]) -> float:
+        """Evaluate the metric against one interval's deltas."""
+        return self.expression.evaluate(env)
+
+
+def _m(name: str, text: str, description: str) -> Metric:
+    return Metric(name, Expression(text), description)
+
+
+#: All canonical metrics, keyed by name.
+METRICS: dict[str, Metric] = {
+    m.name: m
+    for m in (
+        _m("IPC", "instructions / cycles", "retired instructions per cycle"),
+        _m(
+            "DMIS",
+            "100 * cache_misses / instructions",
+            "last-level cache misses per 100 instructions (Fig. 1)",
+        ),
+        _m(
+            "MISS_RATIO",
+            "100 * cache_misses / cache_references",
+            "LLC miss ratio in percent",
+        ),
+        _m(
+            "BMIS",
+            "100 * branch_misses / instructions",
+            "branch mispredicts per 100 instructions",
+        ),
+        _m(
+            "BMISPRED",
+            "100 * branch_misses / branch_instructions",
+            "branch misprediction ratio in percent",
+        ),
+        _m(
+            "FP_ASSIST",
+            "100 * fp_assist / instructions",
+            "micro-code FP assists per 100 instructions (§3.1)",
+        ),
+        _m("FPI", "fp_operations / instructions", "FP operations per instruction"),
+        _m("LPI", "loads / instructions", "loads per instruction"),
+        _m("BPI", "branch_instructions / instructions", "branches per instruction"),
+        _m("FPC", "fp_operations / cycles", "FP operations per cycle (CPU subsystem)"),
+        _m("LPC", "loads / cycles", "loads per cycle (memory subsystem)"),
+        _m(
+            "L2MIS",
+            "100 * l2_misses / instructions",
+            "L2 misses per 100 instructions (Fig. 11d)",
+        ),
+        _m(
+            "L3MIS",
+            "100 * l3_misses / instructions",
+            "L3 misses per 100 instructions (Fig. 11b)",
+        ),
+        _m(
+            "UPI",
+            "uops_executed / instructions",
+            "micro-ops per instruction (assist detector)",
+        ),
+        _m(
+            "MEMLAT",
+            "mem_latency_cycles / cache_misses",
+            "average observed memory latency in cycles (§3.4 outlook): "
+            "rises under DRAM/LLC contention",
+        ),
+        _m("MCYCLE", "cycles / 1000000", "cycles in millions since last refresh"),
+        _m("MINST", "instructions / 1000000", "instructions in millions"),
+        _m("GHZ", "cycles / delta_t / 1000000000", "effective clock in GHz"),
+    )
+}
+
+
+def get_metric(name: str) -> Metric:
+    """Look up a canonical metric by (case-insensitive) name.
+
+    Raises:
+        KeyError: unknown metric.
+    """
+    return METRICS[name.upper()]

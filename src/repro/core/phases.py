@@ -1,0 +1,35 @@
+"""App-level phase tracking: recorder series -> detected phases.
+
+Thin glue between :mod:`repro.core.recorder` and
+:mod:`repro.analysis.phase_detect`, so a monitoring script can go from a
+live recording to "the workload changed behaviour at t=4765 s" in one call
+(the §3.1 workflow).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.phase_detect import PhaseSegment, detect_phases
+from repro.analysis.timeseries import MetricSeries
+from repro.core.recorder import Recorder
+
+
+def pid_metric_series(recorder: Recorder, pid: int, header: str) -> MetricSeries:
+    """A recorded column as a :class:`MetricSeries` (x = time)."""
+    times, values = recorder.series(pid, header)
+    return MetricSeries(times, values, label=f"pid {pid} {header}")
+
+
+def detect_pid_phases(
+    recorder: Recorder,
+    pid: int,
+    header: str = "IPC",
+    *,
+    window: int = 10,
+    threshold: float = 0.3,
+) -> list[PhaseSegment]:
+    """Detected phases of one task's recorded metric."""
+    return detect_phases(
+        pid_metric_series(recorder, pid, header),
+        window=window,
+        threshold=threshold,
+    )

@@ -1,0 +1,107 @@
+"""Tracked-task set: discover, attach, detach.
+
+Each refresh, tiptop rescans the process list: new tasks get counters
+attached (monitoring can start at any time — no restart needed, §2.2), and
+tasks that exited are detached and their counters closed. Attach failures
+from permission (other users' processes under an unprivileged monitor) are
+remembered so they are not retried on every refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.options import Options
+from repro.errors import NoSuchTaskError, PerfError, PerfPermissionError
+from repro.perf.counter import Backend, CounterGroup
+from repro.perf.events import EventSpec
+from repro.procfs.model import ProcessInfo, TaskProvider
+
+
+@dataclass
+class TrackedTask:
+    """One monitored task and its counters.
+
+    ``tid`` is the process pid in per-process mode, or an individual thread
+    id in per-thread mode (§2.2).
+    """
+
+    pid: int
+    tid: int
+    group: CounterGroup
+    last_info: ProcessInfo | None = None
+    first_seen: float = 0.0
+
+
+@dataclass
+class ProcessList:
+    """The set of currently monitored tasks.
+
+    Args:
+        backend: perf backend for counter attach/close.
+        tasks: /proc provider.
+        events: counter events each task gets.
+        options: watch filters and per-thread mode.
+    """
+
+    backend: Backend
+    tasks: TaskProvider
+    events: list[EventSpec]
+    options: Options
+    tracked: dict[int, TrackedTask] = field(default_factory=dict)
+    denied: set[int] = field(default_factory=set)
+    attach_errors: int = 0
+
+    def refresh(self) -> tuple[list[TrackedTask], list[int]]:
+        """Rescan /proc; attach new tasks, drop dead ones.
+
+        Returns:
+            (attached, detached_tids) for this refresh.
+        """
+        now = self.tasks.uptime()
+        visible = {}
+        for info in self.tasks.list_processes():
+            if not self.options.wants(pid=info.pid, uid=info.uid, comm=info.comm):
+                continue
+            if self.options.per_thread:
+                for tid in info.tids:
+                    visible[tid] = info
+            else:
+                visible[info.pid] = info
+
+        attached: list[TrackedTask] = []
+        for tid, info in visible.items():
+            if tid in self.tracked or tid in self.denied:
+                continue
+            if len(self.tracked) >= self.options.max_tasks:
+                break
+            try:
+                group = CounterGroup(
+                    self.backend,
+                    self.events,
+                    tid,
+                    inherit=not self.options.per_thread,
+                )
+            except PerfPermissionError:
+                self.denied.add(tid)
+                continue
+            except (NoSuchTaskError, PerfError):
+                self.attach_errors += 1
+                continue
+            task = TrackedTask(pid=info.pid, tid=tid, group=group, first_seen=now)
+            self.tracked[tid] = task
+            attached.append(task)
+
+        detached: list[int] = []
+        for tid in list(self.tracked):
+            if tid not in visible:
+                self.tracked[tid].group.close()
+                del self.tracked[tid]
+                detached.append(tid)
+        return attached, detached
+
+    def close(self) -> None:
+        """Detach everything (shutdown)."""
+        for task in self.tracked.values():
+            task.group.close()
+        self.tracked.clear()

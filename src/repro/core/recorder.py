@@ -1,0 +1,166 @@
+"""Time-series capture of sampled metrics.
+
+The paper's figures are all time series of per-interval metrics (IPC every
+5 s, misses per 100 instructions every 10 s...). :class:`Recorder`
+accumulates snapshots and exposes exactly the series the figures plot —
+by pid, by command, against time or against cumulative instructions
+(Fig. 8's x-axis).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sampler import Snapshot
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One (task, interval) measurement."""
+
+    time: float
+    pid: int
+    comm: str
+    user: str
+    cpu_pct: float
+    deltas: dict[str, float]
+    values: dict[str, float | str | int]
+
+
+@dataclass
+class Recorder:
+    """Accumulates samples across snapshots."""
+
+    samples: list[Sample] = field(default_factory=list)
+
+    def record(self, snapshot: Snapshot) -> None:
+        """Fold one snapshot's rows in."""
+        for row in snapshot.rows:
+            self.samples.append(
+                Sample(
+                    time=snapshot.time,
+                    pid=row.pid,
+                    comm=row.comm,
+                    user=row.user,
+                    cpu_pct=row.cpu_pct,
+                    deltas=dict(row.deltas),
+                    values=dict(row.values),
+                )
+            )
+
+    def pids(self) -> list[int]:
+        """All pids seen, sorted."""
+        return sorted({s.pid for s in self.samples})
+
+    def for_pid(self, pid: int) -> list[Sample]:
+        """Samples of one process in time order."""
+        return [s for s in self.samples if s.pid == pid]
+
+    def for_command(self, comm: str) -> list[Sample]:
+        """Samples of all processes with this command name."""
+        return [s for s in self.samples if s.comm == comm]
+
+    def series(
+        self, pid: int, header: str, *, drop_nan: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) of one derived column for one pid."""
+        times, values = [], []
+        for s in self.for_pid(pid):
+            v = s.values.get(header)
+            if not isinstance(v, (int, float)):
+                continue
+            if drop_nan and (isinstance(v, float) and math.isnan(v)):
+                continue
+            times.append(s.time)
+            values.append(float(v))
+        return np.asarray(times), np.asarray(values)
+
+    def series_vs_instructions(
+        self, pid: int, header: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(cumulative instructions, values) — Fig. 8's x-axis.
+
+        Requires the screen to have counted ``instructions``.
+        """
+        xs, values = [], []
+        total = 0.0
+        for s in self.for_pid(pid):
+            total += s.deltas.get("instructions", 0.0)
+            v = s.values.get(header)
+            if isinstance(v, (int, float)) and not (
+                isinstance(v, float) and math.isnan(v)
+            ):
+                xs.append(total)
+                values.append(float(v))
+        return np.asarray(xs), np.asarray(values)
+
+    def mean(self, pid: int, header: str) -> float:
+        """Time-average of a derived column for one pid (NaN if empty)."""
+        _, values = self.series(pid, header)
+        return float(np.mean(values)) if len(values) else math.nan
+
+    def total_delta(self, pid: int, event_name: str) -> float:
+        """Sum of an event's deltas over the whole recording."""
+        return sum(s.deltas.get(event_name, 0.0) for s in self.for_pid(pid))
+
+    # -- persistence --------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialise the recording as CSV (one line per task-interval).
+
+        Columns: time, pid, comm, user, cpu_pct, then every counter delta
+        (union across samples, sorted). Derived column values are not
+        exported — they recompute from the deltas.
+        """
+        events = sorted({k for s in self.samples for k in s.deltas})
+        header = ["time", "pid", "comm", "user", "cpu_pct", *events]
+        lines = [",".join(header)]
+        for s in self.samples:
+            cells = [
+                f"{s.time:.3f}",
+                str(s.pid),
+                s.comm,
+                s.user,
+                f"{s.cpu_pct:.2f}",
+                *(f"{s.deltas.get(e, 0.0):.6g}" for e in events),
+            ]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_csv(cls, text: str) -> "Recorder":
+        """Rebuild a recording from :meth:`to_csv` output.
+
+        Raises:
+            ValueError: malformed header or rows.
+        """
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return cls()
+        header = lines[0].split(",")
+        fixed = ["time", "pid", "comm", "user", "cpu_pct"]
+        if header[: len(fixed)] != fixed:
+            raise ValueError(f"unexpected CSV header {header[:5]}")
+        events = header[len(fixed):]
+        recorder = cls()
+        for line in lines[1:]:
+            cells = line.split(",")
+            if len(cells) != len(header):
+                raise ValueError(f"row arity mismatch: {line!r}")
+            deltas = {
+                e: float(v) for e, v in zip(events, cells[len(fixed):])
+            }
+            recorder.samples.append(
+                Sample(
+                    time=float(cells[0]),
+                    pid=int(cells[1]),
+                    comm=cells[2],
+                    user=cells[3],
+                    cpu_pct=float(cells[4]),
+                    deltas=deltas,
+                    values={},
+                )
+            )
+        return recorder

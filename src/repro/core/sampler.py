@@ -1,0 +1,196 @@
+"""The sampling loop: counter deltas -> rows of derived metrics.
+
+Tiptop is "basically an infinite loop that displays how many times the
+requested events have happened for each task, and then goes idle until some
+timeout expires" (§2.3). :class:`Sampler` owns one turn of that loop: read
+every tracked task's counters and /proc entry, compute per-interval deltas
+and the screen's derived columns, and emit a :class:`Snapshot` of
+:class:`Row` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.columns import Column, ColumnKind
+from repro.core.expr import canonical_name
+from repro.core.options import Options
+from repro.core.proclist import ProcessList, TrackedTask
+from repro.core.screen import Screen
+from repro.errors import CounterStateError, ProcfsError
+from repro.perf.counter import Backend
+from repro.procfs.model import TaskProvider, cpu_percent
+
+
+@dataclass(frozen=True)
+class Row:
+    """One task's values for one interval.
+
+    Attributes:
+        pid: process id.
+        tid: monitored task id (== pid unless per-thread mode).
+        user: owner name.
+        comm: command.
+        cpu_pct: %CPU over the interval.
+        cpu_time: cumulative CPU seconds.
+        deltas: scaled counter deltas keyed by event name.
+        values: rendered column values keyed by column header.
+    """
+
+    pid: int
+    tid: int
+    user: str
+    comm: str
+    cpu_pct: float
+    cpu_time: float
+    deltas: dict[str, float]
+    values: dict[str, float | str | int]
+
+    def metric(self, header: str) -> float:
+        """Numeric value of a derived column (NaN when absent)."""
+        v = self.values.get(header)
+        return v if isinstance(v, (int, float)) else math.nan
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One refresh: all rows plus interval metadata."""
+
+    time: float
+    interval: float
+    rows: tuple[Row, ...]
+
+    def row_for(self, pid: int) -> Row | None:
+        """First row of ``pid`` (None if not sampled this interval)."""
+        for row in self.rows:
+            if row.pid == pid:
+                return row
+        return None
+
+
+class Sampler:
+    """Drives process tracking and delta computation.
+
+    Args:
+        backend: perf backend.
+        tasks: /proc provider.
+        screen: column layout (decides which counters are attached).
+        options: filters, per-thread mode, sort order.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        tasks: TaskProvider,
+        screen: Screen,
+        options: Options | None = None,
+    ) -> None:
+        self.options = options or Options()
+        self.screen = screen
+        self.tasks = tasks
+        self.events = screen.required_events()
+        self.proclist = ProcessList(backend, tasks, self.events, self.options)
+        self._last_time: float | None = None
+
+    def sample(self) -> Snapshot:
+        """Take one snapshot (read deltas, compute columns, attach/detach).
+
+        Counters of already-tracked tasks are read *before* the process
+        list is refreshed, so a task that exited during the interval still
+        contributes its final deltas (the counter fd outlives the task, as
+        on Linux); it is then detached. Newly discovered tasks get their
+        counters attached at the end and contribute from the next interval
+        on — monitoring sees only events after it starts (§2.2).
+        """
+        now = self.tasks.uptime()
+        first = self._last_time is None
+        interval = 0.0 if first else now - self._last_time
+        self._last_time = now
+        if first:
+            self.proclist.refresh()
+
+        rows: list[Row] = []
+        for task in list(self.proclist.tracked.values()):
+            row = self._sample_task(task, interval)
+            if row is not None:
+                rows.append(row)
+        rows.sort(key=self._sort_key, reverse=True)
+        if not first:
+            self.proclist.refresh()
+        return Snapshot(time=now, interval=interval, rows=tuple(rows))
+
+    def _sort_key(self, row: Row):
+        key = self.options.sort_by
+        if key == "%CPU":
+            return row.cpu_pct
+        value = row.values.get(key, 0.0)
+        return value if isinstance(value, (int, float)) else 0.0
+
+    def _sample_task(self, task: TrackedTask, interval: float) -> Row | None:
+        final = False
+        try:
+            info = self.tasks.process(task.pid)
+        except ProcfsError:
+            # The task exited during the interval; report its final deltas
+            # against the last known identity (state X).
+            if task.last_info is None:
+                return None
+            info = task.last_info
+            final = True
+        try:
+            deltas = task.group.read_deltas()
+        except CounterStateError:
+            return None
+        if final:
+            pct = 0.0
+        else:
+            pct = cpu_percent(
+                task.last_info, info, interval, uptime=self.tasks.uptime()
+            )
+        task.last_info = info
+
+        env = {canonical_name(k): v for k, v in deltas.items()}
+        env["delta_t"] = interval if interval > 0 else math.nan
+        env["cpu_pct"] = pct
+
+        values: dict[str, float | str | int] = {}
+        for column in self.screen.columns:
+            values[column.header] = self._column_value(column, env, info, pct, task)
+        return Row(
+            pid=info.pid,
+            tid=task.tid,
+            user=info.user,
+            comm=info.comm,
+            cpu_pct=pct,
+            cpu_time=info.cpu_seconds,
+            deltas=deltas,
+            values=values,
+        )
+
+    @staticmethod
+    def _column_value(
+        column: Column,
+        env: dict[str, float],
+        info,
+        pct: float,
+        task: TrackedTask,
+    ) -> float | str | int:
+        if column.kind is ColumnKind.PID:
+            return info.pid
+        if column.kind is ColumnKind.USER:
+            return info.user
+        if column.kind is ColumnKind.CPU_PCT:
+            return pct
+        if column.kind is ColumnKind.TIME:
+            return info.cpu_seconds
+        if column.kind is ColumnKind.COMMAND:
+            return info.comm
+        if column.kind is ColumnKind.PROCESSOR:
+            return info.processor
+        assert column.expression is not None
+        return column.expression.evaluate(env)
+
+    def close(self) -> None:
+        """Detach all counters."""
+        self.proclist.close()

@@ -1,0 +1,246 @@
+"""Screen definitions: named sets of columns plus the counters they need.
+
+The default screen reproduces Figure 1 exactly:
+``PID USER %CPU Mcycle Minst IPC DMIS COMMAND``. Further built-in screens
+cover the paper's other use cases — the FP-assist column added in §3.1, the
+L2/L3 cache view of §3.4 (Fig. 11), a branch view, and an instruction-mix
+view for the §2.6 characterisation rates. Custom screens come from plain
+dicts (the equivalent of tiptop's XML configuration file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.columns import (
+    COMMAND_COLUMN,
+    CPU_COLUMN,
+    Column,
+    PID_COLUMN,
+    USER_COLUMN,
+    expr_column,
+)
+from repro.core.expr import canonical_name
+from repro.errors import ConfigError
+from repro.perf.events import EventSpec, event_names, resolve_event
+
+
+@dataclass(frozen=True)
+class Screen:
+    """A named column layout.
+
+    Attributes:
+        name: screen name for selection (-S option equivalent).
+        description: one-liner shown in help.
+        columns: the column tuple, in display order.
+    """
+
+    name: str
+    description: str
+    columns: tuple[Column, ...]
+
+    def required_events(self) -> list[EventSpec]:
+        """Counter events this screen's expressions reference, resolved.
+
+        Raises:
+            ConfigError: for an identifier that is neither a built-in
+                variable nor a known event.
+        """
+        known = {canonical_name(n): n for n in event_names()}
+        builtins = {"delta_t", "cpu_pct"}
+        needed: dict[str, EventSpec] = {}
+        for column in self.columns:
+            for var in sorted(column.variables()):
+                if var in builtins:
+                    continue
+                if var not in known:
+                    raise ConfigError(
+                        f"screen {self.name!r}: column {column.header!r} uses "
+                        f"unknown identifier {var!r}"
+                    )
+                spec = resolve_event(known[var])
+                needed[spec.name] = spec
+        return list(needed.values())
+
+
+def _screen(name: str, description: str, *columns: Column) -> Screen:
+    return Screen(name=name, description=description, columns=tuple(columns))
+
+
+#: Fig. 1's layout: the out-of-the-box tiptop view.
+DEFAULT_SCREEN = _screen(
+    "default",
+    "cycles, instructions, IPC and LLC misses (Figure 1)",
+    PID_COLUMN,
+    USER_COLUMN,
+    CPU_COLUMN,
+    expr_column("Mcycle", "cycles / 1000000", width=9, decimals=0),
+    expr_column("Minst", "instructions / 1000000", width=9, decimals=0),
+    expr_column("IPC", "instructions / cycles", width=5),
+    expr_column("DMIS", "100 * cache_misses / instructions", width=5, decimals=1),
+    COMMAND_COLUMN,
+)
+
+#: §3.1: "We added a new column to tiptop in order to trace simultaneously
+#: IPC and FP assist events."
+FPASSIST_SCREEN = _screen(
+    "fpassist",
+    "IPC plus micro-code FP assists per 100 instructions (§3.1)",
+    PID_COLUMN,
+    USER_COLUMN,
+    CPU_COLUMN,
+    expr_column("IPC", "instructions / cycles", width=5),
+    expr_column("ASSIST", "100 * fp_assist / instructions", width=7, decimals=1),
+    expr_column("UPI", "uops_executed / instructions", width=6),
+    COMMAND_COLUMN,
+)
+
+#: §3.4 / Fig. 11: per-level cache misses per 100 instructions.
+CACHE_SCREEN = _screen(
+    "cache",
+    "per-level cache misses per 100 instructions (Fig. 11)",
+    PID_COLUMN,
+    USER_COLUMN,
+    CPU_COLUMN,
+    expr_column("IPC", "instructions / cycles", width=5),
+    expr_column("L1MIS", "100 * l1d_misses / instructions", width=6, decimals=1),
+    expr_column("L2MIS", "100 * l2_misses / instructions", width=6, decimals=1),
+    expr_column("L3MIS", "100 * l3_misses / instructions", width=6, decimals=1),
+    COMMAND_COLUMN,
+)
+
+BRANCH_SCREEN = _screen(
+    "branch",
+    "branch density and misprediction ratio",
+    PID_COLUMN,
+    USER_COLUMN,
+    CPU_COLUMN,
+    expr_column("IPC", "instructions / cycles", width=5),
+    expr_column("BPI", "branch_instructions / instructions", width=5),
+    expr_column(
+        "%MISP", "100 * branch_misses / branch_instructions", width=6, decimals=1
+    ),
+    COMMAND_COLUMN,
+)
+
+#: §2.6's application-characterisation rates (FPI/LPI/BPI, FPC/LPC).
+MIX_SCREEN = _screen(
+    "mix",
+    "instruction-mix rates of §2.6 (FPI, LPI, BPI, FPC, LPC)",
+    PID_COLUMN,
+    USER_COLUMN,
+    CPU_COLUMN,
+    expr_column("IPC", "instructions / cycles", width=5),
+    expr_column("FPI", "fp_operations / instructions", width=5),
+    expr_column("LPI", "loads / instructions", width=5),
+    expr_column("BPI", "branch_instructions / instructions", width=5),
+    expr_column("FPC", "fp_operations / cycles", width=5),
+    expr_column("LPC", "loads / cycles", width=5),
+    # Memory traffic alongside the rates: together with FPC this is the
+    # roofline placement input (§2.6's processor-selection use).
+    expr_column("DMIS", "100 * cache_misses / instructions", width=5, decimals=1),
+    COMMAND_COLUMN,
+)
+
+#: §3.4's outlook implemented: average memory latency per task, the signal
+#: for DRAM-level contention that LLC miss counts alone cannot show.
+LATENCY_SCREEN = _screen(
+    "latency",
+    "average memory-access latency (detects DRAM contention, §3.4)",
+    PID_COLUMN,
+    USER_COLUMN,
+    CPU_COLUMN,
+    expr_column("IPC", "instructions / cycles", width=5),
+    expr_column("DMIS", "100 * cache_misses / instructions", width=5, decimals=1),
+    expr_column(
+        "MEMLAT", "mem_latency_cycles / cache_misses", width=7, decimals=0
+    ),
+    COMMAND_COLUMN,
+)
+
+_BUILTINS: dict[str, Screen] = {
+    s.name: s
+    for s in (
+        DEFAULT_SCREEN,
+        FPASSIST_SCREEN,
+        CACHE_SCREEN,
+        BRANCH_SCREEN,
+        MIX_SCREEN,
+        LATENCY_SCREEN,
+    )
+}
+
+
+def builtin_screens() -> list[Screen]:
+    """All built-in screens."""
+    return list(_BUILTINS.values())
+
+
+def get_screen(name: str) -> Screen:
+    """Look up a built-in screen.
+
+    Raises:
+        ConfigError: unknown screen name.
+    """
+    try:
+        return _BUILTINS[name]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown screen {name!r}; built-ins: {sorted(_BUILTINS)}"
+        ) from exc
+
+
+def screen_from_config(config: dict) -> Screen:
+    """Build a custom screen from a plain dict.
+
+    The equivalent of tiptop's XML screen configuration::
+
+        screen_from_config({
+            "name": "mine",
+            "description": "my view",
+            "columns": [
+                {"header": "IPC", "expr": "instructions / cycles"},
+                {"header": "DMIS", "expr": "100*cache_misses/instructions",
+                 "width": 6, "decimals": 1},
+            ],
+        })
+
+    Intrinsic PID/USER/%CPU/COMMAND columns are added around the derived
+    ones automatically unless ``"bare": True``.
+
+    Raises:
+        ConfigError: missing keys or malformed column entries.
+    """
+    try:
+        name = config["name"]
+        column_dicts = config["columns"]
+    except KeyError as exc:
+        raise ConfigError(f"screen config missing key {exc}") from exc
+    if not isinstance(column_dicts, (list, tuple)) or not column_dicts:
+        raise ConfigError("screen config needs a non-empty 'columns' list")
+    derived: list[Column] = []
+    for entry in column_dicts:
+        try:
+            header = entry["header"]
+            text = entry["expr"]
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(f"bad column entry {entry!r}: {exc}") from exc
+        derived.append(
+            expr_column(
+                header,
+                text,
+                width=int(entry.get("width", 8)),
+                decimals=int(entry.get("decimals", 2)),
+            )
+        )
+    if config.get("bare"):
+        columns = tuple(derived)
+    else:
+        columns = (PID_COLUMN, USER_COLUMN, CPU_COLUMN, *derived, COMMAND_COLUMN)
+    screen = Screen(
+        name=name,
+        description=config.get("description", "custom screen"),
+        columns=columns,
+    )
+    screen.required_events()  # validate identifiers eagerly
+    return screen

@@ -1,0 +1,140 @@
+"""Metric triggers: act the moment a phase begins.
+
+§3.2: "More advanced users can also start running their applications at
+full speed, and attach a debugger or analyzer (such as a Pintool) when a
+particular phase has started." A :class:`Trigger` watches one metric of
+one task across snapshots and fires a callback once its condition has held
+for ``hold`` consecutive samples — the building block for
+attach-on-phase-entry automation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.sampler import Row, Snapshot
+from repro.errors import ConfigError
+
+
+class Comparison(enum.Enum):
+    """Trigger comparisons."""
+
+    BELOW = "<"
+    ABOVE = ">"
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """What a fired trigger reports to its callback."""
+
+    time: float
+    pid: int
+    metric: str
+    value: float
+
+
+@dataclass
+class Trigger:
+    """One armed condition.
+
+    Attributes:
+        metric: column header to watch ("IPC", "ASSIST", ...).
+        comparison: BELOW or ABOVE.
+        threshold: the boundary value.
+        callback: invoked once with a :class:`TriggerEvent` when firing.
+        pid: restrict to one task (None = any task may fire it).
+        hold: consecutive matching samples required (debounce; the paper's
+            phases last many samples, a single noisy dip should not attach
+            a debugger).
+        once: disarm after the first firing (default) or re-arm after the
+            condition clears.
+    """
+
+    metric: str
+    comparison: Comparison
+    threshold: float
+    callback: Callable[[TriggerEvent], object]
+    pid: int | None = None
+    hold: int = 3
+    once: bool = True
+    _streaks: dict[int, int] = field(default_factory=dict)
+    _armed: bool = True
+    fired: list[TriggerEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.hold < 1:
+            raise ConfigError(f"hold must be >= 1, got {self.hold}")
+
+    def _matches(self, value: float) -> bool:
+        if math.isnan(value):
+            return False
+        if self.comparison is Comparison.BELOW:
+            return value < self.threshold
+        return value > self.threshold
+
+    def observe(self, snapshot: Snapshot) -> list[TriggerEvent]:
+        """Feed one snapshot; returns the events fired by it."""
+        fired_now: list[TriggerEvent] = []
+        if not self._armed:
+            return fired_now
+        rows = (
+            [r for r in snapshot.rows if r.pid == self.pid]
+            if self.pid is not None
+            else list(snapshot.rows)
+        )
+        for row in rows:
+            value = row.metric(self.metric)
+            if self._matches(value):
+                streak = self._streaks.get(row.pid, 0) + 1
+                self._streaks[row.pid] = streak
+                if streak == self.hold:
+                    event = TriggerEvent(
+                        time=snapshot.time,
+                        pid=row.pid,
+                        metric=self.metric,
+                        value=value,
+                    )
+                    self.fired.append(event)
+                    fired_now.append(event)
+                    self.callback(event)
+                    if self.once:
+                        self._armed = False
+                        break
+            else:
+                self._streaks[row.pid] = 0
+        return fired_now
+
+
+class TriggerSet:
+    """A bundle of triggers observed together.
+
+    Plug into any snapshot loop::
+
+        triggers = TriggerSet([
+            Trigger("IPC", Comparison.BELOW, 0.2, on_collapse),
+        ])
+        for snapshot in app.snapshots():
+            triggers.observe(snapshot)
+    """
+
+    def __init__(self, triggers: list[Trigger] | None = None) -> None:
+        self.triggers = list(triggers or ())
+
+    def add(self, trigger: Trigger) -> None:
+        """Arm one more trigger."""
+        self.triggers.append(trigger)
+
+    def observe(self, snapshot: Snapshot) -> list[TriggerEvent]:
+        """Feed one snapshot to every trigger."""
+        fired: list[TriggerEvent] = []
+        for trigger in self.triggers:
+            fired.extend(trigger.observe(snapshot))
+        return fired
+
+    @property
+    def any_fired(self) -> bool:
+        """True once any trigger has fired."""
+        return any(t.fired for t in self.triggers)

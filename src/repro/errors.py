@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro package."""
+
+
+class PerfError(ReproError):
+    """Base class for perf_event subsystem errors."""
+
+
+class PerfNotSupportedError(PerfError):
+    """The running kernel does not expose a usable perf_event PMU.
+
+    Raised by the real syscall backend when ``perf_event_open`` fails with
+    ``ENOENT``/``ENOSYS``/``EACCES`` in a way that indicates the facility is
+    unavailable rather than the request being malformed.
+    """
+
+
+class PerfPermissionError(PerfError):
+    """The caller may not monitor the requested task.
+
+    Mirrors the paper's footnote 1: a non-privileged user can only watch
+    processes they own (EPERM/EACCES from the kernel).
+    """
+
+
+class NoSuchTaskError(PerfError):
+    """The monitored task does not exist (ESRCH)."""
+
+
+class CounterStateError(PerfError):
+    """A counter operation was issued in an invalid state.
+
+    For example reading a closed counter, or enabling a counter whose task
+    has already exited.
+    """
+
+
+class EventError(PerfError):
+    """An event name or raw descriptor could not be resolved."""
+
+
+class ExprError(ReproError):
+    """A derived-column expression failed to parse or evaluate."""
+
+
+class ConfigError(ReproError):
+    """Invalid screen/column/option configuration."""
+
+
+class ProcfsError(ReproError):
+    """A /proc read or parse failed."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulated-machine configuration or operation."""
+
+
+class WorkloadError(SimulationError):
+    """Invalid workload or phase description."""

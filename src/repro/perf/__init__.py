@@ -1,0 +1,34 @@
+"""perf_event substrate: the Linux counter API, real and simulated.
+
+Tiptop is built on the ``perf_event_open(2)`` system call (§2.1/§2.3). This
+package provides:
+
+* :mod:`repro.perf.abi` — the ``perf_event_attr`` structure and constants,
+  faithful to ``linux/perf_event.h``.
+* :mod:`repro.perf.syscall` — the real backend (ctypes syscall + read +
+  ioctls), used when the kernel exposes a PMU.
+* :mod:`repro.perf.simbackend` — the same API over a
+  :class:`~repro.sim.machine.SimMachine` (this container has no PMU:
+  ``perf_event_open`` returns ENOENT, so all experiments run here).
+* :mod:`repro.perf.events` — portable event names and per-architecture
+  resolution (generic events vs vendor-manual raw events, §2.2).
+* :mod:`repro.perf.counter` — high-level ``Counter``/``CounterGroup``
+  objects with delta reads and multiplex scaling.
+"""
+
+from repro.perf.counter import Backend, Counter, CounterGroup, Reading
+from repro.perf.events import EventSpec, resolve_event
+from repro.perf.simbackend import SimBackend
+from repro.perf.syscall import RealBackend, kernel_supports_perf_events
+
+__all__ = [
+    "Backend",
+    "Counter",
+    "CounterGroup",
+    "EventSpec",
+    "Reading",
+    "RealBackend",
+    "SimBackend",
+    "kernel_supports_perf_events",
+    "resolve_event",
+]

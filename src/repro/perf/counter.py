@@ -1,0 +1,218 @@
+"""High-level counter objects over a perf backend.
+
+:class:`Counter` owns one open counter on one task and knows how to read
+*scaled deltas*: tiptop samples at coarse intervals and displays the number
+of events since the last refresh (§2.3), scaling by
+``time_enabled / time_running`` when the kernel multiplexed the counter off
+the PMU part of the time. :class:`CounterGroup` bundles the counters of one
+task (one per event of interest) behind a single ``read_deltas`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import CounterStateError
+from repro.perf.events import EventSpec
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One raw counter read: value plus the kernel's two clocks."""
+
+    value: int
+    time_enabled: float
+    time_running: float
+
+
+class Backend(Protocol):
+    """The kernel-facing surface both backends implement.
+
+    Handles are opaque integers (file descriptors for the real kernel).
+    """
+
+    def open(
+        self,
+        event: EventSpec,
+        tid: int,
+        *,
+        inherit: bool = False,
+        sample_period: int | None = None,
+    ) -> int:
+        """Open a counter on task ``tid``; returns a handle.
+
+        ``sample_period`` selects sampling mode (statistical, §2.5) instead
+        of the default exact counting.
+
+        Raises:
+            NoSuchTaskError: dead/unknown task.
+            PerfPermissionError: caller may not monitor that task.
+            PerfNotSupportedError: no usable PMU.
+        """
+        ...
+
+    def read(self, handle: int) -> Reading:
+        """Read a counter (value, time_enabled, time_running)."""
+        ...
+
+    def enable(self, handle: int) -> None:
+        """Arm the counter (ioctl ENABLE)."""
+        ...
+
+    def disable(self, handle: int) -> None:
+        """Disarm the counter (ioctl DISABLE)."""
+        ...
+
+    def reset(self, handle: int) -> None:
+        """Zero the counter value (ioctl RESET)."""
+        ...
+
+    def close(self, handle: int) -> None:
+        """Release the handle."""
+        ...
+
+
+class Counter:
+    """One event on one task, with delta reads.
+
+    Args:
+        backend: the kernel backend.
+        event: resolved event spec.
+        tid: target task id.
+        inherit: count the task's (future) children/threads too.
+        sample_period: open in sampling mode with this period (default:
+            exact counting, which is what tiptop uses — §2.5).
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        event: EventSpec,
+        tid: int,
+        *,
+        inherit: bool = False,
+        sample_period: int | None = None,
+    ) -> None:
+        self.backend = backend
+        self.event = event
+        self.tid = tid
+        self.sample_period = sample_period
+        self._handle: int | None = backend.open(
+            event, tid, inherit=inherit, sample_period=sample_period
+        )
+        self._last = Reading(0, 0.0, 0.0)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._handle is None
+
+    def _require_handle(self) -> int:
+        if self._handle is None:
+            raise CounterStateError(f"counter for {self.event.name} is closed")
+        return self._handle
+
+    def read(self) -> Reading:
+        """Raw cumulative reading (does not move the delta baseline)."""
+        return self.backend.read(self._require_handle())
+
+    def delta(self) -> float:
+        """Scaled event count since the previous ``delta()`` call.
+
+        When the counter was multiplexed (ran for only part of the enabled
+        time), the delta is extrapolated by ``d_enabled / d_running`` — the
+        standard perf scaling. Returns 0.0 for an interval in which the
+        counter never ran.
+        """
+        now = self.read()
+        d_value = now.value - self._last.value
+        d_enabled = now.time_enabled - self._last.time_enabled
+        d_running = now.time_running - self._last.time_running
+        self._last = now
+        if d_running <= 0:
+            return 0.0
+        return d_value * (d_enabled / d_running)
+
+    def enable(self) -> None:
+        """Arm the counter."""
+        self.backend.enable(self._require_handle())
+
+    def disable(self) -> None:
+        """Disarm the counter."""
+        self.backend.disable(self._require_handle())
+
+    def reset(self) -> None:
+        """Zero the kernel value and the delta baseline."""
+        self.backend.reset(self._require_handle())
+        self._last = Reading(0, self._last.time_enabled, self._last.time_running)
+
+    def close(self) -> None:
+        """Release the kernel handle (idempotent)."""
+        if self._handle is not None:
+            self.backend.close(self._handle)
+            self._handle = None
+
+    def __enter__(self) -> "Counter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class CounterGroup:
+    """All monitored events of one task.
+
+    Args:
+        backend: the kernel backend.
+        events: resolved event specs (order preserved).
+        tid: target task id.
+        inherit: per-process counting (fold in all the task's threads).
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        events: list[EventSpec],
+        tid: int,
+        *,
+        inherit: bool = False,
+    ) -> None:
+        self.tid = tid
+        self.counters: list[Counter] = []
+        try:
+            for event in events:
+                self.counters.append(
+                    Counter(backend, event, tid, inherit=inherit)
+                )
+        except Exception:
+            self.close()
+            raise
+
+    def read_deltas(self) -> dict[str, float]:
+        """Scaled deltas for every event, keyed by event name."""
+        return {c.event.name: c.delta() for c in self.counters}
+
+    def enable(self) -> None:
+        """Arm every counter."""
+        for c in self.counters:
+            c.enable()
+
+    def disable(self) -> None:
+        """Disarm every counter."""
+        for c in self.counters:
+            c.disable()
+
+    def close(self) -> None:
+        """Release every handle (idempotent, exception-safe)."""
+        for c in self.counters:
+            try:
+                c.close()
+            except CounterStateError:  # pragma: no cover - defensive
+                pass
+
+    def __enter__(self) -> "CounterGroup":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,150 @@
+"""Portable event naming and per-architecture resolution.
+
+The Linux header provides a few *generic* events (cycles, instructions,
+cache references/misses, branches, branch misses) that make portable
+metrics possible; anything else is a *raw* event whose encoding "must be
+looked up in the vendor's architecture manuals" (§2.3). This module gives
+every countable event a stable name, its simulated-kernel identity, and —
+for events the real backend can program — its ``(type, config)`` encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EventError
+from repro.perf import abi
+from repro.sim.arch import ArchModel
+from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One resolvable event.
+
+    Attributes:
+        name: canonical name (``"cycles"``, ``"fp-assist"``...).
+        sim_event: identity in the simulated kernel.
+        type_id: perf_event_attr.type for the real backend.
+        config: perf_event_attr.config for the real backend.
+        generic: True for the portable perf generic events.
+    """
+
+    name: str
+    sim_event: Event
+    type_id: abi.PerfTypeId
+    config: int
+    generic: bool
+
+
+def _generic(name: str, sim: Event, hw: abi.HardwareEventId) -> EventSpec:
+    return EventSpec(name, sim, abi.PerfTypeId.HARDWARE, int(hw), True)
+
+
+def _cache(name: str, sim: Event, cache: abi.HwCacheId, result: abi.HwCacheResultId) -> EventSpec:
+    config = abi.hw_cache_config(cache, abi.HwCacheOpId.READ, result)
+    return EventSpec(name, sim, abi.PerfTypeId.HW_CACHE, config, False)
+
+
+def _raw(name: str, sim: Event, config: int) -> EventSpec:
+    return EventSpec(name, sim, abi.PerfTypeId.RAW, config, False)
+
+
+#: Raw encodings below are the Nehalem ones from the Intel SDM (vol. 3B,
+#: [24] in the paper): event_select | (umask << 8).
+_SPECS: dict[str, EventSpec] = {
+    s.name: s
+    for s in (
+        _generic("cycles", Event.CYCLES, abi.HardwareEventId.CPU_CYCLES),
+        _generic("instructions", Event.INSTRUCTIONS, abi.HardwareEventId.INSTRUCTIONS),
+        _generic(
+            "cache-references",
+            Event.CACHE_REFERENCES,
+            abi.HardwareEventId.CACHE_REFERENCES,
+        ),
+        _generic("cache-misses", Event.CACHE_MISSES, abi.HardwareEventId.CACHE_MISSES),
+        _generic(
+            "branch-instructions",
+            Event.BRANCH_INSTRUCTIONS,
+            abi.HardwareEventId.BRANCH_INSTRUCTIONS,
+        ),
+        _generic("branch-misses", Event.BRANCH_MISSES, abi.HardwareEventId.BRANCH_MISSES),
+        _generic("bus-cycles", Event.BUS_CYCLES, abi.HardwareEventId.BUS_CYCLES),
+        _cache("l1d-accesses", Event.L1D_ACCESSES, abi.HwCacheId.L1D, abi.HwCacheResultId.ACCESS),
+        _cache("l1d-misses", Event.L1D_MISSES, abi.HwCacheId.L1D, abi.HwCacheResultId.MISS),
+        # Nehalem raw encodings (event | umask<<8):
+        _raw("fp-assist", Event.FP_ASSIST, 0x1EF7),          # FP_ASSIST.ALL
+        _raw("uops-executed", Event.UOPS_EXECUTED, 0x3FB1),  # UOPS_EXECUTED
+        _raw("l2-accesses", Event.L2_ACCESSES, 0xFF24),      # L2_RQSTS.REFERENCES
+        _raw("l2-misses", Event.L2_MISSES, 0xAA24),          # L2_RQSTS.MISS
+        _raw("l3-accesses", Event.L3_ACCESSES, 0x4F2E),      # LONGEST_LAT_CACHE.REFERENCE
+        _raw("l3-misses", Event.L3_MISSES, 0x412E),          # LONGEST_LAT_CACHE.MISS
+        _raw("loads", Event.LOADS, 0x010B),                  # MEM_INST_RETIRED.LOADS
+        _raw("stores", Event.STORES, 0x020B),                # MEM_INST_RETIRED.STORES
+        _raw("fp-operations", Event.FP_OPERATIONS, 0x0110),  # FP_COMP_OPS_EXE.X87+SSE
+        _raw("x87-operations", Event.X87_OPERATIONS, 0x0210),
+        _raw("sse-operations", Event.SSE_OPERATIONS, 0x0410),
+        # MEM_INST_RETIRED.LATENCY_ABOVE_THRESHOLD-style weighted latency
+        # (the §3.4 "recent processors" counter).
+        _raw("mem-latency-cycles", Event.MEM_LATENCY_CYCLES, 0x100B),
+        EventSpec(
+            "context-switches",
+            Event.CONTEXT_SWITCHES,
+            abi.PerfTypeId.SOFTWARE,
+            int(abi.SoftwareEventId.CONTEXT_SWITCHES),
+            True,
+        ),
+    )
+}
+
+#: Aliases accepted by the CLI/config layer.
+_ALIASES = {
+    "cpu-cycles": "cycles",
+    "instr": "instructions",
+    "insn": "instructions",
+    "llc-references": "cache-references",
+    "llc-misses": "cache-misses",
+    "branches": "branch-instructions",
+    "branch-mispredicts": "branch-misses",
+}
+
+
+def event_names() -> list[str]:
+    """All canonical event names."""
+    return sorted(_SPECS)
+
+
+def resolve_event(name: str, arch: ArchModel | None = None) -> EventSpec:
+    """Resolve an event name (or alias) to its spec.
+
+    Args:
+        name: canonical name or alias, case-insensitive.
+        arch: when given, verify the architecture's PMU implements the
+            event (generic events always pass).
+
+    Raises:
+        EventError: unknown name, or unsupported on ``arch``.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    spec = _SPECS.get(key)
+    if spec is None:
+        raise EventError(f"unknown event {name!r}; known: {event_names()}")
+    if arch is not None and not arch.supports_event(spec.sim_event):
+        raise EventError(
+            f"event {spec.name!r} is not countable on {arch.name} "
+            "(not in its PMU's raw event list)"
+        )
+    return spec
+
+
+def spec_for_sim_event(event: Event) -> EventSpec:
+    """Reverse lookup: the spec whose sim identity is ``event``.
+
+    Raises:
+        EventError: if no named spec maps to this event.
+    """
+    for spec in _SPECS.values():
+        if spec.sim_event is event:
+            return spec
+    raise EventError(f"no named spec for sim event {event}")

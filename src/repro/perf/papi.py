@@ -1,0 +1,58 @@
+"""PAPI-style preset event names.
+
+§4: "PAPI also abstracts common events and provides a convenient
+cross-platform standard naming for many useful events, such as cycle
+count, floating point instructions, etc." Tools and scripts written
+against PAPI names should work against this backend unchanged, so the
+standard presets resolve to our events.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EventError
+from repro.perf.events import EventSpec, resolve_event
+from repro.sim.arch import ArchModel
+
+#: PAPI preset -> canonical event name.
+PAPI_PRESETS: dict[str, str] = {
+    "PAPI_TOT_CYC": "cycles",
+    "PAPI_TOT_INS": "instructions",
+    "PAPI_REF_CYC": "bus-cycles",
+    "PAPI_L1_DCA": "l1d-accesses",
+    "PAPI_L1_DCM": "l1d-misses",
+    "PAPI_L2_TCA": "l2-accesses",
+    "PAPI_L2_TCM": "l2-misses",
+    "PAPI_L3_TCA": "l3-accesses",
+    "PAPI_L3_TCM": "l3-misses",
+    "PAPI_BR_INS": "branch-instructions",
+    "PAPI_BR_MSP": "branch-misses",
+    "PAPI_LD_INS": "loads",
+    "PAPI_SR_INS": "stores",
+    "PAPI_FP_INS": "fp-operations",
+    "PAPI_FP_OPS": "fp-operations",
+    "PAPI_CSW": "context-switches",
+}
+
+
+def papi_names() -> list[str]:
+    """All supported PAPI preset names."""
+    return sorted(PAPI_PRESETS)
+
+
+def resolve_papi(name: str, arch: ArchModel | None = None) -> EventSpec:
+    """Resolve a PAPI preset to an event spec.
+
+    Args:
+        name: a ``PAPI_*`` preset (case-insensitive).
+        arch: optionally gate on the architecture's PMU.
+
+    Raises:
+        EventError: unknown preset, or unsupported on ``arch``.
+    """
+    key = name.strip().upper()
+    canonical = PAPI_PRESETS.get(key)
+    if canonical is None:
+        raise EventError(
+            f"unknown PAPI preset {name!r}; known: {papi_names()}"
+        )
+    return resolve_event(canonical, arch)

@@ -1,0 +1,164 @@
+"""Simulated kernel backend: perf_event semantics over a SimMachine.
+
+Implements the same :class:`~repro.perf.counter.Backend` protocol as the
+real syscall backend, against :class:`~repro.sim.machine.SimMachine`'s
+counter table. Kernel behaviours modelled:
+
+* **Permission** (paper footnote 1): a non-root monitoring uid may only
+  open counters on tasks it owns — EPERM otherwise.
+* **Liveness**: opening on a dead/unknown task raises ESRCH.
+* **PMU capability**: raw events absent from the architecture's PMU fail
+  at open, like programming an unknown event select.
+* **Inherit**: ``inherit=True`` on a process's leader counts all of its
+  current threads (per-process mode, §2.2 "events can be counted per
+  thread, or per process"); the returned handle fans reads out over the
+  per-thread kernel counters and sums them.
+* **Multiplexing**: handled by the machine's counter table; ``read``
+  returns ``time_enabled``/``time_running`` so user space can scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import (
+    CounterStateError,
+    EventError,
+    NoSuchTaskError,
+    PerfPermissionError,
+)
+from repro.perf.counter import Reading
+from repro.perf.events import EventSpec
+from repro.sim.counters import KernelCounter
+from repro.sim.machine import SimMachine
+
+#: uid 0 may watch anyone, as in Linux.
+ROOT_UID = 0
+
+
+@dataclass
+class _Handle:
+    handle_id: int
+    kernel_counters: list[KernelCounter]
+    closed: bool = False
+
+
+class SimBackend:
+    """perf backend over a simulated machine.
+
+    Args:
+        machine: the simulated node.
+        monitor_uid: uid of the monitoring process (tiptop itself). Tiptop
+            requires no privilege (§2.2); like the kernel, the backend
+            enforces that an unprivileged monitor only watches its own
+            processes unless ``monitor_uid`` is ROOT_UID.
+    """
+
+    def __init__(self, machine: SimMachine, monitor_uid: int = ROOT_UID) -> None:
+        self.machine = machine
+        self.monitor_uid = monitor_uid
+        self._handles: dict[int, _Handle] = {}
+        self._ids = itertools.count(100)
+
+    # -- helpers ---------------------------------------------------------
+    def _target_tids(self, tid: int, inherit: bool) -> list[int]:
+        # A tid may name a process leader or an individual thread.
+        for proc in self.machine.processes.values():
+            if proc.pid == tid:
+                self._check_permission(proc.uid)
+                if not proc.alive:
+                    raise NoSuchTaskError(f"task {tid} has exited")
+                if inherit:
+                    return [t.tid for t in proc.threads if t.alive]
+                return [proc.threads[0].tid]
+            for t in proc.threads:
+                if t.tid == tid:
+                    self._check_permission(proc.uid)
+                    if not t.alive:
+                        raise NoSuchTaskError(f"task {tid} has exited")
+                    return [tid]
+        raise NoSuchTaskError(f"no such task {tid}")
+
+    def _check_permission(self, owner_uid: int) -> None:
+        if self.monitor_uid != ROOT_UID and self.monitor_uid != owner_uid:
+            raise PerfPermissionError(
+                f"uid {self.monitor_uid} may not monitor tasks of uid {owner_uid}"
+            )
+
+    def _get(self, handle: int) -> _Handle:
+        h = self._handles.get(handle)
+        if h is None or h.closed:
+            raise CounterStateError(f"no such open handle {handle}")
+        return h
+
+    # -- Backend protocol -------------------------------------------------
+    def open(
+        self,
+        event: EventSpec,
+        tid: int,
+        *,
+        inherit: bool = False,
+        sample_period: int | None = None,
+    ) -> int:
+        """Open ``event`` on ``tid``; see the module docstring for semantics.
+
+        ``sample_period`` switches the counter into sampling mode (§2.5):
+        the value is reconstructed from PMU interrupts every ``period``
+        events rather than counted exactly.
+        """
+        if not self.machine.arch.supports_event(event.sim_event):
+            raise EventError(
+                f"PMU of {self.machine.arch.name} cannot count {event.name!r}"
+            )
+        tids = self._target_tids(tid, inherit)
+        kcs = [
+            self.machine.counters.open(
+                event.sim_event, t, self.monitor_uid, sample_period=sample_period
+            )
+            for t in tids
+        ]
+        handle = next(self._ids)
+        self._handles[handle] = _Handle(handle, kcs)
+        return handle
+
+    def read(self, handle: int) -> Reading:
+        """Sum the per-thread kernel counters behind this handle."""
+        h = self._get(handle)
+        value = 0
+        enabled = 0.0
+        running = 0.0
+        for kc in h.kernel_counters:
+            v, te, tr = kc.reading()
+            value += v
+            enabled = max(enabled, te)
+            running = max(running, tr)
+        return Reading(value, enabled, running)
+
+    def enable(self, handle: int) -> None:
+        """Arm all underlying kernel counters."""
+        for kc in self._get(handle).kernel_counters:
+            kc.enabled = True
+
+    def disable(self, handle: int) -> None:
+        """Disarm all underlying kernel counters."""
+        for kc in self._get(handle).kernel_counters:
+            kc.enabled = False
+
+    def reset(self, handle: int) -> None:
+        """Zero all underlying kernel counter values."""
+        for kc in self._get(handle).kernel_counters:
+            kc.value = 0.0
+
+    def close(self, handle: int) -> None:
+        """Release the handle and its kernel counters."""
+        h = self._get(handle)
+        for kc in h.kernel_counters:
+            if not kc.closed:
+                self.machine.counters.close(kc.counter_id)
+        h.closed = True
+        del self._handles[handle]
+
+    def open_handle_count(self) -> int:
+        """Number of live handles (for leak tests)."""
+        return len(self._handles)

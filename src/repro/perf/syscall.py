@@ -1,0 +1,183 @@
+"""Real perf_event backend: the actual Linux system call via ctypes.
+
+This is the backend the paper's tool uses on a physical machine. It is
+fully implemented — attr construction, the syscall, ``read(2)`` of the
+counter fd with TOTAL_TIME_ENABLED|RUNNING read format, and the
+enable/disable/reset ioctls — and degrades cleanly: on kernels/containers
+without a PMU (``perf_event_open`` -> ENOENT, or ``perf_event_paranoid``
+locked down), :func:`kernel_supports_perf_events` returns False and
+:class:`RealBackend` raises :class:`~repro.errors.PerfNotSupportedError`
+at open time, letting callers fall back to the simulated backend.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import errno
+import os
+import struct
+
+from repro.errors import (
+    NoSuchTaskError,
+    PerfError,
+    PerfNotSupportedError,
+    PerfPermissionError,
+)
+from repro.perf import abi
+from repro.perf.counter import Reading
+from repro.perf.events import EventSpec
+
+_libc: ctypes.CDLL | None = None
+
+
+def _get_libc() -> ctypes.CDLL:
+    global _libc
+    if _libc is None:
+        _libc = ctypes.CDLL(None, use_errno=True)
+    return _libc
+
+
+def perf_event_open(
+    attr: abi.PerfEventAttr,
+    pid: int,
+    cpu: int = -1,
+    group_fd: int = -1,
+    flags: int = 0,
+) -> int:
+    """Invoke the raw system call (Fig. 2's prototype).
+
+    Tiptop sets ``cpu = -1`` to count per task rather than per CPU (§2.3);
+    ``group_fd`` and ``flags`` are unused.
+
+    Returns:
+        The counter file descriptor.
+
+    Raises:
+        PerfNotSupportedError / PerfPermissionError / NoSuchTaskError /
+        PerfError: mapped from the syscall's errno.
+    """
+    libc = _get_libc()
+    fd = libc.syscall(
+        abi.SYSCALL_NR_X86_64,
+        ctypes.byref(attr),
+        pid,
+        cpu,
+        group_fd,
+        flags,
+    )
+    if fd >= 0:
+        return fd
+    err = ctypes.get_errno()
+    if err in (errno.ENOENT, errno.ENOSYS, errno.EOPNOTSUPP):
+        raise PerfNotSupportedError(
+            f"perf_event_open failed: {os.strerror(err)} "
+            "(no usable PMU on this kernel)"
+        )
+    if err in (errno.EPERM, errno.EACCES):
+        raise PerfPermissionError(
+            f"perf_event_open denied: {os.strerror(err)} "
+            "(non-privileged users can only watch their own tasks)"
+        )
+    if err == errno.ESRCH:
+        raise NoSuchTaskError(f"no such task {pid}")
+    raise PerfError(f"perf_event_open failed: {os.strerror(err)}")
+
+
+def paranoid_level() -> int | None:
+    """Current ``kernel.perf_event_paranoid``, or None when unreadable."""
+    try:
+        with open("/proc/sys/kernel/perf_event_paranoid") as fh:
+            return int(fh.read().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def kernel_supports_perf_events() -> bool:
+    """Probe whether a trivial self-monitoring counter can be opened."""
+    attr = abi.counting_attr(
+        abi.PerfTypeId.HARDWARE, int(abi.HardwareEventId.INSTRUCTIONS)
+    )
+    try:
+        fd = perf_event_open(attr, pid=0)
+    except PerfError:
+        return False
+    os.close(fd)
+    return True
+
+
+#: read(2) layout with TOTAL_TIME_ENABLED|TOTAL_TIME_RUNNING: three u64s.
+_READ_STRUCT = struct.Struct("=QQQ")
+
+
+class RealBackend:
+    """perf backend talking to the running Linux kernel.
+
+    Implements :class:`repro.perf.counter.Backend`; handles are real file
+    descriptors. Time values from the kernel are nanoseconds and converted
+    to seconds in :class:`Reading`.
+    """
+
+    def __init__(self) -> None:
+        self._open_fds: set[int] = set()
+
+    def open(
+        self,
+        event: EventSpec,
+        tid: int,
+        *,
+        inherit: bool = False,
+        sample_period: int | None = None,
+    ) -> int:
+        """Open ``event`` on ``tid`` (see protocol docs for raises)."""
+        if sample_period is None:
+            attr = abi.counting_attr(event.type_id, event.config, inherit=inherit)
+        else:
+            attr = abi.sampling_attr(
+                event.type_id, event.config, sample_period, inherit=inherit
+            )
+        fd = perf_event_open(attr, pid=tid)
+        self._open_fds.add(fd)
+        return fd
+
+    def read(self, handle: int) -> Reading:
+        """Read value/time_enabled/time_running from the counter fd."""
+        try:
+            data = os.read(handle, _READ_STRUCT.size)
+        except OSError as exc:
+            raise PerfError(f"read on counter fd {handle} failed: {exc}") from exc
+        if len(data) < _READ_STRUCT.size:
+            raise PerfError(
+                f"short read ({len(data)} bytes) on counter fd {handle}"
+            )
+        value, enabled_ns, running_ns = _READ_STRUCT.unpack(data)
+        return Reading(value, enabled_ns / 1e9, running_ns / 1e9)
+
+    def _ioctl(self, handle: int, request: int) -> None:
+        libc = _get_libc()
+        if libc.ioctl(handle, request, 0) < 0:
+            err = ctypes.get_errno()
+            raise PerfError(
+                f"ioctl {request:#x} on fd {handle} failed: {os.strerror(err)}"
+            )
+
+    def enable(self, handle: int) -> None:
+        """ioctl PERF_EVENT_IOC_ENABLE."""
+        self._ioctl(handle, abi.IOCTL_ENABLE)
+
+    def disable(self, handle: int) -> None:
+        """ioctl PERF_EVENT_IOC_DISABLE."""
+        self._ioctl(handle, abi.IOCTL_DISABLE)
+
+    def reset(self, handle: int) -> None:
+        """ioctl PERF_EVENT_IOC_RESET."""
+        self._ioctl(handle, abi.IOCTL_RESET)
+
+    def close(self, handle: int) -> None:
+        """Close the counter fd."""
+        self._open_fds.discard(handle)
+        os.close(handle)
+
+    def close_all(self) -> None:
+        """Release every fd this backend still holds (cleanup helper)."""
+        for fd in list(self._open_fds):
+            self.close(fd)

@@ -1,0 +1,49 @@
+"""Simulated /proc: the TaskProvider view over a SimMachine."""
+
+from __future__ import annotations
+
+from repro.errors import ProcfsError
+from repro.procfs.model import ProcessInfo
+from repro.sim.machine import SimMachine
+from repro.sim.process import SimProcess
+
+
+class SimProcReader:
+    """Task provider backed by a simulated machine."""
+
+    def __init__(self, machine: SimMachine) -> None:
+        self.machine = machine
+
+    def uptime(self) -> float:
+        """Virtual seconds since machine boot."""
+        return self.machine.now
+
+    def _info(self, proc: SimProcess) -> ProcessInfo:
+        lead = proc.threads[0]
+        return ProcessInfo(
+            pid=proc.pid,
+            tids=tuple(t.tid for t in proc.threads),
+            uid=proc.uid,
+            user=proc.user,
+            comm=proc.command[:15],
+            state=proc.state.value,
+            cpu_seconds=proc.cpu_time,
+            start_time=proc.start_time,
+            processor=max(lead.last_pu, 0),
+        )
+
+    def process(self, pid: int) -> ProcessInfo:
+        """One live process.
+
+        Raises:
+            ProcfsError: unknown pid or already-exited process (its /proc
+                entry is gone).
+        """
+        proc = self.machine.processes.get(pid)
+        if proc is None or not proc.alive:
+            raise ProcfsError(f"no /proc entry for pid {pid}")
+        return self._info(proc)
+
+    def list_processes(self) -> list[ProcessInfo]:
+        """All live simulated processes."""
+        return [self._info(p) for p in self.machine.live_processes()]

@@ -1,0 +1,47 @@
+"""Simulated hardware + OS substrate.
+
+This package stands in for the physical machines of the paper (Intel Xeon
+W3550 "Nehalem", Core 2, PowerPC 970, bi-Xeon E5640 data-center nodes): a
+deterministic, discrete-time model of cores, SMT threads, a multi-level cache
+hierarchy with a shared last-level cache, a branch predictor, the micro-code
+floating-point assist unit, a DRAM bandwidth model, and a CFS-like OS
+scheduler with per-task hardware-counter save/restore.
+
+The perf_event simulated backend (:mod:`repro.perf.simbackend`) exposes this
+machine through the same API surface as the real Linux syscall, so the tiptop
+tool layer is oblivious to which kernel it is talking to.
+"""
+
+from repro.sim.arch import ArchModel, CORE2, NEHALEM, PPC970, WESTMERE_E5640
+from repro.sim.events import Event
+from repro.sim.grid import Grid, Job, NodeSpec, QueueSpec
+from repro.sim.isa import InstructionClass, InstructionMix, OperandProfile
+from repro.sim.machine import SimMachine
+from repro.sim.microkernels import Instr, MicroKernel, Op
+from repro.sim.process import SimProcess, SimThread, TaskState
+from repro.sim.workload import Phase, Workload
+
+__all__ = [
+    "ArchModel",
+    "CORE2",
+    "Event",
+    "Grid",
+    "Instr",
+    "InstructionClass",
+    "InstructionMix",
+    "Job",
+    "MicroKernel",
+    "NEHALEM",
+    "NodeSpec",
+    "Op",
+    "OperandProfile",
+    "PPC970",
+    "Phase",
+    "QueueSpec",
+    "SimMachine",
+    "SimProcess",
+    "SimThread",
+    "TaskState",
+    "WESTMERE_E5640",
+    "Workload",
+]

@@ -1,0 +1,261 @@
+"""Micro-architecture models for the machines used in the paper.
+
+The paper experiments on four machines: an Intel Xeon W3550 ("Nehalem",
+§2.5–3.3), an Intel Core 2 (§3.2), a PowerPC 970 (§3.1–3.2), and bi-Xeon
+E5640 data-center nodes ("Westmere", §3.4 / Figs. 1, 10). Each
+:class:`ArchModel` captures the parameters the coarse performance model
+needs: clock, issue width, cache geometry, penalties, the presence of the
+micro-code FP-assist mechanism, and the PMU width (the Xeon W3550 supports
+sixteen simultaneous events, §2.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.util.units import parse_size
+
+
+class CacheScope(enum.Enum):
+    """Which tasks share a cache level."""
+
+    PER_PU = "pu"          # private to a hardware thread (not used by defaults)
+    PER_CORE = "core"      # shared by the SMT threads of one core (L1, L2)
+    PER_SOCKET = "socket"  # shared by all cores of a socket (L3)
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: display name ("L1", "L2", "L3").
+        size: capacity in bytes.
+        line: line size in bytes.
+        associativity: number of ways (informational; the analytic model
+            works on capacities).
+        scope: sharing scope (see :class:`CacheScope`).
+        latency: load-to-use latency in cycles for a hit at this level.
+        locality_exponent: exponent of the power-law hit-ratio curve
+            ``hit = min(1, (capacity/ws)^theta)`` used by the analytic model.
+        hit_floor: fraction of references that hit this level regardless of
+            working-set size — short-term reuse of stack/locals/hot lines
+            that even cache-hostile programs exhibit. Only the remainder
+            follows the power-law capacity curve.
+    """
+
+    name: str
+    size: int
+    line: int = 64
+    associativity: int = 8
+    scope: CacheScope = CacheScope.PER_CORE
+    latency: int = 10
+    locality_exponent: float = 0.5
+    hit_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.line <= 0:
+            raise SimulationError(f"invalid cache geometry for {self.name}")
+
+
+@dataclass(frozen=True)
+class ArchModel:
+    """Parameters of one simulated micro-architecture.
+
+    Attributes:
+        name: short identifier ("nehalem", "core2", "ppc970", "westmere").
+        freq_hz: core clock frequency.
+        issue_width: sustained retire width (upper bound on IPC).
+        cpi_scale: multiplier applied to a phase's execution CPI; encodes the
+            front-end/back-end quality difference between architectures
+            (Nehalem is the 1.0 reference).
+        mispredict_penalty: cycles lost per branch mispredict.
+        mem_latency: DRAM access latency in cycles (uncontended).
+        cache_levels: L1 -> LLC geometry, ordered.
+        fp_assist_penalty: cycles of micro-code per assisted FP instruction,
+            or ``None`` when the architecture has no assist mechanism
+            (PPC970 handles non-finite values in hardware, §3.1/Fig. 3d).
+        smt_per_core: hardware threads per core.
+        smt_efficiency: total issue throughput of a core with both SMT
+            threads active, relative to one thread (e.g. 1.15 means two
+            threads together sustain 115 % of one thread's issue rate).
+        pmu_width: number of simultaneously-countable events.
+        raw_events: target-specific events this PMU implements.
+        uops_per_instruction: average micro-ops per retired instruction
+            (drives UOPS_EXECUTED).
+    """
+
+    name: str
+    freq_hz: float
+    issue_width: float
+    cpi_scale: float
+    mispredict_penalty: float
+    mem_latency: float
+    cache_levels: tuple[CacheLevelSpec, ...]
+    fp_assist_penalty: float | None
+    smt_per_core: int = 1
+    smt_efficiency: float = 1.15
+    pmu_width: int = 16
+    raw_events: frozenset[Event] = field(default_factory=frozenset)
+    uops_per_instruction: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0 or self.freq_hz <= 0:
+            raise SimulationError(f"invalid ArchModel {self.name}")
+        if not self.cache_levels:
+            raise SimulationError(f"ArchModel {self.name} needs >= 1 cache level")
+
+    @property
+    def has_fp_assist(self) -> bool:
+        """True when non-finite FP operands trigger micro-code assist."""
+        return self.fp_assist_penalty is not None
+
+    @property
+    def llc(self) -> CacheLevelSpec:
+        """The last-level cache."""
+        return self.cache_levels[-1]
+
+    def supports_event(self, event: Event) -> bool:
+        """Whether this PMU can count ``event``."""
+        return event.is_generic() or event in self.raw_events
+
+
+_INTEL_RAW = frozenset(
+    {
+        Event.FP_ASSIST,
+        Event.UOPS_EXECUTED,
+        Event.L1D_ACCESSES,
+        Event.L1D_MISSES,
+        Event.L2_ACCESSES,
+        Event.L2_MISSES,
+        Event.L3_ACCESSES,
+        Event.L3_MISSES,
+        Event.LOADS,
+        Event.STORES,
+        Event.FP_OPERATIONS,
+        Event.X87_OPERATIONS,
+        Event.SSE_OPERATIONS,
+        Event.MEM_LATENCY_CYCLES,
+    }
+)
+
+_PPC_RAW = frozenset(
+    {
+        Event.L1D_ACCESSES,
+        Event.L1D_MISSES,
+        Event.L2_ACCESSES,
+        Event.L2_MISSES,
+        Event.LOADS,
+        Event.STORES,
+        Event.FP_OPERATIONS,
+    }
+)
+
+
+def _nehalem_caches(l3_size: str = "8MB") -> tuple[CacheLevelSpec, ...]:
+    return (
+        CacheLevelSpec("L1", parse_size("32KB"), scope=CacheScope.PER_CORE,
+                       latency=4, locality_exponent=0.35, associativity=8,
+                       hit_floor=0.85),
+        CacheLevelSpec("L2", parse_size("256KB"), scope=CacheScope.PER_CORE,
+                       latency=10, locality_exponent=0.5, associativity=8,
+                       hit_floor=0.92),
+        CacheLevelSpec("L3", parse_size(l3_size), scope=CacheScope.PER_SOCKET,
+                       latency=40, locality_exponent=0.6, associativity=16,
+                       hit_floor=0.97),
+    )
+
+
+#: Intel Xeon W3550 @ 3.07 GHz — "Nehalem", the paper's main workstation.
+NEHALEM = ArchModel(
+    name="nehalem",
+    freq_hz=3.07e9,
+    issue_width=4.0,
+    cpi_scale=1.0,
+    mispredict_penalty=17.0,
+    mem_latency=180.0,
+    cache_levels=_nehalem_caches("8MB"),
+    fp_assist_penalty=264.0,  # calibrated so Table 1's x87 IPC is ~0.015
+    smt_per_core=2,
+    pmu_width=16,
+    raw_events=_INTEL_RAW,
+)
+
+#: Intel Xeon E5640 @ 2.67 GHz — Westmere data-center node (Figs. 1, 10).
+WESTMERE_E5640 = ArchModel(
+    name="westmere",
+    freq_hz=2.67e9,
+    issue_width=4.0,
+    cpi_scale=1.0,
+    mispredict_penalty=17.0,
+    mem_latency=185.0,
+    cache_levels=_nehalem_caches("12MB"),
+    fp_assist_penalty=264.0,
+    smt_per_core=2,
+    pmu_width=16,
+    raw_events=_INTEL_RAW,
+)
+
+#: Intel Core 2 class machine (§3.2, Figs. 6–8).
+CORE2 = ArchModel(
+    name="core2",
+    freq_hz=2.4e9,
+    issue_width=4.0,
+    cpi_scale=1.25,
+    mispredict_penalty=15.0,
+    mem_latency=200.0,
+    cache_levels=(
+        CacheLevelSpec("L1", parse_size("32KB"), scope=CacheScope.PER_CORE,
+                       latency=3, locality_exponent=0.35, hit_floor=0.85),
+        CacheLevelSpec("L2", parse_size("4MB"), scope=CacheScope.PER_SOCKET,
+                       latency=15, locality_exponent=0.55, hit_floor=0.95),
+    ),
+    fp_assist_penalty=300.0,
+    smt_per_core=1,
+    pmu_width=4,
+    # The Core 2 era predates both the L3 and the memory-latency counters
+    # (§3.4 calls the latter a *recent* addition).
+    raw_events=_INTEL_RAW
+    - {Event.L3_ACCESSES, Event.L3_MISSES, Event.MEM_LATENCY_CYCLES},
+)
+
+#: PowerPC 970 @ 1.8 GHz (§3.1–3.2): no micro-code FP assist mechanism.
+PPC970 = ArchModel(
+    name="ppc970",
+    freq_hz=1.8e9,
+    issue_width=4.0,
+    cpi_scale=1.6,
+    mispredict_penalty=12.0,
+    mem_latency=220.0,
+    cache_levels=(
+        CacheLevelSpec("L1", parse_size("32KB"), scope=CacheScope.PER_CORE,
+                       latency=3, locality_exponent=0.35, hit_floor=0.85),
+        CacheLevelSpec("L2", parse_size("512KB"), scope=CacheScope.PER_CORE,
+                       latency=12, locality_exponent=0.5, hit_floor=0.93),
+    ),
+    fp_assist_penalty=None,
+    smt_per_core=1,
+    pmu_width=8,
+    raw_events=_PPC_RAW,
+)
+
+#: All models keyed by name, for lookups from configs and the CLI.
+ARCHITECTURES: dict[str, ArchModel] = {
+    a.name: a for a in (NEHALEM, WESTMERE_E5640, CORE2, PPC970)
+}
+
+
+def get_arch(name: str) -> ArchModel:
+    """Look up an architecture model by name.
+
+    Raises:
+        SimulationError: for an unknown name.
+    """
+    try:
+        return ARCHITECTURES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(ARCHITECTURES))
+        raise SimulationError(f"unknown architecture {name!r} (known: {known})") from exc

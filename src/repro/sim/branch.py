@@ -1,0 +1,62 @@
+"""Branch predictor model.
+
+The coarse metric the paper surfaces is branch *misprediction ratio*
+(mispredicts per branch) and its cycle cost. A phase declares how
+predictable its branches are; the architecture declares the mispredict
+penalty. The validation micro-kernels of §2.4 used "random or periodic
+indirect jumps to well known locations" — i.e. workloads with a *known*
+misprediction ratio — which this model makes directly expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class BranchBehavior:
+    """Per-phase branch behaviour.
+
+    Attributes:
+        mispredict_ratio: fraction of retired branches that mispredict,
+            in [0, 1]. A well-behaved loop is ~0.01; random indirect jumps
+            approach ``1 - 1/n_targets``.
+    """
+
+    mispredict_ratio: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mispredict_ratio <= 1:
+            raise WorkloadError(
+                f"mispredict_ratio must be in [0, 1], got {self.mispredict_ratio}"
+            )
+
+
+def mispredicts_per_instruction(
+    behavior: BranchBehavior, branches_per_instruction: float
+) -> float:
+    """Branch mispredicts per retired instruction."""
+    return behavior.mispredict_ratio * branches_per_instruction
+
+
+def mispredict_cpi(
+    behavior: BranchBehavior,
+    branches_per_instruction: float,
+    penalty_cycles: float,
+) -> float:
+    """CPI contribution of branch mispredictions."""
+    return mispredicts_per_instruction(behavior, branches_per_instruction) * penalty_cycles
+
+
+def random_jump_ratio(n_targets: int) -> float:
+    """Expected mispredict ratio of a uniformly random indirect jump.
+
+    With ``n_targets`` equally likely targets, a BTB-style predictor guesses
+    the last target and is right with probability 1/n. Used by the §2.4
+    validation micro-kernels.
+    """
+    if n_targets <= 0:
+        raise WorkloadError(f"n_targets must be positive, got {n_targets}")
+    return 1.0 - 1.0 / n_targets

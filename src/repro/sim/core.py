@@ -1,0 +1,228 @@
+"""Core pipeline model: turn a phase + machine conditions into rates.
+
+The model is additive in CPI, the textbook first-order decomposition::
+
+    CPI = exec + memory + branch + fp_assist
+
+* ``exec`` — the phase's dependency-limited execution CPI, scaled by the
+  architecture's quality factor and inflated when SMT siblings share issue
+  slots (floor: 1/issue_width).
+* ``memory`` — per-level hit latencies weighted by access rates from the
+  analytic cache model, divided by the phase's memory-level parallelism.
+* ``branch`` — mispredicts/instruction x penalty.
+* ``fp_assist`` — micro-code assists/instruction x penalty (§3.1).
+
+The same function also emits per-instruction rates for every countable
+:class:`~repro.sim.events.Event`, which is what the simulated PMU integrates
+over a scheduled slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.arch import ArchModel, CacheLevelSpec
+from repro.sim.branch import mispredicts_per_instruction
+from repro.sim.cache import MissProfile, miss_chain
+from repro.sim.events import Event
+from repro.sim.isa import InstructionClass
+from repro.sim.microcode import assist_outcome
+from repro.sim.workload import Phase
+
+
+@dataclass(frozen=True)
+class SliceRates:
+    """Per-instruction rates for one task under given machine conditions.
+
+    Attributes:
+        cpi: total cycles per instruction.
+        cpi_exec: execution component.
+        cpi_memory: cache/DRAM stall component.
+        cpi_branch: branch mispredict component.
+        cpi_assist: FP micro-code assist component.
+        events: per-instruction rate of every countable event
+            (``Event.INSTRUCTIONS`` is always 1.0).
+        miss_profile: per-level access/miss rates.
+    """
+
+    cpi: float
+    cpi_exec: float
+    cpi_memory: float
+    cpi_branch: float
+    cpi_assist: float
+    events: dict[Event, float]
+    miss_profile: MissProfile
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle implied by these rates."""
+        return 1.0 / self.cpi
+
+
+def memory_cpi(
+    profile: MissProfile,
+    levels: list[CacheLevelSpec],
+    mem_latency_cycles: float,
+    mlp: float = 1.6,
+) -> float:
+    """Stall CPI from the memory hierarchy.
+
+    Accesses hitting level i+1 pay that level's latency; LLC misses pay the
+    (possibly contention-inflated) memory latency. Latencies are divided by
+    the MLP factor to model overlap of outstanding misses.
+    """
+    if mlp <= 0:
+        raise SimulationError(f"mlp must be positive, got {mlp}")
+    stall = 0.0
+    for i in range(len(levels)):
+        if i + 1 < len(levels):
+            hits_next = profile.misses[i] - profile.misses[i + 1]
+            stall += hits_next * levels[i + 1].latency
+        else:
+            stall += profile.misses[i] * mem_latency_cycles
+    return stall / mlp
+
+
+def compute_rates(
+    arch: ArchModel,
+    phase: Phase,
+    level_capacities: list[tuple[CacheLevelSpec, float]],
+    mem_latency_cycles: float | None = None,
+    issue_share: float = 1.0,
+    noise_factor: float = 1.0,
+) -> SliceRates:
+    """Full rate computation for ``phase`` on ``arch``.
+
+    Args:
+        arch: the micro-architecture.
+        phase: active workload phase.
+        level_capacities: ``(spec, effective_capacity)`` per level on the
+            task's cache path (contention already folded into capacities).
+        mem_latency_cycles: effective DRAM latency (defaults to the arch's
+            uncontended latency).
+        issue_share: fraction of the core's issue bandwidth available to
+            this hardware thread (1.0 solo; < 1 with an active SMT sibling).
+        noise_factor: multiplicative jitter on the execution component.
+    """
+    if not 0 < issue_share <= 1.0:
+        raise SimulationError(f"issue_share must be in (0, 1], got {issue_share}")
+    if mem_latency_cycles is None:
+        mem_latency_cycles = arch.mem_latency
+
+    mix = phase.mix
+    profile = miss_chain(phase.memory, mix.mem_refs, level_capacities)
+    specs = [spec for spec, _ in level_capacities]
+
+    # Floor: a thread cannot sustain more than 2x the nominal issue width
+    # even when penalties overlap perfectly with execution (the additive
+    # CPI model otherwise lets calibration push exec below physical limits).
+    cpi_exec = max(
+        phase.exec_cpi
+        * arch.cpi_scale
+        * phase.arch_factor(arch.name)
+        * noise_factor
+        / issue_share,
+        0.5 / arch.issue_width,
+    )
+    cpi_mem = memory_cpi(profile, specs, mem_latency_cycles, mlp=phase.memory.mlp)
+    mpi = mispredicts_per_instruction(phase.branches, mix.branches)
+    cpi_branch = mpi * arch.mispredict_penalty
+    assist = assist_outcome(arch, mix, phase.operands)
+    cpi = cpi_exec + cpi_mem + cpi_branch + assist.cpi_tax
+
+    llc_is_last = len(profile.misses) - 1
+    events: dict[Event, float] = {
+        Event.INSTRUCTIONS: 1.0,
+        Event.CYCLES: cpi,
+        Event.CACHE_REFERENCES: profile.accesses[llc_is_last],
+        Event.CACHE_MISSES: profile.misses[llc_is_last],
+        Event.BRANCH_INSTRUCTIONS: mix.branches,
+        Event.BRANCH_MISSES: mpi,
+        Event.BUS_CYCLES: cpi * 0.25,
+        Event.FP_ASSIST: assist.assists_per_instruction,
+        Event.UOPS_EXECUTED: arch.uops_per_instruction
+        + assist.extra_uops_per_instruction,
+        Event.LOADS: mix.loads,
+        Event.STORES: mix.stores,
+        Event.FP_OPERATIONS: mix.fp_ops,
+        Event.X87_OPERATIONS: mix.x87_ops,
+        Event.SSE_OPERATIONS: mix.sse_ops,
+        Event.L1D_ACCESSES: profile.accesses[0],
+        Event.L1D_MISSES: profile.misses[0],
+        # §3.4 outlook: memory-access latency counters. Total cycles of
+        # DRAM wait per instruction; dividing by LLC misses recovers the
+        # (possibly contention-inflated) average memory latency.
+        Event.MEM_LATENCY_CYCLES: profile.misses[-1] * mem_latency_cycles,
+    }
+    if len(profile.accesses) > 1:
+        events[Event.L2_ACCESSES] = profile.accesses[1]
+        events[Event.L2_MISSES] = profile.misses[1]
+    if len(profile.accesses) > 2:
+        events[Event.L3_ACCESSES] = profile.accesses[2]
+        events[Event.L3_MISSES] = profile.misses[2]
+
+    return SliceRates(
+        cpi=cpi,
+        cpi_exec=cpi_exec,
+        cpi_memory=cpi_mem,
+        cpi_branch=cpi_branch,
+        cpi_assist=assist.cpi_tax,
+        events=events,
+        miss_profile=profile,
+    )
+
+
+def solo_rates(arch: ArchModel, phase: Phase) -> SliceRates:
+    """Rates for ``phase`` running alone with full caches on ``arch``."""
+    caps = [(spec, float(spec.size)) for spec in arch.cache_levels]
+    return compute_rates(arch, phase, caps)
+
+
+def exec_cpi_for_target_ipc(
+    arch: ArchModel,
+    phase: Phase,
+    target_ipc: float,
+    *,
+    min_exec_cpi: float | None = None,
+) -> float:
+    """Solve for the ``exec_cpi`` that yields ``target_ipc`` solo on ``arch``.
+
+    Used to calibrate phase models against the paper's measured solo IPC
+    values: the memory/branch/assist penalties are computed for the
+    uncontended machine, and the execution component absorbs the remainder.
+    The result is expressed in reference-architecture units (divided by
+    ``arch.cpi_scale``) so the same phase transfers across architectures.
+
+    Raises:
+        SimulationError: when the target is unreachable (penalties alone
+            already exceed the cycle budget by more than the floor allows).
+    """
+    if target_ipc <= 0:
+        raise SimulationError(f"target_ipc must be positive, got {target_ipc}")
+    if min_exec_cpi is None:
+        # Below the compute_rates() floor the solved value would be
+        # silently clamped and the solo IPC would miss the target.
+        min_exec_cpi = 0.5 / arch.issue_width
+    probe = solo_rates(arch, phase)
+    penalties = probe.cpi_memory + probe.cpi_branch + probe.cpi_assist
+    budget = 1.0 / target_ipc - penalties
+    if budget < min_exec_cpi:
+        raise SimulationError(
+            f"target IPC {target_ipc} unreachable for phase {phase.name!r}: "
+            f"penalties alone cost {penalties:.3f} CPI"
+        )
+    return budget / arch.cpi_scale
+
+
+def calibrate_phase(arch: ArchModel, phase: Phase, target_ipc: float) -> Phase:
+    """Return a copy of ``phase`` whose solo IPC on ``arch`` is ``target_ipc``."""
+    from dataclasses import replace
+
+    return replace(
+        phase, exec_cpi=exec_cpi_for_target_ipc(arch, phase, target_ipc)
+    )
+
+
+#: Instruction classes with memory side effects, exposed for tests.
+MEMORY_CLASSES = (InstructionClass.LOAD, InstructionClass.STORE)

@@ -1,0 +1,226 @@
+"""Per-task hardware-counter state kept by the simulated kernel.
+
+Models the kernel side of ``perf_event``: each open counter targets one
+task and one event, accumulates while the task is scheduled *and* the
+counter is programmed into the PMU, and tracks ``time_enabled`` /
+``time_running`` exactly as Linux reports them so that user space can scale
+multiplexed counts (``value * time_enabled / time_running``).
+
+Multiplexing: when a task has more enabled counters than the PMU width
+(sixteen on the modelled Xeon W3550, §2.6), the kernel rotates a window of
+``pmu_width`` counters one position per tick — the same round-robin
+behaviour Linux exhibits.
+
+Counting vs sampling (§2.5/§4): a counter opened with a ``sample_period``
+runs in *sampling* mode — the PMU interrupts every ``period`` events and
+the kernel tallies samples, so the reported value is quantised to the
+period and loses occasional samples to interrupt coalescing/throttling
+(Moore [29] compares the two modes' accuracy; tiptop itself uses
+counting). The loss process is deterministic per table seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CounterStateError
+from repro.sim.events import Event
+
+#: Probability that one sampling interrupt is lost (coalescing/throttling).
+SAMPLE_LOSS_PROBABILITY = 0.002
+
+
+@dataclass
+class KernelCounter:
+    """Kernel-side state of one opened counter.
+
+    Attributes:
+        counter_id: fd-like handle returned to user space.
+        event: the counted hardware event.
+        tid: target thread id.
+        owner_uid: uid of the opening user (permission checks happen at
+            open time in the backend).
+        enabled: counting is armed.
+        closed: handle has been released.
+        value: accumulated event count (in sampling mode: samples x period,
+            i.e. what user space reconstructs from the sample stream).
+        time_enabled: seconds the counter was enabled with a live target.
+        time_running: seconds the event was actually counted (target
+            scheduled and counter resident in the PMU).
+        sample_period: None for counting mode; otherwise the PMU interrupt
+            period in events.
+        samples: sampling-mode interrupts delivered so far.
+    """
+
+    counter_id: int
+    event: Event
+    tid: int
+    owner_uid: int
+    enabled: bool = True
+    closed: bool = False
+    value: float = 0.0
+    time_enabled: float = 0.0
+    time_running: float = 0.0
+    sample_period: int | None = None
+    samples: int = 0
+    _carry: float = 0.0
+
+    @property
+    def sampling(self) -> bool:
+        """True when the counter runs in sampling mode."""
+        return self.sample_period is not None
+
+    def reading(self) -> tuple[int, float, float]:
+        """Snapshot as (value, time_enabled, time_running).
+
+        Raises:
+            CounterStateError: on a closed counter.
+        """
+        if self.closed:
+            raise CounterStateError(f"counter {self.counter_id} is closed")
+        return int(self.value), self.time_enabled, self.time_running
+
+
+class CounterTable:
+    """All open counters of the simulated kernel, indexed by task.
+
+    Args:
+        pmu_width: number of simultaneously countable events per task.
+    """
+
+    def __init__(self, pmu_width: int, seed: int = 0) -> None:
+        if pmu_width < 1:
+            raise CounterStateError(f"pmu_width must be >= 1, got {pmu_width}")
+        self.pmu_width = pmu_width
+        self._ids = itertools.count(3)  # skip fds 0-2, like a real process
+        self._by_id: dict[int, KernelCounter] = {}
+        self._by_tid: dict[int, list[KernelCounter]] = {}
+        self._rotation: dict[int, int] = {}
+        self._rng = np.random.default_rng((seed, 0xC0))
+
+    def open(
+        self,
+        event: Event,
+        tid: int,
+        owner_uid: int,
+        *,
+        sample_period: int | None = None,
+    ) -> KernelCounter:
+        """Create a counter on ``tid`` and return it (enabled by default).
+
+        Raises:
+            CounterStateError: for a non-positive sample period.
+        """
+        if sample_period is not None and sample_period < 1:
+            raise CounterStateError(
+                f"sample_period must be >= 1, got {sample_period}"
+            )
+        counter = KernelCounter(
+            counter_id=next(self._ids),
+            event=event,
+            tid=tid,
+            owner_uid=owner_uid,
+            sample_period=sample_period,
+        )
+        self._by_id[counter.counter_id] = counter
+        self._by_tid.setdefault(tid, []).append(counter)
+        self._rotation.setdefault(tid, 0)
+        return counter
+
+    def get(self, counter_id: int) -> KernelCounter:
+        """Look up a counter by handle.
+
+        Raises:
+            CounterStateError: for an unknown or closed handle.
+        """
+        try:
+            counter = self._by_id[counter_id]
+        except KeyError as exc:
+            raise CounterStateError(f"no such counter {counter_id}") from exc
+        if counter.closed:
+            raise CounterStateError(f"counter {counter_id} is closed")
+        return counter
+
+    def close(self, counter_id: int) -> None:
+        """Release a counter handle (idempotent errors raise)."""
+        counter = self.get(counter_id)
+        counter.closed = True
+        counter.enabled = False
+        self._by_tid[counter.tid].remove(counter)
+        del self._by_id[counter_id]
+
+    def counters_for(self, tid: int) -> list[KernelCounter]:
+        """Open counters targeting ``tid`` (may be empty)."""
+        return list(self._by_tid.get(tid, ()))
+
+    def _active_window(self, tid: int) -> set[int]:
+        """Handles currently resident in the PMU for ``tid``."""
+        counters = [c for c in self._by_tid.get(tid, ()) if c.enabled]
+        if len(counters) <= self.pmu_width:
+            return {c.counter_id for c in counters}
+        start = self._rotation.get(tid, 0) % len(counters)
+        window = [
+            counters[(start + i) % len(counters)] for i in range(self.pmu_width)
+        ]
+        return {c.counter_id for c in window}
+
+    def rotate(self, tid: int) -> None:
+        """Advance the multiplexing window of ``tid`` by one counter."""
+        self._rotation[tid] = self._rotation.get(tid, 0) + 1
+
+    def accrue(
+        self,
+        tid: int,
+        deltas: dict[Event, float],
+        *,
+        wall_dt: float,
+        scheduled_dt: float,
+        alive: bool,
+    ) -> None:
+        """Fold one tick's events into the counters of ``tid``.
+
+        Args:
+            tid: target thread.
+            deltas: event counts produced during the tick (already scaled by
+                the scheduled time; zero-filled events may be omitted).
+            wall_dt: tick duration (advances ``time_enabled``).
+            scheduled_dt: seconds the task was actually on a PU.
+            alive: whether the task is still alive (dead tasks freeze).
+        """
+        counters = self._by_tid.get(tid)
+        if not counters:
+            return
+        window = self._active_window(tid)
+        for counter in counters:
+            if not counter.enabled or not alive:
+                continue
+            counter.time_enabled += wall_dt
+            if counter.counter_id in window and scheduled_dt > 0:
+                counter.time_running += scheduled_dt
+                delta = deltas.get(counter.event, 0.0)
+                if counter.sampling:
+                    self._accrue_sampled(counter, delta)
+                else:
+                    counter.value += delta
+        if len([c for c in counters if c.enabled]) > self.pmu_width:
+            self.rotate(tid)
+
+    def _accrue_sampled(self, counter: KernelCounter, delta: float) -> None:
+        """Sampling-mode accrual: period quantisation plus interrupt loss."""
+        period = counter.sample_period or 1
+        counter._carry += delta
+        due = int(counter._carry // period)
+        counter._carry -= due * period
+        if due > 0:
+            delivered = due - int(
+                self._rng.binomial(due, SAMPLE_LOSS_PROBABILITY)
+            )
+            counter.samples += delivered
+            counter.value = counter.samples * period
+
+    def open_count(self) -> int:
+        """Number of currently open counters (for leak tests)."""
+        return len(self._by_id)

@@ -1,0 +1,129 @@
+"""Machine topology: sockets, cores, hardware threads (PUs).
+
+Mirrors what hwloc reports for the paper's machines, including the Linux PU
+numbering convention visible in Figure 11(c): on a quad-core Nehalem with
+hyper-threading, core *i* hosts PU *i* and PU *i+4* — so binding two
+processes to "logical cores 0 and 4" (§3.4) puts them on the same physical
+core. :meth:`Topology.render` reproduces the hwloc-style ASCII drawing of
+Fig. 11(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.arch import ArchModel, CacheScope
+from repro.util.units import format_size
+
+
+@dataclass(frozen=True)
+class PU:
+    """A processing unit (hardware thread / logical CPU)."""
+
+    pu_id: int
+    core_id: int
+    socket_id: int
+    smt_index: int  # 0 for the first hardware thread of the core
+
+
+class Topology:
+    """Socket/core/PU layout of a simulated machine.
+
+    Args:
+        arch: micro-architecture (supplies SMT width).
+        sockets: number of sockets.
+        cores_per_socket: physical cores per socket.
+
+    PU numbering follows Linux/x86 convention: PUs 0..C-1 are the first
+    hardware thread of each core in order, PUs C..2C-1 the second, etc.,
+    where C is the total core count.
+    """
+
+    def __init__(self, arch: ArchModel, sockets: int = 1, cores_per_socket: int = 4):
+        if sockets <= 0 or cores_per_socket <= 0:
+            raise SimulationError("topology needs >= 1 socket and core")
+        self.arch = arch
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+        total_cores = sockets * cores_per_socket
+        self.pus: list[PU] = []
+        for smt in range(arch.smt_per_core):
+            for core in range(total_cores):
+                self.pus.append(
+                    PU(
+                        pu_id=smt * total_cores + core,
+                        core_id=core,
+                        socket_id=core // cores_per_socket,
+                        smt_index=smt,
+                    )
+                )
+        self.pus.sort(key=lambda p: p.pu_id)
+        self._by_id = {p.pu_id: p for p in self.pus}
+
+    @property
+    def n_pus(self) -> int:
+        """Number of logical CPUs."""
+        return len(self.pus)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of physical cores."""
+        return self.sockets * self.cores_per_socket
+
+    def pu(self, pu_id: int) -> PU:
+        """Look up a PU by id.
+
+        Raises:
+            SimulationError: for an id outside the machine.
+        """
+        try:
+            return self._by_id[pu_id]
+        except KeyError as exc:
+            raise SimulationError(f"no PU {pu_id} on this machine") from exc
+
+    def pus_of_core(self, core_id: int) -> list[PU]:
+        """All hardware threads of one physical core, by smt index."""
+        return sorted(
+            (p for p in self.pus if p.core_id == core_id), key=lambda p: p.smt_index
+        )
+
+    def siblings(self, pu_id: int) -> list[PU]:
+        """The other hardware threads sharing this PU's physical core."""
+        me = self.pu(pu_id)
+        return [p for p in self.pus_of_core(me.core_id) if p.pu_id != pu_id]
+
+    def pu_to_core(self) -> dict[int, int]:
+        """Mapping PU id -> core id (input to the cache hierarchy)."""
+        return {p.pu_id: p.core_id for p in self.pus}
+
+    def core_to_socket(self) -> dict[int, int]:
+        """Mapping core id -> socket id."""
+        return {p.core_id: p.socket_id for p in self.pus}
+
+    def render(self, memory_bytes: int | None = None) -> str:
+        """hwloc-style ASCII rendering (cf. Fig. 11c).
+
+        One line per machine/socket/shared-cache, then per-core blocks with
+        their private caches and PU list.
+        """
+        lines: list[str] = []
+        if memory_bytes is not None:
+            lines.append(f"Machine ({memory_bytes // (1024 * 1024)}MB)")
+        else:
+            lines.append("Machine")
+        shared = [c for c in self.arch.cache_levels if c.scope is CacheScope.PER_SOCKET]
+        private = [c for c in self.arch.cache_levels if c.scope is not CacheScope.PER_SOCKET]
+        for socket in range(self.sockets):
+            lines.append(f"  Socket#{socket}")
+            for cache in reversed(shared):
+                lines.append(f"    {cache.name} ({format_size(cache.size)})")
+            for core in range(
+                socket * self.cores_per_socket, (socket + 1) * self.cores_per_socket
+            ):
+                for cache in reversed(private):
+                    lines.append(f"      {cache.name} ({format_size(cache.size)})")
+                lines.append(f"      Core#{core}")
+                for p in self.pus_of_core(core):
+                    lines.append(f"        PU#{p.pu_id}")
+        return "\n".join(lines)

@@ -1,0 +1,365 @@
+"""The data-center grid of §3.4: nodes, queues, and an SGE-like dispatcher.
+
+The paper's environment: "about 100 nodes. Each node is a bi-Intel Xeon.
+Configurations include dual-cores and quad-cores, and clock frequencies
+range from 1.6 GHz to 3.4 GHz... The scheduler is based on Sun Grid Engine
+6.2u5. It defines sixteen queues for jobs of different wall-clock run time,
+memory requirements, and urgency (ASAP vs. overnight). Jobs are spawned in
+order in each queue, the number of concurrently running jobs is limited by
+the number of logical cores of each node... heuristics apply, such as
+increasing priority of short running processes, dedicating some nodes for
+long running tasks... A sensible rule of thumb is to load a node with as
+many jobs as there are logical cores, and to keep memory usage below the
+available physical memory."
+
+:class:`Grid` implements exactly that: heterogeneous :class:`SimMachine`
+nodes sharing one virtual clock, FIFO queues with priorities, per-node
+logical-core and memory admission limits, wall-clock kill, and node
+dedication. Tiptop attaches to any node via ``SimHost(grid.node(i))`` —
+which is how Figures 1 and 10 were captured in production.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.arch import ArchModel, WESTMERE_E5640
+from repro.sim.machine import SimMachine
+from repro.sim.process import SimProcess
+from repro.sim.workload import Workload
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """One submission queue.
+
+    Attributes:
+        name: queue name ("short-2g-asap").
+        max_wallclock: job kill limit in seconds (inf = none).
+        memory_limit: per-job memory in bytes.
+        priority: higher dispatches first (the paper's short-job boost).
+        dedicated_only: jobs of this queue may only run on nodes dedicated
+            to it (long-running queues get their own nodes).
+    """
+
+    name: str
+    max_wallclock: float
+    memory_limit: int
+    priority: int = 0
+    dedicated_only: bool = False
+
+
+def sge_queues() -> list[QueueSpec]:
+    """The sixteen-queue layout: wallclock x memory x urgency.
+
+    Four wall-clock classes, two memory classes, two urgencies. Shorter
+    queues get higher priority (the paper's heuristic); the 'eternal'
+    queues are dedicated-node only.
+    """
+    queues = []
+    wallclocks = [
+        ("short", 3600.0, 3),
+        ("day", 12 * 3600.0, 2),
+        ("long", 48 * 3600.0, 1),
+        ("eternal", float("inf"), 0),
+    ]
+    memories = [("2g", 2 * 1024**3), ("8g", 8 * 1024**3)]
+    urgencies = [("asap", 1), ("overnight", 0)]
+    for wname, wlimit, wprio in wallclocks:
+        for mname, mbytes in memories:
+            for uname, uprio in urgencies:
+                queues.append(
+                    QueueSpec(
+                        name=f"{wname}-{mname}-{uname}",
+                        max_wallclock=wlimit,
+                        memory_limit=mbytes,
+                        priority=2 * wprio + uprio,
+                        dedicated_only=(wname == "eternal"),
+                    )
+                )
+    return queues
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node's configuration.
+
+    The paper's fleet mixes dual/quad-core bi-Xeons at 1.6-3.4 GHz.
+    """
+
+    name: str
+    arch: ArchModel = WESTMERE_E5640
+    sockets: int = 2
+    cores_per_socket: int = 4
+    memory_bytes: int = 24 * 1024**3
+    dedicated_queue: str | None = None
+
+
+@dataclass
+class Job:
+    """A submitted job.
+
+    Attributes:
+        job_id: grid-assigned id.
+        name: command name.
+        user: owner.
+        workload: what it runs.
+        queue: target queue name.
+        memory_bytes: declared memory need (admission only).
+        submitted_at: submission time.
+        process: the spawned process once dispatched.
+        node: the node name it landed on.
+        started_at / finished_at: dispatch / completion times.
+        killed: True when the wall-clock limit fired.
+    """
+
+    job_id: int
+    name: str
+    user: str
+    workload: Workload
+    queue: str
+    memory_bytes: int
+    submitted_at: float
+    process: SimProcess | None = None
+    node: str | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    killed: bool = False
+
+    @property
+    def state(self) -> str:
+        """pending / running / done."""
+        if self.process is None:
+            return "pending"
+        if self.finished_at is None and self.process.alive:
+            return "running"
+        return "done"
+
+
+class Grid:
+    """A fleet of simulated nodes behind an SGE-like dispatcher.
+
+    Args:
+        node_specs: the fleet (defaults to a small mixed fleet).
+        queues: queue layout (defaults to the sixteen SGE queues).
+        tick: node scheduler tick.
+        seed: base seed (each node gets seed+index).
+    """
+
+    def __init__(
+        self,
+        node_specs: list[NodeSpec] | None = None,
+        queues: list[QueueSpec] | None = None,
+        *,
+        tick: float = 1.0,
+        seed: int = 1,
+    ) -> None:
+        self.queues = {
+            q.name: q for q in (sge_queues() if queues is None else queues)
+        }
+        if not self.queues:
+            raise SimulationError("a grid needs at least one queue")
+        specs = node_specs if node_specs is not None else default_fleet()
+        if not specs:
+            raise SimulationError("a grid needs at least one node")
+        self.specs = specs
+        self.nodes: dict[str, SimMachine] = {}
+        for index, spec in enumerate(specs):
+            self.nodes[spec.name] = SimMachine(
+                spec.arch,
+                sockets=spec.sockets,
+                cores_per_socket=spec.cores_per_socket,
+                memory_bytes=spec.memory_bytes,
+                tick=tick,
+                seed=seed + index,
+            )
+        self._pending: dict[str, deque[Job]] = {
+            name: deque() for name in self.queues
+        }
+        self._jobs: list[Job] = []
+        self._ids = itertools.count(1)
+        self.now = 0.0
+        self.tick = tick
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        workload: Workload,
+        *,
+        user: str = "user",
+        queue: str,
+        memory_bytes: int = 1 * 1024**3,
+    ) -> Job:
+        """Queue a job.
+
+        Raises:
+            SimulationError: unknown queue, or a memory request over the
+                queue's limit.
+        """
+        spec = self.queues.get(queue)
+        if spec is None:
+            raise SimulationError(
+                f"unknown queue {queue!r} (have: {sorted(self.queues)})"
+            )
+        if memory_bytes > spec.memory_limit:
+            raise SimulationError(
+                f"job {name!r} wants {memory_bytes} bytes; queue {queue} "
+                f"caps at {spec.memory_limit}"
+            )
+        job = Job(
+            job_id=next(self._ids),
+            name=name,
+            user=user,
+            workload=workload,
+            queue=queue,
+            memory_bytes=memory_bytes,
+            submitted_at=self.now,
+        )
+        self._pending[queue].append(job)
+        self._jobs.append(job)
+        return job
+
+    # -- admission -----------------------------------------------------------
+    def _node_load(self, node_name: str) -> tuple[int, int]:
+        """(running jobs, committed memory) on one node."""
+        machine = self.nodes[node_name]
+        running = [
+            j for j in self._jobs
+            if j.node == node_name and j.state == "running"
+        ]
+        return len(running), sum(j.memory_bytes for j in running)
+
+    def _eligible_node(self, job: Job) -> str | None:
+        queue = self.queues[job.queue]
+        best: tuple[float, str] | None = None
+        for spec in self.specs:
+            if queue.dedicated_only and spec.dedicated_queue != job.queue:
+                continue
+            if not queue.dedicated_only and spec.dedicated_queue is not None:
+                continue
+            machine = self.nodes[spec.name]
+            running, committed = self._node_load(spec.name)
+            if running >= machine.topology.n_pus:
+                continue  # the rule of thumb: jobs <= logical cores
+            if committed + job.memory_bytes > spec.memory_bytes:
+                continue  # keep memory below physical
+            load = running / machine.topology.n_pus
+            if best is None or load < best[0]:
+                best = (load, spec.name)
+        return best[1] if best else None
+
+    def _dispatch(self) -> None:
+        order = sorted(
+            self.queues.values(), key=lambda q: q.priority, reverse=True
+        )
+        for queue in order:
+            pending = self._pending[queue.name]
+            while pending:
+                job = pending[0]
+                node_name = self._eligible_node(job)
+                if node_name is None:
+                    break  # jobs are spawned in order within each queue
+                pending.popleft()
+                machine = self.nodes[node_name]
+                job.process = machine.spawn(
+                    job.name, job.workload, user=job.user
+                )
+                job.node = node_name
+                job.started_at = self.now
+                if queue.max_wallclock != float("inf"):
+                    self._arm_wallclock_kill(job, queue.max_wallclock)
+
+    def _arm_wallclock_kill(self, job: Job, limit: float) -> None:
+        machine = self.nodes[job.node]  # type: ignore[index]
+
+        def kill() -> None:
+            if job.process is not None and job.process.alive:
+                machine.kill(job.process.pid)
+                job.killed = True
+
+        machine.at(machine.now + limit, kill)
+
+    # -- time ------------------------------------------------------------------
+    def run_for(self, seconds: float) -> None:
+        """Advance every node in lockstep, dispatching as slots free up."""
+        remaining = seconds
+        while remaining > 1e-12:
+            step = min(self.tick, remaining)
+            self._dispatch()
+            for machine in self.nodes.values():
+                machine.run_for(step)
+            self.now += step
+            remaining -= step
+            self._reap()
+        self._dispatch()
+
+    def _reap(self) -> None:
+        for job in self._jobs:
+            if (
+                job.process is not None
+                and job.finished_at is None
+                and not job.process.alive
+            ):
+                job.finished_at = self.now
+
+    # -- introspection -----------------------------------------------------------
+    def node(self, name: str) -> SimMachine:
+        """A node's machine (attach tiptop via ``SimHost``).
+
+        Raises:
+            SimulationError: unknown node.
+        """
+        try:
+            return self.nodes[name]
+        except KeyError as exc:
+            raise SimulationError(f"no node {name!r}") from exc
+
+    def jobs(self, state: str | None = None) -> list[Job]:
+        """All jobs, optionally filtered by state."""
+        if state is None:
+            return list(self._jobs)
+        return [j for j in self._jobs if j.state == state]
+
+    def utilisation(self) -> dict[str, float]:
+        """Running jobs / logical cores per node."""
+        out = {}
+        for spec in self.specs:
+            running, _ = self._node_load(spec.name)
+            out[spec.name] = running / self.nodes[spec.name].topology.n_pus
+        return out
+
+
+def default_fleet(n_standard: int = 4, n_dedicated: int = 1) -> list[NodeSpec]:
+    """A small mixed fleet in the paper's spirit: quad- and dual-core
+    bi-Xeons, plus node(s) dedicated to the eternal queues."""
+    from dataclasses import replace
+
+    from repro.sim.arch import NEHALEM
+
+    fleet: list[NodeSpec] = []
+    for i in range(n_standard):
+        if i % 2 == 0:
+            fleet.append(NodeSpec(name=f"node{i:02d}"))
+        else:
+            fleet.append(
+                NodeSpec(
+                    name=f"node{i:02d}",
+                    arch=NEHALEM,
+                    sockets=2,
+                    cores_per_socket=2,
+                    memory_bytes=16 * 1024**3,
+                )
+            )
+    for i in range(n_dedicated):
+        fleet.append(
+            NodeSpec(
+                name=f"longnode{i:02d}",
+                dedicated_queue="eternal-8g-overnight",
+                memory_bytes=48 * 1024**3,
+            )
+        )
+    return fleet

@@ -1,0 +1,409 @@
+"""The simulated machine: topology + caches + memory + scheduler + clock.
+
+:class:`SimMachine` advances a virtual clock in fixed ticks. Each tick it
+
+1. fires any due timed events (job arrivals/kills from experiment scripts),
+2. dispatches runnable threads to PUs (CFS-like, affinity-aware),
+3. resolves cache-capacity contention between co-scheduled tasks by a
+   short fixed-point iteration on access pressures,
+4. inflates DRAM latency with aggregate LLC-miss bandwidth,
+5. retires instructions per scheduled thread through its workload phases,
+   accruing hardware events into the kernel counter table, and
+6. reaps threads whose workloads completed.
+
+Everything is deterministic: the only randomness is per-process Generators
+seeded from the machine seed, used for the per-tick execution-CPI jitter
+that gives the paper's plots their characteristic noise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import zlib
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.arch import ArchModel
+from repro.sim.cache import CacheHierarchy, CacheInstance
+from repro.sim.core import SliceRates, compute_rates
+from repro.sim.counters import CounterTable
+from repro.sim.cpu_topology import Topology
+from repro.sim.events import Event
+from repro.sim.process import SimProcess, SimThread, TaskState
+from repro.sim.scheduler import Scheduler
+from repro.sim.smt import issue_share
+from repro.sim.workload import Workload
+
+#: Fixed-point iterations for contention resolution per tick. Two passes
+#: are enough because capacities move pressure by at most the smoothing of
+#: the power-law curves.
+CONTENTION_ITERATIONS = 2
+
+
+class SimMachine:
+    """A complete simulated node.
+
+    Args:
+        arch: micro-architecture of every core.
+        sockets: socket count.
+        cores_per_socket: physical cores per socket.
+        memory_bytes: installed DRAM (bounds nothing yet; reported by
+            topology rendering).
+        tick: scheduler tick in virtual seconds. Coarser ticks run faster;
+            tiptop samples every few seconds, so 0.1–1 s ticks lose nothing.
+        seed: master seed for all per-process noise.
+        memory_bandwidth: peak DRAM bandwidth in bytes/s.
+    """
+
+    def __init__(
+        self,
+        arch: ArchModel,
+        *,
+        sockets: int = 1,
+        cores_per_socket: int = 4,
+        memory_bytes: int = 6 * 1024**3,
+        tick: float = 0.1,
+        seed: int = 42,
+        memory_bandwidth: float = 25e9,
+    ) -> None:
+        if tick <= 0:
+            raise SimulationError(f"tick must be positive, got {tick}")
+        from repro.sim.memory import MemorySystem
+
+        self.arch = arch
+        self.topology = Topology(arch, sockets, cores_per_socket)
+        self.caches = CacheHierarchy(
+            arch, self.topology.pu_to_core(), self.topology.core_to_socket()
+        )
+        self.memory = MemorySystem(
+            bandwidth_bytes_per_sec=memory_bandwidth,
+            base_latency_cycles=arch.mem_latency,
+        )
+        self.memory_bytes = memory_bytes
+        self.scheduler = Scheduler(self.topology)
+        self.counters = CounterTable(arch.pmu_width, seed=seed)
+        self.tick = tick
+        self.seed = seed
+        self.now = 0.0
+        self.processes: dict[int, SimProcess] = {}
+        self._threads: dict[int, SimThread] = {}
+        self._next_pid = itertools.count(1000)
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
+        self._last_rates: dict[int, SliceRates] = {}
+        self._booted = False
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        command: str,
+        workload: Workload,
+        *,
+        user: str = "user",
+        uid: int | None = None,
+        nthreads: int = 1,
+        affinity: frozenset[int] | set[int] | None = None,
+        nice: int = 0,
+        duty_cycle: float = 1.0,
+    ) -> SimProcess:
+        """Create a process and make its threads runnable immediately.
+
+        Returns the new :class:`SimProcess` (its pid is the handle for
+        everything else).
+        """
+        pid = next(self._next_pid)
+        if uid is None:
+            uid = 1000 + (zlib.crc32(user.encode()) % 1000)
+        if affinity is not None:
+            bad = set(affinity) - {p.pu_id for p in self.topology.pus}
+            if bad:
+                raise SimulationError(f"affinity references unknown PUs {sorted(bad)}")
+            affinity = frozenset(affinity)
+        if not 0 < duty_cycle <= 1:
+            raise SimulationError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        proc = SimProcess(
+            pid=pid,
+            uid=uid,
+            user=user,
+            command=command,
+            workload=workload,
+            affinity=affinity,
+            nice=nice,
+            duty_cycle=duty_cycle,
+            start_time=self.now,
+            rng=np.random.default_rng((self.seed, pid)),
+        )
+        proc.spawn_threads(nthreads, first_tid=pid)
+        # Extra threads consume ids from the same space as pids, so a
+        # 4-thread process at pid P owns tids P..P+3 and the next process
+        # gets pid P+4 — tids and pids never collide (as on Linux).
+        for _ in range(nthreads - 1):
+            next(self._next_pid)
+        self.processes[pid] = proc
+        for t in proc.threads:
+            self._threads[t.tid] = t
+            if duty_cycle < 1.0:
+                t.duty_rng = np.random.default_rng((self.seed, pid, t.tid, 7))
+        return proc
+
+    def kill(self, pid: int) -> None:
+        """Terminate every thread of ``pid``.
+
+        Raises:
+            SimulationError: for an unknown pid.
+        """
+        proc = self.process(pid)
+        for t in proc.threads:
+            t.mark_dead()
+            self.scheduler.forget(t)
+
+    def process(self, pid: int) -> SimProcess:
+        """Look up a process by pid.
+
+        Raises:
+            SimulationError: for an unknown pid.
+        """
+        try:
+            return self.processes[pid]
+        except KeyError as exc:
+            raise SimulationError(f"no such pid {pid}") from exc
+
+    def thread(self, tid: int) -> SimThread:
+        """Look up a thread by tid.
+
+        Raises:
+            SimulationError: for an unknown tid.
+        """
+        try:
+            return self._threads[tid]
+        except KeyError as exc:
+            raise SimulationError(f"no such tid {tid}") from exc
+
+    def live_processes(self) -> list[SimProcess]:
+        """Processes with at least one live thread, by pid."""
+        return sorted(
+            (p for p in self.processes.values() if p.alive), key=lambda p: p.pid
+        )
+
+    def at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at virtual time ``when``.
+
+        Used by experiment scripts for job arrivals (Fig. 10's user2 burst).
+
+        Raises:
+            SimulationError: when ``when`` is in the virtual past.
+        """
+        if when < self.now:
+            raise SimulationError(f"cannot schedule at {when} < now {self.now}")
+        heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
+
+    # ------------------------------------------------------------------
+    # Time advance
+    # ------------------------------------------------------------------
+    def run_for(self, seconds: float) -> None:
+        """Advance the virtual clock by ``seconds``."""
+        self.run_until(self.now + seconds)
+
+    def run_until(self, deadline: float) -> None:
+        """Advance the virtual clock to ``deadline`` in whole ticks."""
+        while self.now < deadline - 1e-12:
+            self._step(min(self.tick, deadline - self.now))
+
+    def _fire_timers(self) -> None:
+        while self._timers and self._timers[0][0] <= self.now + 1e-12:
+            _, _, callback = heapq.heappop(self._timers)
+            callback()
+
+    def _step(self, dt: float) -> None:
+        self._fire_timers()
+        runnable = [
+            t
+            for t in self._threads.values()
+            if t.state is TaskState.RUNNABLE
+            and (
+                t.duty_rng is None
+                or t.duty_rng.random() < t.process.duty_cycle
+            )
+        ]
+        dispatch = self.scheduler.dispatch(runnable, dt)
+        assignment = dispatch.assignment
+
+        rates = self._resolve_contention(assignment)
+
+        scheduled_tids: set[int] = set()
+        for pu_id, thread in assignment.items():
+            self._run_slice(thread, pu_id, rates.get(thread.tid), dt)
+            scheduled_tids.add(thread.tid)
+
+        # Counter bookkeeping for unscheduled-but-alive threads: enabled
+        # time advances, running time does not.
+        for tid, thread in self._threads.items():
+            if tid not in scheduled_tids and thread.alive:
+                self.counters.accrue(
+                    tid, {}, wall_dt=dt, scheduled_dt=0.0, alive=True
+                )
+
+        self.now += dt
+        self._fire_timers()
+
+    # ------------------------------------------------------------------
+    # Contention resolution
+    # ------------------------------------------------------------------
+    def _active_per_core(self, assignment: dict[int, SimThread]) -> dict[int, int]:
+        per_core: dict[int, int] = {}
+        for pu_id in assignment:
+            core = self.topology.pu(pu_id).core_id
+            per_core[core] = per_core.get(core, 0) + 1
+        return per_core
+
+    def _resolve_contention(
+        self, assignment: dict[int, SimThread]
+    ) -> dict[int, SliceRates]:
+        """Fixed-point on access pressures -> capacities -> rates."""
+        if not assignment:
+            return {}
+        per_core = self._active_per_core(assignment)
+        shares = {
+            pu: issue_share(self.arch, per_core[self.topology.pu(pu).core_id])
+            for pu in assignment
+        }
+        # Initial instruction-rate guess: previous tick's rates, else solo.
+        inst_rate: dict[int, float] = {}
+        rates: dict[int, SliceRates] = {}
+        for pu, thread in assignment.items():
+            located = thread.current_phase()
+            if located is None:
+                continue
+            prev = self._last_rates.get(thread.tid)
+            guess_cpi = prev.cpi if prev else 1.0
+            inst_rate[thread.tid] = self.arch.freq_hz / guess_cpi
+
+        mem_latency = self.arch.mem_latency
+        for _ in range(CONTENTION_ITERATIONS):
+            pressures: dict[CacheInstance, dict[int, float]] = {}
+            demand = 0.0
+            for pu, thread in assignment.items():
+                located = thread.current_phase()
+                if located is None:
+                    continue
+                phase, _ = located
+                path = self.caches.path_for_pu(pu)
+                prev = rates.get(thread.tid)
+                if prev is not None:
+                    profile = prev.miss_profile
+                    accesses = profile.accesses
+                    demand += (
+                        profile.misses[-1]
+                        * inst_rate[thread.tid]
+                        * path[-1].spec.line
+                    )
+                else:
+                    accesses = [phase.mix.mem_refs] * len(path)
+                for inst, acc in zip(path, accesses):
+                    pressures.setdefault(inst, {})[thread.tid] = (
+                        acc * inst_rate.get(thread.tid, 0.0)
+                    )
+            mem_latency = self.memory.effective_latency(demand)
+            for pu, thread in assignment.items():
+                located = thread.current_phase()
+                if located is None:
+                    continue
+                phase, _ = located
+                caps = self.caches.levels_with_capacity(pu, pressures, thread.tid)
+                r = compute_rates(
+                    self.arch,
+                    phase,
+                    caps,
+                    mem_latency_cycles=mem_latency,
+                    issue_share=shares[pu],
+                )
+                rates[thread.tid] = r
+                inst_rate[thread.tid] = self.arch.freq_hz / r.cpi
+        return rates
+
+    # ------------------------------------------------------------------
+    # Instruction retirement
+    # ------------------------------------------------------------------
+    def _run_slice(
+        self,
+        thread: SimThread,
+        pu_id: int,
+        contended: SliceRates | None,
+        dt: float,
+    ) -> None:
+        """Retire instructions on ``thread`` for one tick on ``pu_id``."""
+        located = thread.current_phase()
+        if located is None:
+            self._reap(thread, dt)
+            return
+
+        cycle_budget = self.arch.freq_hz * dt
+        consumed_cycles = 0.0
+        deltas: dict[Event, float] = {}
+        noise = math.exp(
+            thread.process.rng.normal(0.0, located[0].noise)
+        ) if located[0].noise > 0 else 1.0
+
+        base = contended
+        while cycle_budget > 1e-6:
+            located = thread.current_phase()
+            if located is None:
+                break
+            phase, remaining = located
+            if base is not None and base.miss_profile.accesses:
+                rates = base
+            else:
+                caps = [(s, float(s.size)) for s in self.arch.cache_levels]
+                rates = compute_rates(self.arch, phase, caps)
+            # Jitter only the execution component; penalty cycles are
+            # physical latencies and stay put.
+            cpi = rates.cpi_exec * noise + (rates.cpi - rates.cpi_exec)
+            instructions = min(cycle_budget / cpi, remaining)
+            cycles = instructions * cpi
+            for event, per_instr in rates.events.items():
+                if event is Event.CYCLES:
+                    deltas[event] = deltas.get(event, 0.0) + cycles
+                else:
+                    deltas[event] = deltas.get(event, 0.0) + per_instr * instructions
+            thread.retired += instructions
+            thread.cycles += cycles
+            consumed_cycles += cycles
+            cycle_budget -= cycles
+            if thread.current_phase() is None:
+                break
+            # Crossing into a new phase invalidates the contended rates;
+            # recompute solo for the remainder of this tick (one tick of
+            # slight inaccuracy at each boundary).
+            if remaining <= instructions + 1e-9:
+                base = None
+
+        scheduled_dt = dt * min(1.0, consumed_cycles / (self.arch.freq_hz * dt))
+        thread.cpu_time += scheduled_dt
+        done = thread.current_phase() is None
+        # A thread that finishes mid-tick stops its counters' enabled clock
+        # at death; otherwise user-space scaling (enabled/running) would
+        # extrapolate the dead fraction of the tick as multiplexed time.
+        self.counters.accrue(
+            thread.tid,
+            deltas,
+            wall_dt=scheduled_dt if done else dt,
+            scheduled_dt=scheduled_dt,
+            alive=True,
+        )
+        if contended is not None:
+            self._last_rates[thread.tid] = contended
+        if thread.current_phase() is None:
+            self._reap(thread, 0.0)
+
+    def _reap(self, thread: SimThread, dt: float) -> None:
+        if thread.state is TaskState.DEAD:
+            return
+        thread.mark_dead()
+        self.scheduler.forget(thread)
+        self._last_rates.pop(thread.tid, None)

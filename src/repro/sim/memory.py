@@ -1,0 +1,51 @@
+"""DRAM bandwidth / latency contention model.
+
+The paper observes (§3.4) that co-running jobs slow each other down through
+the shared memory hierarchy even at 100 % CPU, and cites Moscibroda & Mutlu
+on DRAM-level contention it cannot yet observe directly. We model the
+memory bus as a shared resource whose effective latency grows with aggregate
+demand: a standard M/D/1-flavoured inflation
+``latency = base * (1 + k * u / (1 - u))`` clipped at a maximum, where ``u``
+is bus utilisation from all LLC miss traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class MemorySystem:
+    """Shared memory bus of one simulated machine.
+
+    Attributes:
+        bandwidth_bytes_per_sec: peak sustainable DRAM bandwidth.
+        base_latency_cycles: uncontended access latency (from the arch).
+        contention_factor: strength of queueing inflation (k above).
+        max_inflation: cap on the latency multiplier.
+    """
+
+    bandwidth_bytes_per_sec: float
+    base_latency_cycles: float
+    contention_factor: float = 0.3
+    max_inflation: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise SimulationError("memory bandwidth must be positive")
+        if self.base_latency_cycles <= 0:
+            raise SimulationError("memory latency must be positive")
+
+    def utilisation(self, demand_bytes_per_sec: float) -> float:
+        """Bus utilisation in [0, 1) for the given aggregate demand."""
+        if demand_bytes_per_sec <= 0:
+            return 0.0
+        return min(0.98, demand_bytes_per_sec / self.bandwidth_bytes_per_sec)
+
+    def effective_latency(self, demand_bytes_per_sec: float) -> float:
+        """Latency in cycles of one memory access under contention."""
+        u = self.utilisation(demand_bytes_per_sec)
+        inflation = 1.0 + self.contention_factor * u / (1.0 - u)
+        return self.base_latency_cycles * min(inflation, self.max_inflation)

@@ -1,0 +1,66 @@
+"""Micro-code floating-point assist model.
+
+On the paper's Nehalem, FP operations on non-finite (Inf/NaN) or denormal
+operands are "assisted in micro-code … extremely slow compared to regular FP
+execution" (§3.1, quoting the Intel optimisation manual). The x87 pipeline
+takes the assist on every such operation; SSE scalar code with default MXCSR
+flush-to-zero semantics in the paper's experiment did *not* take assists
+(Table 1: SSE IPC unchanged at 1.33). The PowerPC 970 handles non-finite
+values in hardware and has no assist mechanism at all (Fig. 3d).
+
+The model: an architecture exposes ``fp_assist_penalty`` (cycles of
+micro-code per assisted instruction, None when absent); a phase exposes the
+fraction of FP operations with assist-eligible operands and which FP ISA the
+code uses. This module turns those into assists-per-instruction and the CPI
+tax — which is what the FP_ASSIST counter and the paper's ``%FP_assist``
+column report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.arch import ArchModel
+from repro.sim.isa import InstructionMix, OperandProfile
+
+#: Extra micro-ops issued per assisted instruction (drives UOPS_EXECUTED;
+#: the Intel manuals put assists in the hundreds-of-uops range).
+ASSIST_UOPS = 180.0
+
+
+@dataclass(frozen=True)
+class AssistOutcome:
+    """Assist rates for one phase on one architecture.
+
+    Attributes:
+        assists_per_instruction: assisted FP instructions per retired
+            instruction (``x100`` gives the paper's %FP_assist column).
+        cpi_tax: cycles per instruction added by assist micro-code.
+        extra_uops_per_instruction: additional micro-ops per instruction.
+    """
+
+    assists_per_instruction: float
+    cpi_tax: float
+    extra_uops_per_instruction: float
+
+
+def assist_outcome(
+    arch: ArchModel, mix: InstructionMix, operands: OperandProfile
+) -> AssistOutcome:
+    """Compute FP-assist rates for ``mix``/``operands`` on ``arch``.
+
+    Only x87 FP instructions are assist-eligible in this model (matching the
+    paper's Table 1, where the SSE build of the same loop shows zero
+    assists); architectures without the mechanism return all-zero rates.
+    """
+    if not arch.has_fp_assist:
+        return AssistOutcome(0.0, 0.0, 0.0)
+    eligible = mix.x87_ops * operands.assist_eligible
+    if eligible <= 0:
+        return AssistOutcome(0.0, 0.0, 0.0)
+    penalty = arch.fp_assist_penalty or 0.0
+    return AssistOutcome(
+        assists_per_instruction=eligible,
+        cpi_tax=eligible * penalty,
+        extra_uops_per_instruction=eligible * ASSIST_UOPS,
+    )

@@ -1,0 +1,151 @@
+"""Simulated processes and threads.
+
+A :class:`SimProcess` owns one or more :class:`SimThread` objects; each
+thread executes the process's :class:`~repro.sim.workload.Workload`
+independently (its own retired-instruction cursor). The fields mirror what
+tiptop reads from ``/proc``: pid/tid, owner, command name, state, CPU times,
+the processor a task last ran on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.workload import Phase, Workload
+
+
+class TaskState(enum.Enum):
+    """Scheduler-visible task states (a subset of Linux's)."""
+
+    RUNNABLE = "R"
+    SLEEPING = "S"
+    DEAD = "X"
+
+
+@dataclass(eq=False)
+class SimThread:
+    """One schedulable hardware-thread of work.
+
+    Attributes:
+        tid: thread id (equals the pid for single-threaded processes).
+        process: owning process.
+        retired: instructions retired since thread start.
+        cycles: core cycles consumed while scheduled.
+        state: RUNNABLE/SLEEPING/DEAD.
+        cpu_time: seconds of CPU consumed (utime+stime equivalent).
+        last_pu: PU the thread last ran on (-1 before first dispatch).
+        vruntime: scheduler fairness clock (CFS-like).
+        context_switches: number of times the thread was switched in.
+    """
+
+    tid: int
+    process: "SimProcess"
+    retired: float = 0.0
+    cycles: float = 0.0
+    state: TaskState = TaskState.RUNNABLE
+    cpu_time: float = 0.0
+    last_pu: int = -1
+    vruntime: float = 0.0
+    context_switches: int = 0
+    duty_rng: np.random.Generator | None = None
+
+    def current_phase(self) -> tuple[Phase, float] | None:
+        """Active phase and remaining budget, or None when finished."""
+        return self.process.workload.locate(self.retired)
+
+    @property
+    def alive(self) -> bool:
+        """True until the thread's workload completes."""
+        return self.state is not TaskState.DEAD
+
+    def mark_dead(self) -> None:
+        """Terminate the thread."""
+        self.state = TaskState.DEAD
+
+
+@dataclass(eq=False)
+class SimProcess:
+    """A simulated process: identity plus workload.
+
+    Attributes:
+        pid: process id.
+        uid: numeric owner id.
+        user: owner's login name (tiptop's USER column).
+        command: executable name (tiptop's COMMAND column).
+        workload: the behavioural program every thread executes.
+        affinity: PU ids this process may run on (None = all; the paper's
+            §3.4 uses ``taskset`` to pin mcf copies to chosen cores).
+        nice: scheduling weight bias (positive = lower priority).
+        duty_cycle: fraction of time the process is runnable (1.0 = pure
+            CPU burner; < 1 models I/O or lock waits, producing the paper's
+            sub-100 %CPU rows like process11 at 43.7 % in Fig. 1).
+        start_time: virtual time the process was spawned.
+        threads: the schedulable threads.
+        rng: per-process deterministic noise source.
+    """
+
+    pid: int
+    uid: int
+    user: str
+    command: str
+    workload: Workload
+    affinity: frozenset[int] | None = None
+    nice: int = 0
+    duty_cycle: float = 1.0
+    start_time: float = 0.0
+    threads: list[SimThread] = field(default_factory=list)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def spawn_threads(self, count: int, first_tid: int) -> None:
+        """Create ``count`` threads with ids starting at ``first_tid``.
+
+        The first thread of a process conventionally has ``tid == pid``.
+        """
+        if count < 1:
+            raise SimulationError(f"process {self.pid} needs >= 1 thread")
+        if self.threads:
+            raise SimulationError(f"process {self.pid} already has threads")
+        for i in range(count):
+            self.threads.append(SimThread(tid=first_tid + i, process=self))
+
+    @property
+    def alive(self) -> bool:
+        """True while any thread is alive."""
+        return any(t.alive for t in self.threads)
+
+    @property
+    def state(self) -> TaskState:
+        """Aggregate state: runnable if any thread is."""
+        states = {t.state for t in self.threads}
+        if TaskState.RUNNABLE in states:
+            return TaskState.RUNNABLE
+        if TaskState.SLEEPING in states:
+            return TaskState.SLEEPING
+        return TaskState.DEAD
+
+    @property
+    def retired(self) -> float:
+        """Total instructions retired by all threads."""
+        return sum(t.retired for t in self.threads)
+
+    @property
+    def cpu_time(self) -> float:
+        """Total CPU seconds across threads."""
+        return sum(t.cpu_time for t in self.threads)
+
+    def thread(self, tid: int) -> SimThread:
+        """Look up a thread by tid.
+
+        Raises:
+            SimulationError: when the tid is not part of this process.
+        """
+        for t in self.threads:
+            if t.tid == tid:
+                return t
+        raise SimulationError(f"process {self.pid} has no thread {tid}")

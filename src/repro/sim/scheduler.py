@@ -1,0 +1,113 @@
+"""CFS-like OS scheduler for the simulated machine.
+
+Implements the behaviours the paper's experiments depend on:
+
+* **Fairness** — runnable threads are dispatched by lowest virtual runtime,
+  so over-subscribed nodes time-share and ``%CPU`` drops below 100 %
+  (process11 in Fig. 1 shows 43.7 %).
+* **Core spreading** — like Linux, an idle physical core is preferred over
+  the SMT sibling of a busy one, so up to N jobs on an N-core machine each
+  get a core to themselves (Figs. 10, 11a).
+* **Affinity** — ``taskset``-style pinning restricts a process to chosen
+  PUs; §3.4 uses this to force two mcf copies onto one physical core
+  (Fig. 11d).
+* **Placement stickiness** — a thread prefers its previous PU, minimising
+  migrations; migrations and preemptions are counted as context switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cpu_topology import Topology
+from repro.sim.process import SimThread, TaskState
+
+#: vruntime weight per nice level, approximating Linux's 1.25x per step.
+NICE_WEIGHT_STEP = 1.25
+
+
+@dataclass
+class Dispatch:
+    """Result of one scheduling round.
+
+    Attributes:
+        assignment: pu_id -> thread scheduled there this tick.
+        preempted: threads that were running last tick but lost their PU.
+    """
+
+    assignment: dict[int, SimThread]
+    preempted: list[SimThread]
+
+
+class Scheduler:
+    """Tick-based dispatcher over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._last_assignment: dict[int, SimThread] = {}
+
+    def _eligible_pus(self, thread: SimThread) -> list[int]:
+        affinity = thread.process.affinity
+        if affinity is None:
+            return [p.pu_id for p in self.topology.pus]
+        return [p.pu_id for p in self.topology.pus if p.pu_id in affinity]
+
+    def dispatch(self, runnable: list[SimThread], dt: float) -> Dispatch:
+        """Assign runnable threads to PUs for one tick of length ``dt``.
+
+        Threads are considered in vruntime order (fairness); each picks, in
+        preference order: its previous PU if free and eligible; a free PU on
+        a fully idle core; any free eligible PU. Unplaced threads wait.
+
+        Side effects: updates each scheduled thread's ``vruntime``,
+        ``last_pu`` and ``context_switches``.
+        """
+        runnable = [t for t in runnable if t.state is TaskState.RUNNABLE]
+        order = sorted(runnable, key=lambda t: (t.vruntime, t.tid))
+        free_pus = {p.pu_id for p in self.topology.pus}
+        core_busy: dict[int, int] = {}
+        assignment: dict[int, SimThread] = {}
+
+        for thread in order:
+            eligible = [pu for pu in self._eligible_pus(thread) if pu in free_pus]
+            if not eligible:
+                continue
+            chosen = self._pick_pu(thread, eligible, core_busy)
+            free_pus.discard(chosen)
+            core = self.topology.pu(chosen).core_id
+            core_busy[core] = core_busy.get(core, 0) + 1
+            assignment[chosen] = thread
+
+        previous = self._last_assignment
+        preempted = [
+            t
+            for pu, t in previous.items()
+            if t.state is TaskState.RUNNABLE and assignment.get(pu) is not t
+            and t not in assignment.values()
+        ]
+        for pu, thread in assignment.items():
+            if previous.get(pu) is not thread:
+                thread.context_switches += 1
+            weight = NICE_WEIGHT_STEP ** thread.process.nice
+            thread.vruntime += dt * weight
+            thread.last_pu = pu
+        self._last_assignment = dict(assignment)
+        return Dispatch(assignment=assignment, preempted=preempted)
+
+    def _pick_pu(
+        self, thread: SimThread, eligible: list[int], core_busy: dict[int, int]
+    ) -> int:
+        def core_of(pu: int) -> int:
+            return self.topology.pu(pu).core_id
+
+        idle_core = [pu for pu in eligible if core_busy.get(core_of(pu), 0) == 0]
+        pool = idle_core or eligible
+        if thread.last_pu in pool:
+            return thread.last_pu
+        return min(pool)
+
+    def forget(self, thread: SimThread) -> None:
+        """Drop a dead thread from placement memory."""
+        for pu, t in list(self._last_assignment.items()):
+            if t is thread:
+                del self._last_assignment[pu]

@@ -1,0 +1,48 @@
+"""SMT (hyper-threading) resource-sharing model.
+
+Two effects matter for the paper's §3.4 same-physical-core experiment
+(Fig. 11d):
+
+1. **Issue-slot sharing** — hardware threads on one core split the core's
+   issue bandwidth. With ``n`` active threads each gets
+   ``smt_efficiency / n`` of a solo thread's issue rate (efficiency > 1
+   models SMT's better utilisation of otherwise-idle slots).
+2. **Private-cache sharing** — L1/L2 are per-*core*, so SMT siblings split
+   their capacity. That is handled by the cache model's pressure-
+   proportional capacity shares; this module only answers "who is active on
+   this core and what issue share does each thread get".
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.arch import ArchModel
+
+
+def issue_share(arch: ArchModel, active_threads_on_core: int) -> float:
+    """Issue bandwidth available to one thread, relative to running solo.
+
+    Args:
+        arch: supplies ``smt_efficiency`` (aggregate throughput of a fully
+            occupied core relative to one thread).
+        active_threads_on_core: number of concurrently scheduled hardware
+            threads on the physical core, including the caller.
+
+    Returns:
+        A value in (0, 1]: 1.0 when alone, ``smt_efficiency / n`` otherwise.
+
+    Raises:
+        SimulationError: when more threads are claimed than the core has.
+    """
+    if active_threads_on_core < 1:
+        raise SimulationError(
+            f"active_threads_on_core must be >= 1, got {active_threads_on_core}"
+        )
+    if active_threads_on_core > arch.smt_per_core:
+        raise SimulationError(
+            f"{active_threads_on_core} active threads exceed SMT width "
+            f"{arch.smt_per_core} of {arch.name}"
+        )
+    if active_threads_on_core == 1:
+        return 1.0
+    return min(1.0, arch.smt_efficiency / active_threads_on_core)

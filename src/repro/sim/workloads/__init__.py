@@ -1,0 +1,15 @@
+"""Canned workload models calibrated against the paper's experiments.
+
+* :mod:`repro.sim.workloads.microbench` — the Figure 4/5 floating-point
+  micro-benchmark (Table 1).
+* :mod:`repro.sim.workloads.revolve` — the biologists' R evolutionary
+  algorithm of §3.1 (Figure 3).
+* :mod:`repro.sim.workloads.spec` — SPEC CPU2006 phase models
+  (Figures 6–9, 11).
+* :mod:`repro.sim.workloads.datacenter` — data-center node populations
+  (Figures 1 and 10).
+"""
+
+from repro.sim.workloads import datacenter, microbench, revolve, spec
+
+__all__ = ["datacenter", "microbench", "revolve", "spec"]

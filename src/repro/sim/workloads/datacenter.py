@@ -1,0 +1,193 @@
+"""Data-center node populations (§3.4, Figures 1 and 10).
+
+The paper's compute grid is ~100 bi-Xeon nodes behind Sun Grid Engine.
+Two snapshots appear in the paper:
+
+* **Figure 1** — a bi-Xeon E5640 node (16 logical cores) carrying eleven
+  processes of three users with IPCs from 0.66 to 2.36; one process shows
+  43.7 %CPU (it waits on something), one shows DMIS 0.9 (cache-missy).
+* **Figure 10** — a node where ``user1`` has two long jobs (IPC ~1.3 and
+  ~1.0); ``user2`` suddenly gets five jobs scheduled for roughly an hour,
+  and the shared last-level cache drags both of user1's jobs down ~20 %
+  (1.3 -> 1.05, 1.0 -> 0.8) while %CPU stays above 99.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.arch import WESTMERE_E5640
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.core import calibrate_phase
+from repro.sim.isa import InstructionMix
+from repro.sim.machine import SimMachine
+from repro.sim.process import SimProcess
+from repro.sim.workload import Phase, Workload
+
+_CPU_MIX = InstructionMix.of(
+    int_alu=0.45, load=0.22, store=0.06, branch=0.15, fp_sse=0.12
+)
+
+_CACHE_FRIENDLY = MemoryBehavior(
+    working_set=1 * 1024 * 1024,
+    level_hit_ratios=(0.96, 0.99, 0.998),
+    mlp=2.0,
+)
+
+#: LLC-resident working set: sensitive to losing L3 share (Fig. 10 victims).
+_LLC_SENSITIVE = MemoryBehavior(
+    working_set=10 * 1024 * 1024,
+    level_hit_ratios=(0.95, 0.965, 0.996),
+    miss_amplification=(0.3, 0.3, 1.35),
+    mlp=2.0,
+)
+
+#: Cache-hungry streaming-ish jobs (Fig. 10 aggressors; Fig. 1's process6).
+_LLC_HUNGRY = MemoryBehavior(
+    working_set=200 * 1024 * 1024,
+    level_hit_ratios=(0.94, 0.955, 0.97),
+    miss_amplification=(0.3, 0.3, 0.3),
+    mlp=4.0,
+)
+
+
+def compute_job(
+    name: str,
+    target_ipc: float,
+    *,
+    memory: MemoryBehavior = _CACHE_FRIENDLY,
+    duration_hint: float = math.inf,
+    noise: float = 0.03,
+) -> Workload:
+    """A generic batch job calibrated to ``target_ipc`` solo on the node.
+
+    Args:
+        name: workload name (shows up as the COMMAND column).
+        target_ipc: solo IPC on the E5640 node.
+        memory: memory behaviour class of the job.
+        duration_hint: approximate solo run time in seconds
+            (``inf`` = runs until killed).
+        noise: per-tick execution jitter.
+    """
+    arch = WESTMERE_E5640
+    if math.isinf(duration_hint):
+        budget = math.inf
+    else:
+        budget = target_ipc * arch.freq_hz * duration_hint
+    seed = Phase(
+        name="main",
+        instructions=budget,
+        mix=_CPU_MIX,
+        memory=memory,
+        branches=BranchBehavior(mispredict_ratio=0.02),
+        noise=noise,
+    )
+    return Workload(name=name, phases=(calibrate_phase(arch, seed, target_ipc),))
+
+
+def make_node(*, tick: float = 1.0, seed: int = 7) -> SimMachine:
+    """A bi-Xeon E5640 node: 2 sockets x 4 cores x 2 SMT = 16 PUs."""
+    return SimMachine(
+        WESTMERE_E5640,
+        sockets=2,
+        cores_per_socket=4,
+        memory_bytes=24 * 1024**3,
+        tick=tick,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """Expected identity of one Figure 1 process."""
+
+    user: str
+    command: str
+    ipc: float
+    dmis: float = 0.0
+    duty_cycle: float = 1.0
+
+
+#: The eleven processes of Figure 1 (users anonymised as in the paper).
+FIG1_ROWS: tuple[Fig1Row, ...] = (
+    Fig1Row("user1", "process1", 1.97),
+    Fig1Row("user3", "process2", 1.32),
+    Fig1Row("user1", "process3", 2.27),
+    Fig1Row("user1", "process4", 2.36),
+    Fig1Row("user3", "process5", 1.17),
+    Fig1Row("user2", "process6", 0.66, dmis=0.9),
+    Fig1Row("user1", "process7", 1.73),
+    Fig1Row("user1", "process8", 1.44),
+    Fig1Row("user1", "process9", 1.39),
+    Fig1Row("user1", "process10", 1.39),
+    Fig1Row("user1", "process11", 1.62, duty_cycle=0.437),
+)
+
+
+def populate_fig1(machine: SimMachine) -> list[SimProcess]:
+    """Spawn the Figure 1 population onto ``machine``.
+
+    Eleven mostly CPU-bound jobs; ``process6`` misses in the LLC (DMIS 0.9)
+    and ``process11`` runs at ~43.7 %CPU.
+    """
+    procs = []
+    for row in FIG1_ROWS:
+        memory = _LLC_HUNGRY if row.dmis > 0 else _CACHE_FRIENDLY
+        wl = compute_job(row.command, row.ipc, memory=memory)
+        procs.append(
+            machine.spawn(
+                row.command, wl, user=row.user, duty_cycle=row.duty_cycle
+            )
+        )
+    return procs
+
+
+#: Fig. 10 script timing (seconds of virtual time; the paper's plot ticks
+#: are 10 s). user2's burst lasts ~an hour; the quoted 20 % IPC drop is
+#: measured over the first 38 minutes of the overlap.
+FIG10_BURST_START = 600.0
+FIG10_BURST_DURATION = 3600.0
+
+
+def populate_fig10(
+    machine: SimMachine,
+    *,
+    burst_start: float = FIG10_BURST_START,
+    burst_duration: float = FIG10_BURST_DURATION,
+) -> dict[str, list[SimProcess]]:
+    """Script the Figure 10 scenario onto ``machine``.
+
+    ``user1`` gets two endless LLC-sensitive jobs immediately; at
+    ``burst_start`` ``user2``'s five cache-hungry jobs arrive and run for
+    ``burst_duration`` seconds each (they are sized to finish then).
+
+    Returns:
+        ``{"user1": [...], "user2": [...]}`` — user2's list is filled when
+        the burst fires (after the machine reaches ``burst_start``).
+    """
+    jobs: dict[str, list[SimProcess]] = {"user1": [], "user2": []}
+    jobs["user1"].append(
+        machine.spawn(
+            "sim-A", compute_job("sim-A", 1.30, memory=_LLC_SENSITIVE), user="user1"
+        )
+    )
+    jobs["user1"].append(
+        machine.spawn(
+            "sim-B", compute_job("sim-B", 1.00, memory=_LLC_SENSITIVE), user="user1"
+        )
+    )
+
+    def burst() -> None:
+        for i in range(5):
+            wl = compute_job(
+                f"batch-{i}",
+                0.90,
+                memory=_LLC_HUNGRY,
+                duration_hint=burst_duration,
+            )
+            jobs["user2"].append(machine.spawn(f"batch-{i}", wl, user="user2"))
+
+    machine.at(burst_start, burst)
+    return jobs

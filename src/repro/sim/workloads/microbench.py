@@ -1,0 +1,88 @@
+"""The Figure 4/5 floating-point micro-benchmark.
+
+The paper's loop compiles to exactly four instructions per iteration
+(Fig. 5)::
+
+    .L16:  addq $1, %rax        # int ALU
+           fadd %st, %st(1)     # x87 FP  (or addsd %xmm1, %xmm0 for SSE)
+           cmpq %rbx, %rax      # int ALU
+           jne  .L16            # perfectly predicted loop branch
+
+so the instruction mix is 50 % integer ALU, 25 % FP, 25 % branch, with no
+memory traffic (both operands live in registers) and essentially zero
+mispredicts. With finite operands the loop sustains IPC 1.33 (four
+instructions in three cycles, bound by the FP-add dependency chain). With
+Inf/NaN operands every x87 add takes a micro-code assist; Table 1 reports
+IPC 0.015 and 25 assists per 100 instructions — an 87x slowdown. The SSE
+build is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.isa import InstructionMix, OperandProfile
+from repro.sim.workload import Phase, Workload
+
+#: Instructions per loop iteration (Fig. 5).
+INSTRUCTIONS_PER_ITERATION = 4
+
+#: Execution CPI of the loop with finite operands: 3 cycles per 4-instruction
+#: iteration (FP-add latency-bound), i.e. IPC = 1.33.
+FINITE_EXEC_CPI = 0.75
+
+#: The two FP instruction sets GCC can target (-mfpmath=387 / -mfpmath=sse).
+ISAS = ("x87", "sse")
+
+#: Operand initialisations of Figure 4.
+OPERAND_CLASSES = ("finite", "inf", "nan")
+
+
+def _operands(operand_class: str) -> OperandProfile:
+    if operand_class == "finite":
+        return OperandProfile()
+    if operand_class in ("inf", "nan"):
+        # Every iteration's fadd touches the non-finite accumulator.
+        return OperandProfile(nonfinite=1.0)
+    raise WorkloadError(
+        f"operand_class must be one of {OPERAND_CLASSES}, got {operand_class!r}"
+    )
+
+
+def fp_microbench(
+    isa: str = "x87",
+    operand_class: str = "finite",
+    iterations: float = 2.5e9,
+) -> Workload:
+    """Build the micro-benchmark workload.
+
+    Args:
+        isa: ``"x87"`` (gcc -mfpmath=387) or ``"sse"`` (gcc -mfpmath=sse).
+        operand_class: ``"finite"``, ``"inf"`` or ``"nan"`` — which
+            ``init_XXX`` of Figure 4 ran before the loop.
+        iterations: loop trip count (instruction budget / 4).
+
+    Returns:
+        A single-phase workload named ``fp-<isa>-<operand_class>``.
+    """
+    if isa == "x87":
+        mix = InstructionMix.of(int_alu=0.5, fp_x87=0.25, branch=0.25)
+    elif isa == "sse":
+        mix = InstructionMix.of(int_alu=0.5, fp_sse=0.25, branch=0.25)
+    else:
+        raise WorkloadError(f"isa must be one of {ISAS}, got {isa!r}")
+    if iterations <= 0:
+        raise WorkloadError(f"iterations must be positive, got {iterations}")
+    phase = Phase(
+        name=f"fp-loop-{isa}-{operand_class}",
+        instructions=iterations * INSTRUCTIONS_PER_ITERATION,
+        mix=mix,
+        # x and y are two globals: everything stays in one L1 line.
+        memory=MemoryBehavior(working_set=64),
+        branches=BranchBehavior(mispredict_ratio=0.0),
+        operands=_operands(operand_class),
+        exec_cpi=FINITE_EXEC_CPI,
+        noise=0.0,
+    )
+    return Workload(name=f"fp-{isa}-{operand_class}", phases=(phase,))

@@ -1,0 +1,158 @@
+"""The biologists' R evolutionary algorithm of §3.1 (Figure 3).
+
+The algorithm models population evolution: an outer loop over time steps,
+each doing matrix multiplications and element-wise scalar work inside the R
+interpreter. It is numerically unstable for some data sets: after time step
+953 the matrices fill with Inf/NaN, and on Nehalem every x87 FP operation
+then takes a micro-code assist — IPC collapses from ~1.0 to ~0.03 (with
+brief pulses when an iteration's control work dominates), while %CPU stays
+at 100. The fixed variant clips matrix values each step; the paper reports
+a 2.3x end-to-end speedup and 4.8x on the faulty part alone. On the
+PowerPC 970 the same workload shows no collapse (no assist mechanism) but a
+lower IPC and a much longer run (Fig. 3d).
+
+Calibration bookkeeping (5 s sampling as in the paper):
+
+* nominal part: 953 steps x :data:`STEP_INSTRUCTIONS` at IPC ~1.0 on
+  Nehalem = ~4766 s (~953 samples) — matches Fig. 3a's transition point.
+* diverged part: :data:`DIVERGED_INSTRUCTIONS` at IPC ~0.03 = ~11870 s, for
+  a 3327-sample total (Fig. 3a's x-axis).
+* clipped run: 953 + 495 nominal-speed steps = ~7240 s, i.e. the 2.3x /
+  4.8x speedups quoted in §3.1.
+"""
+
+from __future__ import annotations
+
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.isa import InstructionMix, OperandProfile
+from repro.sim.workload import Phase, Workload
+
+#: Time step at which the algorithm diverges (Fig. 3a/3c).
+DIVERGENCE_STEP = 953
+
+#: Post-divergence time steps (from the 4.8x faulty-part speedup, §3.1).
+POST_DIVERGENCE_STEPS = 495
+
+#: The paper samples every 5 seconds.
+SAMPLE_PERIOD = 5.0
+
+#: Instructions per nominal time step: ~5 s at IPC ~1.0 on a 3.07 GHz Nehalem.
+STEP_INSTRUCTIONS = 1.53e10
+
+#: Instructions in the diverged part: ~11870 s at IPC ~0.03.
+DIVERGED_INSTRUCTIONS = 1.09e12
+
+#: Interleaved nominal-speed "pulses" within the diverged part (Fig. 3a
+#: shows brief IPC spikes): number of (diverged, pulse) chunks.
+PULSE_CHUNKS = 20
+
+#: Instructions per pulse chunk (~2 s at nominal IPC: visible in 5 s bins).
+PULSE_INSTRUCTIONS = 6.0e9
+
+#: The R interpreter is markedly less efficient on the PPC970 build
+#: (Fig. 3d: IPC ~0.37, run stretching past 30000 s).
+_PPC_FACTOR = (("ppc970", 1.65),)
+
+#: Interpreter instruction mix: dispatch-heavy integer code around x87 FP
+#: kernels (R 2.10 on this machine used x87 math).
+_MIX_NOMINAL = InstructionMix.of(
+    int_alu=0.38, load=0.22, store=0.06, branch=0.18, fp_x87=0.14, nop=0.02
+)
+
+#: In the diverged phase the matrix kernels dominate samples (the scalar
+#: element-wise passes crawl), raising the FP fraction.
+_MIX_DIVERGED = InstructionMix.of(
+    int_alu=0.28, load=0.20, store=0.05, branch=0.12, fp_x87=0.35
+)
+
+_MEMORY = MemoryBehavior(
+    working_set=4 * 1024 * 1024,
+    level_hit_ratios=(0.93, 0.97, 0.995),
+    mlp=2.5,
+)
+
+_BRANCHES = BranchBehavior(mispredict_ratio=0.03)
+
+#: Fraction of diverged-phase FP operations on Inf/NaN operands. With the
+#: 0.35 x87 mix this yields ~12 assists per 100 instructions — Fig. 3c's
+#: right axis — and a ~33x IPC collapse on Nehalem.
+DIVERGED_NONFINITE = 0.35
+
+#: Solo IPC of the healthy algorithm on Nehalem (Fig. 3a's first plateau).
+NOMINAL_IPC = 1.0
+
+
+def _nominal_exec_cpi() -> float:
+    from repro.sim.arch import NEHALEM
+    from repro.sim.core import exec_cpi_for_target_ipc
+
+    seed = Phase(
+        name="seed",
+        instructions=1.0,
+        mix=_MIX_NOMINAL,
+        memory=_MEMORY,
+        branches=_BRANCHES,
+        noise=0.0,
+    )
+    return exec_cpi_for_target_ipc(NEHALEM, seed, NOMINAL_IPC)
+
+
+#: Execution CPI of the interpreter loop, calibrated so the nominal phase
+#: runs at exactly :data:`NOMINAL_IPC` solo on Nehalem.
+_EXEC_CPI = _nominal_exec_cpi()
+
+
+def _nominal_phase(name: str, instructions: float) -> Phase:
+    return Phase(
+        name=name,
+        instructions=instructions,
+        mix=_MIX_NOMINAL,
+        memory=_MEMORY,
+        branches=_BRANCHES,
+        exec_cpi=_EXEC_CPI,
+        noise=0.08,
+        arch_factors=_PPC_FACTOR,
+    )
+
+
+def _diverged_phase(name: str, instructions: float) -> Phase:
+    return Phase(
+        name=name,
+        instructions=instructions,
+        mix=_MIX_DIVERGED,
+        memory=_MEMORY,
+        branches=_BRANCHES,
+        operands=OperandProfile(nonfinite=DIVERGED_NONFINITE),
+        exec_cpi=_EXEC_CPI,
+        noise=0.05,
+        arch_factors=_PPC_FACTOR,
+    )
+
+
+def original() -> Workload:
+    """The unmodified algorithm: diverges after :data:`DIVERGENCE_STEP` steps."""
+    phases: list[Phase] = [
+        _nominal_phase("nominal", DIVERGENCE_STEP * STEP_INSTRUCTIONS)
+    ]
+    chunk = (DIVERGED_INSTRUCTIONS - PULSE_CHUNKS * PULSE_INSTRUCTIONS) / PULSE_CHUNKS
+    for i in range(PULSE_CHUNKS):
+        phases.append(_diverged_phase(f"diverged-{i}", chunk))
+        phases.append(_nominal_phase(f"pulse-{i}", PULSE_INSTRUCTIONS))
+    return Workload(name="revolve-original", phases=tuple(phases))
+
+
+def clipped() -> Workload:
+    """The fixed algorithm: values clipped each step, no divergence.
+
+    The clipping pass adds a small amount of extra work per step (§3.1 calls
+    it "negligible in front of the savings").
+    """
+    overhead = 1.02
+    total_steps = DIVERGENCE_STEP + POST_DIVERGENCE_STEPS
+    return Workload(
+        name="revolve-clipped",
+        phases=(
+            _nominal_phase("clipped", total_steps * STEP_INSTRUCTIONS * overhead),
+        ),
+    )

@@ -1,0 +1,161 @@
+"""Synthetic workload populations for stress and endurance testing.
+
+The paper's tool runs unattended against *whatever* a production node
+happens to be running. This generator produces deterministic, seeded
+populations spanning the behavioural space the models cover — compute-bound,
+memory-bound, branchy, FP-heavy, phase-switching, short-lived, duty-cycled —
+so endurance tests can churn thousands of realistic processes through the
+monitor without hand-writing each one.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.arch import ArchModel, NEHALEM
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.core import calibrate_phase
+from repro.sim.isa import InstructionMix
+from repro.sim.workload import Phase, Workload
+
+#: The behavioural archetypes the generator draws from.
+ARCHETYPES = (
+    "compute",     # high IPC, cache-resident
+    "memory",      # LLC-missing, low IPC
+    "branchy",     # mispredict-limited
+    "fp",          # FP-dense kernels
+    "phased",      # alternates two regimes
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """One generated job description (inputs to :func:`build`)."""
+
+    name: str
+    archetype: str
+    target_ipc: float
+    duration: float  # solo seconds; inf for services
+    duty_cycle: float
+    nthreads: int
+
+
+def _mix_for(archetype: str, rng: np.random.Generator) -> InstructionMix:
+    if archetype == "fp":
+        return InstructionMix.of(
+            int_alu=0.28, load=0.24, store=0.08, branch=0.08, fp_sse=0.32
+        )
+    if archetype == "branchy":
+        return InstructionMix.of(
+            int_alu=0.48, load=0.22, store=0.07, branch=0.23
+        )
+    if archetype == "memory":
+        return InstructionMix.of(
+            int_alu=0.37, load=0.31, store=0.12, branch=0.2
+        )
+    return InstructionMix.of(
+        int_alu=0.5, load=0.22, store=0.08, branch=0.15, fp_sse=0.05
+    )
+
+
+def _memory_for(archetype: str, rng: np.random.Generator) -> MemoryBehavior:
+    if archetype == "memory":
+        return MemoryBehavior(
+            working_set=int(rng.integers(64, 1024)) * 1024 * 1024,
+            level_hit_ratios=(0.94, 0.955, 0.97),
+            mlp=float(rng.uniform(3.5, 6.0)),
+        )
+    return MemoryBehavior(
+        working_set=int(rng.integers(1, 16)) * 1024 * 1024,
+        level_hit_ratios=(0.97, 0.99, 0.998),
+        mlp=2.0,
+    )
+
+
+def _ipc_range(archetype: str) -> tuple[float, float]:
+    return {
+        "compute": (1.4, 2.4),
+        "memory": (0.35, 0.7),
+        "branchy": (0.8, 1.2),
+        "fp": (1.2, 1.9),
+        "phased": (0.8, 1.6),
+    }[archetype]
+
+
+def generate_specs(
+    count: int,
+    *,
+    seed: int = 0,
+    service_fraction: float = 0.2,
+) -> list[SyntheticSpec]:
+    """Draw ``count`` deterministic job specs.
+
+    Raises:
+        WorkloadError: non-positive count or a fraction outside [0, 1].
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if not 0 <= service_fraction <= 1:
+        raise WorkloadError("service_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i in range(count):
+        archetype = ARCHETYPES[int(rng.integers(0, len(ARCHETYPES)))]
+        lo, hi = _ipc_range(archetype)
+        duration = (
+            math.inf
+            if rng.random() < service_fraction
+            else float(rng.uniform(10.0, 120.0))
+        )
+        specs.append(
+            SyntheticSpec(
+                name=f"{archetype}{i}",
+                archetype=archetype,
+                target_ipc=float(rng.uniform(lo, hi)),
+                duration=duration,
+                duty_cycle=float(rng.choice([1.0, 1.0, 1.0, 0.4, 0.7])),
+                nthreads=int(rng.choice([1, 1, 1, 2, 4])),
+            )
+        )
+    return specs
+
+
+def build(
+    spec: SyntheticSpec, arch: ArchModel = NEHALEM, *, seed: int = 0
+) -> Workload:
+    """Materialise one spec into a calibrated workload."""
+    rng = np.random.default_rng((seed, zlib.crc32(spec.name.encode())))
+    mix = _mix_for(spec.archetype, rng)
+    memory = _memory_for(spec.archetype, rng)
+    mispredict = 0.09 if spec.archetype == "branchy" else 0.02
+    budget = (
+        math.inf
+        if math.isinf(spec.duration)
+        else spec.target_ipc * arch.freq_hz * spec.duration
+    )
+    base = Phase(
+        name="main",
+        instructions=budget,
+        mix=mix,
+        memory=memory,
+        branches=BranchBehavior(mispredict_ratio=mispredict),
+        noise=0.03,
+    )
+    if spec.archetype != "phased":
+        return Workload(spec.name, (calibrate_phase(arch, base, spec.target_ipc),))
+    # Phased: alternate around the target, finite chunks.
+    chunk = (
+        budget / 6 if not math.isinf(budget) else 20.0 * arch.freq_hz
+    )
+    hi = calibrate_phase(arch, base.with_budget(chunk), spec.target_ipc * 1.2)
+    lo = calibrate_phase(arch, base.with_budget(chunk), spec.target_ipc * 0.8)
+    phases = (hi, lo, hi.with_budget(chunk), lo.with_budget(chunk), hi.with_budget(chunk), lo.with_budget(chunk))
+    if math.isinf(budget):
+        phases = (*phases[:-1], phases[-1].with_budget(math.inf))
+    return Workload(spec.name, phases)

@@ -1,0 +1,91 @@
+"""A fixed-capacity ring buffer for sample histories.
+
+The sampler keeps a bounded history of per-task metric samples so that live
+screens can show sparklines/averages without unbounded memory growth — the
+tool is meant to run for days against long-running jobs (§2.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Fixed-capacity FIFO that overwrites the oldest element when full.
+
+    Iteration and indexing are oldest-first. ``len()`` reports the number of
+    live elements (<= capacity).
+    """
+
+    __slots__ = ("_buf", "_capacity", "_start", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._buf: list[T | None] = [None] * capacity
+        self._start = 0
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained elements."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        """True when the next append will evict the oldest element."""
+        return self._size == self._capacity
+
+    def append(self, item: T) -> None:
+        """Add ``item``, evicting the oldest element if at capacity."""
+        idx = (self._start + self._size) % self._capacity
+        if self._size == self._capacity:
+            self._buf[self._start] = item
+            self._start = (self._start + 1) % self._capacity
+        else:
+            self._buf[idx] = item
+            self._size += 1
+
+    def extend(self, items: Sequence[T]) -> None:
+        """Append every element of ``items`` in order."""
+        for item in items:
+            self.append(item)
+
+    def __getitem__(self, index: int) -> T:
+        if isinstance(index, slice):
+            raise TypeError("RingBuffer does not support slicing; use list()")
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        return self._buf[(self._start + index) % self._capacity]  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[T]:
+        for i in range(self._size):
+            yield self._buf[(self._start + i) % self._capacity]  # type: ignore[misc]
+
+    def latest(self) -> T:
+        """Return the most recently appended element.
+
+        Raises:
+            IndexError: when the buffer is empty.
+        """
+        if self._size == 0:
+            raise IndexError("latest() on empty RingBuffer")
+        return self[self._size - 1]
+
+    def clear(self) -> None:
+        """Drop all elements (capacity is unchanged)."""
+        self._buf = [None] * self._capacity
+        self._start = 0
+        self._size = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RingBuffer({list(self)!r}, capacity={self._capacity})"

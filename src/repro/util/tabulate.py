@@ -1,0 +1,87 @@
+"""Minimal column/table renderer for live and batch screens.
+
+Tiptop has no graphics (§2.1) — output is fixed-width text in the spirit of
+``top``. This module owns alignment, truncation and header rendering so the
+formatter only decides *what* to show.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Align(enum.Enum):
+    """Column alignment."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+
+@dataclass(frozen=True)
+class ColumnFormat:
+    """Rendering spec for one table column.
+
+    Attributes:
+        header: column title as printed.
+        width: minimum field width; the column grows if a value is wider
+            unless ``truncate`` is set.
+        align: LEFT or RIGHT.
+        truncate: hard-cap values at ``width`` characters (used for COMMAND,
+            which is the last, left-aligned column in top-like tools).
+        render: callable turning the raw cell value into text.
+    """
+
+    header: str
+    width: int
+    align: Align = Align.RIGHT
+    truncate: bool = False
+    render: Callable[[Any], str] = field(default=str)
+
+    def format_cell(self, value: Any) -> str:
+        """Render ``value`` into a padded (and possibly truncated) field."""
+        text = self.render(value)
+        if self.truncate and len(text) > self.width:
+            text = text[: self.width]
+        if self.align is Align.LEFT:
+            return text.ljust(self.width)
+        return text.rjust(self.width)
+
+    def format_header(self) -> str:
+        """Render the header cell with the same geometry as data cells."""
+        text = self.header
+        if self.truncate and len(text) > self.width:
+            text = text[: self.width]
+        if self.align is Align.LEFT:
+            return text.ljust(self.width)
+        return text.rjust(self.width)
+
+
+def render_table(
+    columns: Sequence[ColumnFormat],
+    rows: Sequence[Sequence[Any]],
+    *,
+    sep: str = " ",
+    header: bool = True,
+) -> str:
+    """Render ``rows`` under ``columns`` into a newline-joined string.
+
+    Each row must have exactly one value per column.
+
+    Raises:
+        ValueError: on a row whose arity does not match the column list.
+    """
+    lines: list[str] = []
+    if header:
+        lines.append(sep.join(c.format_header() for c in columns).rstrip())
+    for row in rows:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(columns)}: {row!r}"
+            )
+        lines.append(
+            sep.join(c.format_cell(v) for c, v in zip(columns, row)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Human-readable formatting of counts, rates and sizes.
+
+Tiptop prints cycle and instruction counts in millions (``Mcycle``,
+``Minst``) and cache sizes in KB/MB as in the hwloc topology rendering.
+These helpers centralise the formatting rules so every screen and report
+agrees on them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1024,
+    "KIB": 1024,
+    "M": 1024**2,
+    "MB": 1024**2,
+    "MIB": 1024**2,
+    "G": 1024**3,
+    "GB": 1024**3,
+    "GIB": 1024**3,
+    "T": 1024**4,
+    "TB": 1024**4,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a size like ``"32KB"``, ``"8MB"`` or ``256`` into bytes.
+
+    Accepts an ``int`` (returned unchanged) or a string with an optional
+    binary suffix (K/M/G/T with optional B, case-insensitive).
+
+    Raises:
+        ConfigError: if the string cannot be parsed or is negative.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigError(f"size must be non-negative, got {text}")
+        return text
+    s = text.strip().upper().replace(" ", "")
+    i = len(s)
+    while i > 0 and not s[i - 1].isdigit():
+        i -= 1
+    num, suffix = s[:i], s[i:]
+    if not num:
+        raise ConfigError(f"cannot parse size {text!r}")
+    try:
+        value = int(num)
+    except ValueError as exc:
+        raise ConfigError(f"cannot parse size {text!r}") from exc
+    if suffix not in _SIZE_SUFFIXES:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {text!r}")
+    return value * _SIZE_SUFFIXES[suffix]
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count the way hwloc labels caches (``32KB``, ``8192KB``)."""
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024}KB"
+    return f"{nbytes}B"
+
+
+def format_millions(value: float, width: int = 0) -> str:
+    """Format a raw event count in millions, as tiptop's Mcycle/Minst columns.
+
+    The paper's Figure 1 shows integer millions (e.g. ``26456``); we keep one
+    decimal below 100 M for readability of short intervals.
+    """
+    m = value / 1e6
+    text = f"{m:.1f}" if abs(m) < 100 else f"{m:.0f}"
+    return text.rjust(width) if width else text
+
+
+def format_count(value: float, width: int = 0) -> str:
+    """Format a raw count with K/M/G scaling (``12.3M``, ``987K``)."""
+    a = abs(value)
+    if a >= 1e9:
+        text = f"{value / 1e9:.1f}G"
+    elif a >= 1e6:
+        text = f"{value / 1e6:.1f}M"
+    elif a >= 1e3:
+        text = f"{value / 1e3:.1f}K"
+    else:
+        text = f"{value:.0f}"
+    return text.rjust(width) if width else text
+
+
+def format_percent(value: float, width: int = 0) -> str:
+    """Format a ratio already expressed in percent (``99.9``)."""
+    text = "  -" if value is None or math.isnan(value) else f"{value:.1f}"
+    return text.rjust(width) if width else text
+
+
+def format_rate(value: float, width: int = 0) -> str:
+    """Format a per-interval ratio like IPC or misses/100-instructions."""
+    if value is None or math.isnan(value):
+        text = "-"
+    elif abs(value) >= 100:
+        text = f"{value:.0f}"
+    else:
+        text = f"{value:.2f}"
+    return text.rjust(width) if width else text
+
+
+def format_seconds(seconds: float) -> str:
+    """Format elapsed virtual time as ``H:MM:SS`` (like top's TIME column)."""
+    seconds = int(seconds)
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"

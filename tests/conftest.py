@@ -1,0 +1,65 @@
+"""Shared fixtures: machines, phases, workloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.isa import InstructionMix
+from repro.sim.workload import Phase, Workload
+
+
+@pytest.fixture
+def basic_mix() -> InstructionMix:
+    """A plausible integer-code mix."""
+    return InstructionMix.of(
+        int_alu=0.5, load=0.2, store=0.05, branch=0.15, fp_sse=0.1
+    )
+
+
+@pytest.fixture
+def basic_phase(basic_mix) -> Phase:
+    """A noise-free steady phase (~10 s of work at IPC ~1.5)."""
+    return Phase(
+        name="steady",
+        instructions=3.07e9 * 10,
+        mix=basic_mix,
+        memory=MemoryBehavior(working_set=1 * 1024 * 1024),
+        branches=BranchBehavior(mispredict_ratio=0.02),
+        exec_cpi=0.5,
+        noise=0.0,
+    )
+
+
+@pytest.fixture
+def endless_phase(basic_phase) -> Phase:
+    """The same phase, never ending."""
+    return basic_phase.with_budget(math.inf)
+
+
+@pytest.fixture
+def basic_workload(basic_phase) -> Workload:
+    """Single-phase finite workload."""
+    return Workload("steady", (basic_phase,))
+
+
+@pytest.fixture
+def endless_workload(endless_phase) -> Workload:
+    """Single-phase endless workload."""
+    return Workload("endless", (endless_phase,))
+
+
+@pytest.fixture
+def nehalem_machine() -> SimMachine:
+    """Quad-core Nehalem with SMT, 0.1 s ticks, fixed seed."""
+    return SimMachine(NEHALEM, sockets=1, cores_per_socket=4, tick=0.1, seed=11)
+
+
+@pytest.fixture
+def coarse_machine() -> SimMachine:
+    """Same machine with 0.5 s ticks for longer runs."""
+    return SimMachine(NEHALEM, sockets=1, cores_per_socket=4, tick=0.5, seed=11)

@@ -1,0 +1,157 @@
+"""Analysis layer: time series, phase detection, interference, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.interference import (
+    corun_slowdown,
+    overlap_window,
+    sensitivity_matrix,
+)
+from repro.analysis.phase_detect import detect_phases, transition_points
+from repro.analysis.timeseries import MetricSeries
+from repro.analysis.validation import compare_counts
+from repro.errors import ReproError
+
+
+class TestMetricSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            MetricSeries(np.arange(3), np.arange(4))
+
+    def test_mean(self):
+        s = MetricSeries.of([0, 1, 2], [1.0, 2.0, 3.0])
+        assert s.mean() == 2.0
+
+    def test_window(self):
+        s = MetricSeries.of([0, 1, 2, 3], [10, 20, 30, 40])
+        w = s.window(1, 3)
+        assert list(w.y) == [20, 30]
+
+    def test_smoothed_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(1.0, 0.5, 200)
+        s = MetricSeries.of(np.arange(200), y)
+        assert np.var(s.smoothed(0.2).y) < np.var(s.y)
+
+    def test_resample(self):
+        s = MetricSeries.of([0.0, 10.0], [0.0, 100.0])
+        r = s.resampled(np.array([5.0]))
+        assert r.y[0] == pytest.approx(50.0)
+
+    def test_resample_too_short(self):
+        with pytest.raises(ReproError):
+            MetricSeries.of([1.0], [1.0]).resampled(np.array([1.0]))
+
+    def test_ascii_plot_renders(self):
+        s = MetricSeries.of(np.arange(50), np.sin(np.arange(50) / 5), "wave")
+        text = s.ascii_plot(width=40, height=8)
+        assert "wave" in text
+        assert "*" in text
+        assert len(text.splitlines()) == 11  # label + 8 rows + axis + ticks
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in MetricSeries.of([], []).ascii_plot()
+
+
+class TestPhaseDetect:
+    def _step_series(self, n1=100, n2=100, lo=1.0, hi=0.03, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        y = np.r_[
+            lo + noise * rng.normal(size=n1), hi + noise * rng.normal(size=n2)
+        ]
+        return MetricSeries.of(np.arange(n1 + n2), y)
+
+    def test_clean_step_found(self):
+        cuts = transition_points(self._step_series())
+        assert len(cuts) == 1
+        assert abs(cuts[0] - 100) <= 2
+
+    def test_noisy_step_found(self):
+        """The Fig. 3a scenario: noisy IPC ~1.0 collapsing to ~0.03."""
+        cuts = transition_points(self._step_series(noise=0.08, seed=3))
+        assert len(cuts) == 1
+        assert abs(cuts[0] - 100) <= 5
+
+    def test_flat_series_no_transitions(self):
+        s = MetricSeries.of(np.arange(100), np.ones(100))
+        assert transition_points(s) == []
+
+    def test_short_series_no_transitions(self):
+        s = MetricSeries.of(np.arange(5), np.ones(5))
+        assert transition_points(s) == []
+
+    def test_segments_cover_series(self):
+        segments = detect_phases(self._step_series())
+        assert segments[0].start_index == 0
+        assert segments[-1].end_index == 200
+        assert sum(seg.length for seg in segments) == 200
+
+    def test_segment_means(self):
+        segments = detect_phases(self._step_series())
+        assert segments[0].mean == pytest.approx(1.0, abs=0.05)
+        assert segments[-1].mean == pytest.approx(0.03, abs=0.05)
+
+    def test_multiple_steps(self):
+        y = np.r_[np.ones(80), 2 * np.ones(80), 0.5 * np.ones(80)]
+        cuts = transition_points(MetricSeries.of(np.arange(240), y))
+        assert len(cuts) == 2
+
+    def test_bad_window(self):
+        with pytest.raises(ReproError):
+            transition_points(self._step_series(), window=0)
+
+
+class TestInterference:
+    def test_slowdown_report(self):
+        s = MetricSeries.of(np.arange(100), np.r_[1.3 * np.ones(50), 1.05 * np.ones(50)])
+        report = corun_slowdown(s, (0, 50), (50, 100))
+        assert report.slowdown == pytest.approx(0.192, abs=0.01)
+        assert report.factor == pytest.approx(1.3 / 1.05, rel=0.01)
+
+    def test_empty_window_raises(self):
+        s = MetricSeries.of([1.0], [1.0])
+        with pytest.raises(ReproError):
+            corun_slowdown(s, (5, 6), (0, 2))
+
+    def test_overlap_window(self):
+        assert overlap_window([1.0, 2.0], [5.0, 6.0]) == (2.0, 5.0)
+        assert overlap_window([1.0, 6.0], [5.0, 9.0]) is None
+        assert overlap_window([], []) is None
+
+    def test_overlap_mismatch(self):
+        with pytest.raises(ReproError):
+            overlap_window([1.0], [])
+
+    def test_sensitivity_matrix(self):
+        mk = lambda drop: MetricSeries.of(
+            np.arange(20), np.r_[np.ones(10), (1 - drop) * np.ones(10)]
+        )
+        out = sensitivity_matrix(
+            {"a": mk(0.2), "b": mk(0.05)}, (0, 10), (10, 20)
+        )
+        assert out["a"] == pytest.approx(0.2, abs=0.01)
+        assert out["b"] == pytest.approx(0.05, abs=0.01)
+
+
+class TestValidation:
+    def test_relative_errors(self):
+        report = compare_counts({"a": (1.0006e12, 1e12), "b": (0.9994e12, 1e12)})
+        assert report.mean_relative_error == pytest.approx(6e-4, rel=0.01)
+        assert report.max_relative_error == pytest.approx(6e-4, rel=0.01)
+
+    def test_table_renders(self):
+        report = compare_counts({"x": (100.0, 100.0)})
+        text = report.to_table()
+        assert "x" in text and "mean" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compare_counts({}).mean_relative_error
+
+    def test_zero_reference_rejected(self):
+        report = compare_counts({"bad": (1.0, 0.0)})
+        with pytest.raises(ReproError):
+            report.mean_relative_error

@@ -1,0 +1,106 @@
+"""Run comparison: the four Figure 9 patterns, classified automatically."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_runs
+from repro.analysis.timeseries import MetricSeries
+from repro.errors import ReproError
+
+
+def _trace(label, duration, ipc_head, ipc_tail=None, n=60):
+    ipc_tail = ipc_head if ipc_tail is None else ipc_tail
+    y = np.r_[
+        ipc_head * np.ones(n // 2), ipc_tail * np.ones(n - n // 2)
+    ]
+    x = np.linspace(duration / n, duration, n)
+    return MetricSeries(x, y, label)
+
+
+class TestVerdicts:
+    def test_higher_ipc_wins(self):
+        """Fig. 9a (hmmer)."""
+        c = compare_runs(_trace("gcc", 600, 1.85), _trace("icc", 470, 2.35))
+        assert c.verdict == "higher-ipc-wins"
+        assert c.faster == "icc"
+        assert c.higher_ipc == "icc"
+        assert not c.inversion
+
+    def test_lower_ipc_wins(self):
+        """Fig. 9b (sphinx3)."""
+        c = compare_runs(_trace("gcc", 580, 1.35), _trace("icc", 495, 1.15))
+        assert c.verdict == "lower-ipc-wins"
+        assert c.faster == "icc"
+        assert c.higher_ipc == "gcc"
+
+    def test_inversion(self):
+        """Fig. 9c (h264ref): leader flips, times close."""
+        c = compare_runs(
+            _trace("gcc", 630, 2.1, 1.45), _trace("icc", 605, 1.75, 1.65)
+        )
+        assert c.inversion
+        assert c.verdict == "same-speed"
+
+    def test_same_speed(self):
+        """Fig. 9d (milc)."""
+        c = compare_runs(_trace("gcc", 450, 1.05), _trace("icc", 452, 0.88))
+        assert c.verdict == "same-speed"
+        assert c.higher_ipc == "gcc"
+        assert not c.inversion
+
+    def test_describe_mentions_pattern(self):
+        c = compare_runs(_trace("gcc", 600, 1.85), _trace("icc", 470, 2.35))
+        text = c.describe()
+        assert "icc" in text and "9a" in text
+
+    def test_noise_does_not_fake_inversion(self):
+        rng = np.random.default_rng(0)
+        a = _trace("a", 500, 1.5)
+        b = MetricSeries(a.x, 1.5 + 0.02 * rng.normal(size=len(a)), "b")
+        assert not compare_runs(a, b).inversion
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compare_runs(MetricSeries.of([], []), _trace("b", 10, 1.0))
+
+
+class TestOnRealWorkloads:
+    @pytest.mark.parametrize(
+        "bench,expected_verdict,expect_inversion",
+        [
+            ("456.hmmer", "higher-ipc-wins", False),
+            ("482.sphinx3", "lower-ipc-wins", False),
+            ("464.h264ref", "same-speed", True),
+            ("433.milc", "same-speed", False),
+        ],
+    )
+    def test_fig9_classification(self, bench, expected_verdict, expect_inversion):
+        """The Fig. 9 panels, classified from actual monitored runs."""
+        from repro import Options, SimHost, TipTop
+        from repro.core.phases import pid_metric_series
+        from repro.sim import NEHALEM, SimMachine
+        from repro.sim.workload import Workload
+        from repro.sim.workloads import spec
+
+        traces = {}
+        for compiler in ("gcc", "icc"):
+            full = spec.workload(bench, compiler)
+            small = Workload(
+                full.name,
+                tuple(p.with_budget(p.instructions / 20) for p in full.phases),
+            )
+            machine = SimMachine(NEHALEM, tick=0.5, seed=7)
+            proc = machine.spawn(bench, small)
+            app = TipTop(SimHost(machine), Options(delay=1.0))
+            recorder = app.run_collect(0)
+            with app:
+                for i, snap in enumerate(app.snapshots()):
+                    if i > 0:
+                        recorder.record(snap)
+                    if not proc.alive:
+                        break
+            series = pid_metric_series(recorder, proc.pid, "IPC")
+            traces[compiler] = MetricSeries(series.x, series.y, compiler)
+        c = compare_runs(traces["gcc"], traces["icc"], same_speed_tolerance=0.1)
+        assert c.verdict == expected_verdict
+        assert c.inversion == expect_inversion

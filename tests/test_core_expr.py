@@ -1,0 +1,88 @@
+"""Expression language."""
+
+import math
+
+import pytest
+
+from repro.core.expr import Expression, canonical_name
+from repro.errors import ExprError
+
+
+class TestParsing:
+    def test_number(self):
+        assert Expression("42").evaluate({}) == 42.0
+
+    def test_float_and_scientific(self):
+        assert Expression("2.5e3").evaluate({}) == 2500.0
+        assert Expression("1e-2").evaluate({}) == 0.01
+
+    def test_identifier(self):
+        assert Expression("cycles").evaluate({"cycles": 7.0}) == 7.0
+
+    def test_precedence(self):
+        assert Expression("2 + 3 * 4").evaluate({}) == 14.0
+
+    def test_parens(self):
+        assert Expression("(2 + 3) * 4").evaluate({}) == 20.0
+
+    def test_unary_minus(self):
+        assert Expression("-3 + 5").evaluate({}) == 2.0
+        assert Expression("--4").evaluate({}) == 4.0
+
+    def test_left_associative_division(self):
+        assert Expression("8 / 4 / 2").evaluate({}) == 1.0
+
+    def test_whitespace_insensitive(self):
+        assert Expression("  1+ 2 ").evaluate({}) == 3.0
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExprError):
+            Expression("1 + 2 @")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ExprError):
+            Expression("(1 + 2")
+
+    def test_empty_fails(self):
+        with pytest.raises(ExprError):
+            Expression("")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ExprError):
+            Expression("1 +")
+
+
+class TestEvaluation:
+    def test_ipc_formula(self):
+        e = Expression("instructions / cycles")
+        assert e.evaluate({"instructions": 300.0, "cycles": 200.0}) == 1.5
+
+    def test_dmis_formula(self):
+        e = Expression("100 * cache_misses / instructions")
+        assert e.evaluate({"cache_misses": 9.0, "instructions": 1000.0}) == 0.9
+
+    def test_division_by_zero_is_nan(self):
+        e = Expression("1 / x")
+        assert math.isnan(e.evaluate({"x": 0.0}))
+
+    def test_missing_identifier_raises(self):
+        e = Expression("cycles")
+        with pytest.raises(ExprError):
+            e.evaluate({})
+
+    def test_variables_collected(self):
+        e = Expression("100 * a / (b + c)")
+        assert e.variables == frozenset({"a", "b", "c"})
+
+    def test_case_normalised(self):
+        e = Expression("Cycles + CYCLES")
+        assert e.variables == frozenset({"cycles"})
+        assert e.evaluate({"cycles": 1.0}) == 2.0
+
+
+class TestCanonicalName:
+    def test_dashes_become_underscores(self):
+        assert canonical_name("cache-misses") == "cache_misses"
+
+    def test_lowercases(self):
+        assert canonical_name("FP-Assist") == "fp_assist"

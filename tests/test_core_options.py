@@ -1,0 +1,57 @@
+"""Tool options."""
+
+import pytest
+
+from repro.core.options import Options
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults(self):
+        o = Options()
+        assert o.delay == 2.0
+        assert not o.batch
+        assert o.screen == "default"
+
+    def test_bad_delay(self):
+        with pytest.raises(ConfigError):
+            Options(delay=0)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigError):
+            Options(iterations=0)
+
+    def test_bad_idle_threshold(self):
+        with pytest.raises(ConfigError):
+            Options(idle_threshold=-1)
+
+    def test_bad_max_tasks(self):
+        with pytest.raises(ConfigError):
+            Options(max_tasks=0)
+
+
+class TestWants:
+    def test_default_watches_everything(self):
+        o = Options()
+        assert o.wants(pid=1, uid=0, comm="anything")
+
+    def test_uid_filter(self):
+        o = Options(watch_uid=1000)
+        assert o.wants(pid=1, uid=1000, comm="x")
+        assert not o.wants(pid=1, uid=1001, comm="x")
+
+    def test_pid_filter(self):
+        o = Options(watch_pids=frozenset({5, 6}))
+        assert o.wants(pid=5, uid=0, comm="x")
+        assert not o.wants(pid=7, uid=0, comm="x")
+
+    def test_command_filter(self):
+        o = Options(watch_commands=frozenset({"mcf"}))
+        assert o.wants(pid=1, uid=0, comm="mcf")
+        assert not o.wants(pid=1, uid=0, comm="astar")
+
+    def test_filters_combine(self):
+        o = Options(watch_uid=1000, watch_commands=frozenset({"mcf"}))
+        assert o.wants(pid=1, uid=1000, comm="mcf")
+        assert not o.wants(pid=1, uid=1000, comm="astar")
+        assert not o.wants(pid=1, uid=0, comm="mcf")

@@ -1,0 +1,166 @@
+"""Sampler + process list over the simulated host."""
+
+import math
+
+import pytest
+
+from repro.core.options import Options
+from repro.core.sampler import Sampler
+from repro.core.screen import get_screen
+from repro.perf.simbackend import SimBackend
+from repro.procfs.simproc import SimProcReader
+
+
+def _sampler(machine, options=None, screen="default"):
+    return Sampler(
+        SimBackend(machine),
+        SimProcReader(machine),
+        get_screen(screen),
+        options,
+    )
+
+
+class TestSampling:
+    def test_first_sample_attaches_baselines(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("j", endless_workload)
+        s = _sampler(coarse_machine)
+        snap = s.sample()
+        assert len(snap.rows) == 1
+        assert snap.interval == 0.0
+
+    def test_second_sample_has_deltas(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("j", endless_workload)
+        s = _sampler(coarse_machine)
+        s.sample()
+        coarse_machine.run_for(5.0)
+        snap = s.sample()
+        row = snap.rows[0]
+        assert snap.interval == pytest.approx(5.0)
+        assert row.deltas["cycles"] > 0
+        ipc = row.values["IPC"]
+        assert 0.5 < ipc < 3.0
+
+    def test_cpu_percent_full_load(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("j", endless_workload)
+        s = _sampler(coarse_machine)
+        s.sample()
+        coarse_machine.run_for(5.0)
+        row = s.sample().rows[0]
+        assert row.cpu_pct == pytest.approx(100.0, abs=1.0)
+
+    def test_new_process_discovered(self, coarse_machine, endless_workload):
+        s = _sampler(coarse_machine)
+        s.sample()
+        coarse_machine.spawn("late", endless_workload)
+        coarse_machine.run_for(2.0)
+        # The refresh at the end of this sample attaches the newcomer...
+        assert s.sample().rows == ()
+        coarse_machine.run_for(2.0)
+        # ...which contributes from the following interval on (§2.2: only
+        # events after monitoring starts are observed).
+        snap = s.sample()
+        assert [r.comm for r in snap.rows] == ["late"]
+        assert snap.rows[0].deltas["instructions"] > 0
+
+    def test_dead_process_final_row_then_dropped(self, coarse_machine, basic_workload):
+        coarse_machine.spawn("brief", basic_workload)
+        s = _sampler(coarse_machine)
+        s.sample()
+        coarse_machine.run_for(30.0)  # workload is ~10 s
+        final = s.sample()
+        # The exit interval still reports the final deltas (like reading
+        # the counter fd of an exited task on Linux)...
+        assert len(final.rows) == 1
+        assert final.rows[0].deltas["instructions"] == pytest.approx(
+            basic_workload.total_instructions, rel=1e-6
+        )
+        # ...then the task is gone and its counters are released.
+        assert coarse_machine.counters.open_count() == 0
+        coarse_machine.run_for(5.0)
+        assert s.sample().rows == ()
+
+    def test_uid_filter(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("mine", endless_workload, uid=1000)
+        coarse_machine.spawn("theirs", endless_workload, uid=1001)
+        s = _sampler(coarse_machine, Options(watch_uid=1000))
+        snap = s.sample()
+        assert [r.comm for r in snap.rows] == ["mine"]
+
+    def test_permission_denied_skipped_silently(self, coarse_machine, endless_workload):
+        """An unprivileged monitor sees only its own processes attach."""
+        coarse_machine.spawn("mine", endless_workload, uid=1001)
+        coarse_machine.spawn("root-owned", endless_workload, uid=0)
+        s = Sampler(
+            SimBackend(coarse_machine, monitor_uid=1001),
+            SimProcReader(coarse_machine),
+            get_screen("default"),
+        )
+        snap = s.sample()
+        assert [r.comm for r in snap.rows] == ["mine"]
+        assert len(s.proclist.denied) == 1
+
+    def test_sort_by_cpu_default(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("busy", endless_workload)
+        coarse_machine.spawn("lazy", endless_workload, duty_cycle=0.3)
+        s = _sampler(coarse_machine)
+        s.sample()
+        coarse_machine.run_for(10.0)
+        snap = s.sample()
+        assert snap.rows[0].comm == "busy"
+
+    def test_sort_by_metric(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("a", endless_workload)
+        coarse_machine.spawn("b", endless_workload)
+        s = _sampler(coarse_machine, Options(sort_by="IPC"))
+        s.sample()
+        coarse_machine.run_for(5.0)
+        snap = s.sample()
+        ipcs = [r.values["IPC"] for r in snap.rows]
+        assert ipcs == sorted(ipcs, reverse=True)
+
+    def test_per_thread_mode(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("mt", endless_workload, nthreads=3)
+        s = _sampler(coarse_machine, Options(per_thread=True))
+        snap = s.sample()
+        assert len(snap.rows) == 3
+        assert len({r.tid for r in snap.rows}) == 3
+
+    def test_per_process_folds_threads(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("mt", endless_workload, nthreads=3)
+        per_proc = _sampler(coarse_machine)
+        per_proc.sample()
+        coarse_machine.run_for(3.0)
+        row = per_proc.sample().rows[0]
+        # Three threads on distinct cores: ~3x one thread's instructions.
+        one_thread = row.deltas["instructions"] / 3
+        assert row.deltas["instructions"] > 2.5 * one_thread
+
+    def test_max_tasks_cap(self, coarse_machine, endless_workload):
+        for i in range(6):
+            coarse_machine.spawn(f"j{i}", endless_workload)
+        s = _sampler(coarse_machine, Options(max_tasks=4))
+        snap = s.sample()
+        assert len(snap.rows) == 4
+
+    def test_row_metric_helper(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("j", endless_workload)
+        s = _sampler(coarse_machine)
+        s.sample()
+        coarse_machine.run_for(2.0)
+        row = s.sample().rows[0]
+        assert row.metric("IPC") == row.values["IPC"]
+        assert math.isnan(row.metric("NOPE"))
+
+    def test_snapshot_row_for(self, coarse_machine, endless_workload):
+        p = coarse_machine.spawn("j", endless_workload)
+        s = _sampler(coarse_machine)
+        snap = s.sample()
+        assert snap.row_for(p.pid) is not None
+        assert snap.row_for(99999) is None
+
+    def test_close_releases_counters(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("j", endless_workload)
+        s = _sampler(coarse_machine)
+        s.sample()
+        s.close()
+        assert coarse_machine.counters.open_count() == 0

@@ -1,0 +1,103 @@
+"""Screens: built-ins and config-driven customs."""
+
+import pytest
+
+from repro.core.screen import (
+    DEFAULT_SCREEN,
+    builtin_screens,
+    get_screen,
+    screen_from_config,
+)
+from repro.errors import ConfigError
+
+
+class TestBuiltins:
+    def test_default_matches_fig1(self):
+        headers = [c.header for c in DEFAULT_SCREEN.columns]
+        assert headers == [
+            "PID", "USER", "%CPU", "Mcycle", "Minst", "IPC", "DMIS", "COMMAND",
+        ]
+
+    def test_default_events(self):
+        names = {e.name for e in DEFAULT_SCREEN.required_events()}
+        assert names == {"cycles", "instructions", "cache-misses"}
+
+    def test_fpassist_screen_counts_assists(self):
+        names = {e.name for e in get_screen("fpassist").required_events()}
+        assert "fp-assist" in names
+        assert "uops-executed" in names
+
+    def test_cache_screen_counts_levels(self):
+        names = {e.name for e in get_screen("cache").required_events()}
+        assert {"l1d-misses", "l2-misses", "l3-misses"} <= names
+
+    def test_all_builtins_resolve(self):
+        for screen in builtin_screens():
+            screen.required_events()
+
+    def test_unknown_screen(self):
+        with pytest.raises(ConfigError):
+            get_screen("holographic")
+
+
+class TestCustomScreens:
+    def test_minimal_config(self):
+        screen = screen_from_config(
+            {
+                "name": "mine",
+                "columns": [{"header": "IPC", "expr": "instructions / cycles"}],
+            }
+        )
+        headers = [c.header for c in screen.columns]
+        # Intrinsics wrap the derived column.
+        assert headers == ["PID", "USER", "%CPU", "IPC", "COMMAND"]
+
+    def test_bare_config(self):
+        screen = screen_from_config(
+            {
+                "name": "bare",
+                "bare": True,
+                "columns": [{"header": "X", "expr": "cycles"}],
+            }
+        )
+        assert [c.header for c in screen.columns] == ["X"]
+
+    def test_width_and_decimals(self):
+        screen = screen_from_config(
+            {
+                "name": "w",
+                "columns": [
+                    {"header": "D", "expr": "cycles", "width": 12, "decimals": 4}
+                ],
+            }
+        )
+        col = next(c for c in screen.columns if c.header == "D")
+        assert col.width == 12
+        assert col.decimals == 4
+
+    def test_missing_name(self):
+        with pytest.raises(ConfigError):
+            screen_from_config({"columns": [{"header": "X", "expr": "cycles"}]})
+
+    def test_empty_columns(self):
+        with pytest.raises(ConfigError):
+            screen_from_config({"name": "x", "columns": []})
+
+    def test_malformed_column(self):
+        with pytest.raises(ConfigError):
+            screen_from_config({"name": "x", "columns": [{"header": "X"}]})
+
+    def test_unknown_identifier_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            screen_from_config(
+                {"name": "x", "columns": [{"header": "X", "expr": "warp_core"}]}
+            )
+
+    def test_builtin_variables_allowed(self):
+        screen = screen_from_config(
+            {
+                "name": "ghz",
+                "columns": [{"header": "GHZ", "expr": "cycles / delta_t / 1e9"}],
+            }
+        )
+        assert {e.name for e in screen.required_events()} == {"cycles"}

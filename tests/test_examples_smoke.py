@@ -1,0 +1,36 @@
+"""Every example script runs to completion (scripts are documentation —
+they must never rot)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+def test_example_inventory():
+    """The README promises at least these examples."""
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "phase_analysis.py",
+        "compiler_compare.py",
+        "interference_study.py",
+        "datacenter_monitor.py",
+        "grid_operations.py",
+        "roofline_selection.py",
+    } <= names

@@ -1,0 +1,162 @@
+"""Failure injection: the tool must survive a misbehaving kernel.
+
+Real monitors race the kernel constantly — tasks die between listing and
+attach, reads hit stale fds, opens fail transiently. These tests wrap the
+sim backend with fault injectors and assert the sampler degrades gracefully
+(skips the victim, keeps everything else, leaks nothing).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.options import Options
+from repro.core.sampler import Sampler
+from repro.core.screen import get_screen
+from repro.errors import CounterStateError, NoSuchTaskError, PerfError
+from repro.perf.simbackend import SimBackend
+from repro.procfs.model import ProcessInfo
+from repro.procfs.simproc import SimProcReader
+
+
+class FlakyBackend:
+    """Delegates to a real backend, failing on a schedule."""
+
+    def __init__(self, inner, *, fail_opens=(), fail_reads=()):
+        self.inner = inner
+        self._open_counter = itertools.count(1)
+        self._read_counter = itertools.count(1)
+        self.fail_opens = set(fail_opens)
+        self.fail_reads = set(fail_reads)
+
+    def open(self, event, tid, *, inherit=False, sample_period=None):
+        if next(self._open_counter) in self.fail_opens:
+            raise PerfError("injected: transient open failure")
+        return self.inner.open(
+            event, tid, inherit=inherit, sample_period=sample_period
+        )
+
+    def read(self, handle):
+        if next(self._read_counter) in self.fail_reads:
+            raise CounterStateError("injected: stale handle")
+        return self.inner.read(handle)
+
+    def enable(self, handle):
+        self.inner.enable(handle)
+
+    def disable(self, handle):
+        self.inner.disable(handle)
+
+    def reset(self, handle):
+        self.inner.reset(handle)
+
+    def close(self, handle):
+        self.inner.close(handle)
+
+
+class VanishingTasks:
+    """A /proc provider whose chosen pid exists in listings but not reads
+    (the classic exit-between-listdir-and-open race)."""
+
+    def __init__(self, inner, ghost_pid):
+        self.inner = inner
+        self.ghost_pid = ghost_pid
+
+    def uptime(self):
+        return self.inner.uptime()
+
+    def list_processes(self):
+        procs = self.inner.list_processes()
+        ghost = ProcessInfo(
+            pid=self.ghost_pid,
+            tids=(self.ghost_pid,),
+            uid=0,
+            user="ghost",
+            comm="ghost",
+            state="R",
+            cpu_seconds=0.0,
+            start_time=0.0,
+            processor=0,
+        )
+        return [*procs, ghost]
+
+    def process(self, pid):
+        return self.inner.process(pid)  # raises for the ghost
+
+
+class TestAttachFailures:
+    def test_transient_open_failure_skips_task_then_recovers(
+        self, coarse_machine, endless_workload
+    ):
+        coarse_machine.spawn("a", endless_workload)
+        coarse_machine.spawn("b", endless_workload)
+        backend = FlakyBackend(SimBackend(coarse_machine), fail_opens={1})
+        sampler = Sampler(
+            backend, SimProcReader(coarse_machine), get_screen("default")
+        )
+        snap = sampler.sample()
+        # One task failed to attach this round; the other is monitored.
+        assert len(snap.rows) == 1
+        assert sampler.proclist.attach_errors == 1
+        coarse_machine.run_for(2.0)
+        # The failure was transient: the task attaches on a later refresh.
+        snap = sampler.sample()
+        coarse_machine.run_for(2.0)
+        snap = sampler.sample()
+        assert len(snap.rows) == 2
+        sampler.close()
+        assert coarse_machine.counters.open_count() == 0
+
+    def test_ghost_task_attach_does_not_crash(
+        self, coarse_machine, endless_workload
+    ):
+        coarse_machine.spawn("real", endless_workload)
+        tasks = VanishingTasks(SimProcReader(coarse_machine), ghost_pid=99999)
+        sampler = Sampler(
+            SimBackend(coarse_machine), tasks, get_screen("default")
+        )
+        snap = sampler.sample()
+        assert [r.comm for r in snap.rows] == ["real"]
+        assert sampler.proclist.attach_errors >= 1
+        sampler.close()
+
+
+class TestReadFailures:
+    def test_stale_read_drops_row_keeps_others(
+        self, coarse_machine, endless_workload
+    ):
+        coarse_machine.spawn("a", endless_workload)
+        coarse_machine.spawn("b", endless_workload)
+        backend = FlakyBackend(SimBackend(coarse_machine))
+        sampler = Sampler(
+            backend, SimProcReader(coarse_machine), get_screen("default")
+        )
+        sampler.sample()
+        coarse_machine.run_for(2.0)
+        # Fail the very next read (first counter of the first task);
+        # peeking the itertools counter consumes one slot, so target +1.
+        backend.fail_reads = {next(backend._read_counter) + 1}
+        snap = sampler.sample()
+        assert len(snap.rows) == 1  # victim skipped, not fatal
+        coarse_machine.run_for(2.0)
+        snap = sampler.sample()
+        assert len(snap.rows) == 2  # back to normal
+        sampler.close()
+
+
+class TestPermanentDenial:
+    def test_denied_tasks_not_retried(self, coarse_machine, endless_workload):
+        coarse_machine.spawn("mine", endless_workload, uid=1001)
+        coarse_machine.spawn("theirs", endless_workload, uid=1002)
+        backend = SimBackend(coarse_machine, monitor_uid=1001)
+        sampler = Sampler(
+            backend, SimProcReader(coarse_machine), get_screen("default")
+        )
+        sampler.sample()
+        denied_after_first = set(sampler.proclist.denied)
+        coarse_machine.run_for(2.0)
+        sampler.sample()
+        # The denial is cached; no repeated attach storm.
+        assert sampler.proclist.denied == denied_after_first
+        assert len(denied_after_first) == 1
+        sampler.close()

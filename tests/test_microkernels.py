@@ -1,0 +1,140 @@
+"""Micro-kernels: analytic predictions versus the full counter stack (§2.4)."""
+
+import pytest
+
+from repro import Options, SimHost, TipTop
+from repro.errors import WorkloadError
+from repro.sim import NEHALEM, PPC970, SimMachine
+from repro.sim.events import Event
+from repro.sim.microkernels import (
+    Instr,
+    MicroKernel,
+    Op,
+    fig5_loop,
+    periodic_jump_kernel,
+    random_jump_kernel,
+    streaming_kernel,
+)
+
+
+class TestValidation:
+    def test_empty_body_rejected(self):
+        with pytest.raises(WorkloadError):
+            MicroKernel("x", (), 10)
+
+    def test_bad_iterations(self):
+        with pytest.raises(WorkloadError):
+            MicroKernel("x", (Instr(Op.ALU),), 0)
+
+    def test_bad_ijmp(self):
+        with pytest.raises(WorkloadError):
+            Instr(Op.IJMP, targets=0)
+        with pytest.raises(WorkloadError):
+            Instr(Op.IJMP, targets=4, pattern="chaotic")
+
+
+class TestPredictions:
+    def test_fig5_instruction_count(self):
+        kernel = fig5_loop(iterations=1000)
+        pred = kernel.predict(NEHALEM)
+        assert pred[Event.INSTRUCTIONS] == 4000
+        assert pred[Event.BRANCH_INSTRUCTIONS] == 1000
+        assert pred[Event.BRANCH_MISSES] == 0
+
+    def test_fig5_assists(self):
+        hot = fig5_loop("x87", nonfinite=True, iterations=1000)
+        assert hot.predict(NEHALEM)[Event.FP_ASSIST] == 1000
+        assert hot.predict(PPC970)[Event.FP_ASSIST] == 0
+        cold = fig5_loop("sse", nonfinite=True, iterations=1000)
+        assert cold.predict(NEHALEM)[Event.FP_ASSIST] == 0
+
+    def test_random_jump_mispredicts(self):
+        kernel = random_jump_kernel(targets=4, iterations=1000)
+        pred = kernel.predict(NEHALEM)
+        # 1 - 1/4 per indirect jump; the loop branch predicts.
+        assert pred[Event.BRANCH_MISSES] == pytest.approx(750)
+        assert pred.mispredict_ratio == pytest.approx(0.375)
+
+    def test_periodic_jump_predicts(self):
+        kernel = periodic_jump_kernel(targets=4, iterations=1000)
+        assert kernel.predict(NEHALEM)[Event.BRANCH_MISSES] == 0
+
+    def test_streaming_misses_per_line(self):
+        kernel = streaming_kernel(stride=64, iterations=1000)
+        pred = kernel.predict(NEHALEM)
+        assert pred[Event.LOADS] == 1000
+        assert pred[Event.CACHE_MISSES] == pytest.approx(1000)  # 1 line/access
+
+    def test_streaming_small_stride_amortises(self):
+        kernel = streaming_kernel(stride=8, iterations=1000)
+        # 8 accesses per 64-byte line -> 1/8 of accesses miss.
+        assert kernel.predict(NEHALEM)[Event.CACHE_MISSES] == pytest.approx(125)
+
+    def test_fitting_footprint_never_misses(self):
+        kernel = streaming_kernel(footprint=1024, stride=64, iterations=1000)
+        assert kernel.predict(NEHALEM)[Event.CACHE_MISSES] == 0
+
+
+class TestAgainstCounters:
+    """The §2.4 loop closed: run under tiptop, compare with predict()."""
+
+    def _measure(self, kernel, events, delay=2.0):
+        machine = SimMachine(NEHALEM, tick=0.5, seed=3)
+        proc = machine.spawn(kernel.name, kernel.to_workload())
+        backend_counts = {
+            e: machine.counters.open(e, proc.pid, proc.uid) for e in events
+        }
+        while proc.alive:
+            machine.run_for(delay)
+        return {e: c.value for e, c in backend_counts.items()}
+
+    @pytest.mark.parametrize("isa,nonfinite", [("x87", False), ("x87", True), ("sse", True)])
+    def test_fig5_counts_match(self, isa, nonfinite):
+        kernel = fig5_loop(isa, nonfinite=nonfinite, iterations=1e8)
+        pred = kernel.predict(NEHALEM)
+        events = (
+            Event.INSTRUCTIONS,
+            Event.BRANCH_INSTRUCTIONS,
+            Event.FP_ASSIST,
+            Event.FP_OPERATIONS,
+        )
+        measured = self._measure(kernel, events)
+        for event in events:
+            assert measured[event] == pytest.approx(pred[event], rel=1e-6), event
+
+    def test_random_jump_counts_match(self):
+        kernel = random_jump_kernel(targets=8, iterations=1e8)
+        pred = kernel.predict(NEHALEM)
+        measured = self._measure(
+            kernel, (Event.INSTRUCTIONS, Event.BRANCH_MISSES)
+        )
+        assert measured[Event.INSTRUCTIONS] == pytest.approx(
+            pred[Event.INSTRUCTIONS], rel=1e-6
+        )
+        assert measured[Event.BRANCH_MISSES] == pytest.approx(
+            pred[Event.BRANCH_MISSES], rel=1e-3
+        )
+
+    def test_streaming_misses_match(self):
+        kernel = streaming_kernel(stride=64, iterations=1e8)
+        pred = kernel.predict(NEHALEM)
+        measured = self._measure(
+            kernel, (Event.LOADS, Event.CACHE_MISSES)
+        )
+        assert measured[Event.LOADS] == pytest.approx(pred[Event.LOADS], rel=1e-6)
+        assert measured[Event.CACHE_MISSES] == pytest.approx(
+            pred[Event.CACHE_MISSES], rel=0.02
+        )
+
+    def test_through_tiptop_screens(self):
+        """The full §2.4 workflow through the tool (not raw counters)."""
+        kernel = fig5_loop("x87", nonfinite=True, iterations=2e9)
+        machine = SimMachine(NEHALEM, tick=0.5, seed=9)
+        proc = machine.spawn("ukern", kernel.to_workload())
+        from repro.core.screen import get_screen
+
+        app = TipTop(SimHost(machine), Options(delay=2.0), get_screen("fpassist"))
+        with app:
+            recorder = app.run_collect(5)
+        # 1 assist per 4 instructions = 25/100, the Table 1 rate.
+        assert recorder.mean(proc.pid, "ASSIST") == pytest.approx(25.0, abs=0.3)

@@ -1,0 +1,76 @@
+"""perf_event_attr ABI layout and constants."""
+
+import ctypes
+
+import pytest
+
+from repro.perf import abi
+
+
+class TestLayout:
+    def test_attr_size_constant(self):
+        assert abi.PERF_ATTR_SIZE_VER0 == 64
+
+    def test_struct_packs_ver0_core(self):
+        assert ctypes.sizeof(abi.PerfEventAttr) == 72
+
+    def test_field_offsets_match_kernel(self):
+        """type@0, size@4, config@8, read_format@32, flags@40 (x86_64)."""
+        assert abi.PerfEventAttr.type.offset == 0
+        assert abi.PerfEventAttr.size.offset == 4
+        assert abi.PerfEventAttr.config.offset == 8
+        assert abi.PerfEventAttr.sample_type.offset == 24
+        assert abi.PerfEventAttr.read_format.offset == 32
+        assert abi.PerfEventAttr.flags.offset == 40
+
+
+class TestConstants:
+    def test_generic_hw_ids(self):
+        assert abi.HardwareEventId.CPU_CYCLES == 0
+        assert abi.HardwareEventId.INSTRUCTIONS == 1
+        assert abi.HardwareEventId.CACHE_MISSES == 3
+        assert abi.HardwareEventId.BRANCH_MISSES == 5
+
+    def test_type_ids(self):
+        assert abi.PerfTypeId.HARDWARE == 0
+        assert abi.PerfTypeId.RAW == 4
+
+    def test_hw_cache_config_packing(self):
+        config = abi.hw_cache_config(
+            abi.HwCacheId.L1D, abi.HwCacheOpId.READ, abi.HwCacheResultId.MISS
+        )
+        assert config == 0 | (0 << 8) | (1 << 16)
+
+    def test_ioctls(self):
+        assert abi.IOCTL_ENABLE == 0x2400
+        assert abi.IOCTL_DISABLE == 0x2401
+        assert abi.IOCTL_RESET == 0x2403
+
+    def test_syscall_number(self):
+        assert abi.SYSCALL_NR_X86_64 == 298
+
+
+class TestCountingAttr:
+    def test_defaults(self):
+        attr = abi.counting_attr(abi.PerfTypeId.HARDWARE, 1)
+        assert attr.type == 0
+        assert attr.size == 64
+        assert attr.config == 1
+        assert attr.sample_period_or_freq == 0  # counting, not sampling
+        assert attr.read_format == int(
+            abi.ReadFormat.TOTAL_TIME_ENABLED | abi.ReadFormat.TOTAL_TIME_RUNNING
+        )
+
+    def test_excludes_kernel_by_default(self):
+        attr = abi.counting_attr(abi.PerfTypeId.HARDWARE, 0)
+        assert attr.flags & abi.FLAG_EXCLUDE_KERNEL
+        assert attr.flags & abi.FLAG_EXCLUDE_HV
+        assert not attr.flags & abi.FLAG_DISABLED
+
+    def test_inherit_flag(self):
+        attr = abi.counting_attr(abi.PerfTypeId.HARDWARE, 0, inherit=True)
+        assert attr.flags & abi.FLAG_INHERIT
+
+    def test_disabled_flag(self):
+        attr = abi.counting_attr(abi.PerfTypeId.HARDWARE, 0, disabled=True)
+        assert attr.flags & abi.FLAG_DISABLED

@@ -1,0 +1,142 @@
+"""High-level Counter/CounterGroup over the sim backend."""
+
+import pytest
+
+from repro.errors import CounterStateError, EventError
+from repro.perf.counter import Counter, CounterGroup, Reading
+from repro.perf.events import resolve_event
+from repro.perf.simbackend import SimBackend
+
+
+@pytest.fixture
+def setup(nehalem_machine, endless_workload):
+    proc = nehalem_machine.spawn("job", endless_workload)
+    return nehalem_machine, SimBackend(nehalem_machine), proc
+
+
+class TestCounter:
+    def test_delta_between_reads(self, setup):
+        machine, backend, proc = setup
+        c = Counter(backend, resolve_event("instructions"), proc.pid)
+        machine.run_for(1.0)
+        first = c.delta()
+        machine.run_for(1.0)
+        second = c.delta()
+        assert first > 0
+        assert second == pytest.approx(first, rel=0.05)
+
+    def test_delta_moves_baseline(self, setup):
+        machine, backend, proc = setup
+        c = Counter(backend, resolve_event("cycles"), proc.pid)
+        machine.run_for(1.0)
+        c.delta()
+        assert c.delta() == 0.0  # nothing elapsed since previous call
+
+    def test_reset_restarts(self, setup):
+        machine, backend, proc = setup
+        c = Counter(backend, resolve_event("cycles"), proc.pid)
+        machine.run_for(1.0)
+        c.reset()
+        assert c.read().value == 0
+
+    def test_close_then_read_raises(self, setup):
+        _, backend, proc = setup
+        c = Counter(backend, resolve_event("cycles"), proc.pid)
+        c.close()
+        assert c.closed
+        with pytest.raises(CounterStateError):
+            c.read()
+
+    def test_close_idempotent(self, setup):
+        _, backend, proc = setup
+        c = Counter(backend, resolve_event("cycles"), proc.pid)
+        c.close()
+        c.close()
+
+    def test_context_manager(self, setup):
+        _, backend, proc = setup
+        with Counter(backend, resolve_event("cycles"), proc.pid) as c:
+            pass
+        assert c.closed
+
+    def test_multiplex_scaling(self, setup):
+        """With > pmu_width counters, deltas are scaled estimates."""
+        machine, backend, proc = setup
+        names = [
+            "cycles", "instructions", "cache-misses", "cache-references",
+            "branch-misses", "branch-instructions", "bus-cycles", "loads",
+            "stores", "l1d-misses", "l1d-accesses", "l2-misses",
+            "l2-accesses", "l3-misses", "l3-accesses", "fp-operations",
+            "uops-executed", "fp-assist",  # 18 > 16-wide PMU
+        ]
+        counters = [
+            Counter(backend, resolve_event(n), proc.pid) for n in names
+        ]
+        machine.run_for(0.5)
+        for c in counters:
+            c.delta()
+        machine.run_for(8.0)
+        cyc = next(c for c in counters if c.event.name == "cycles")
+        delta = cyc.delta()
+        from repro.sim import NEHALEM
+
+        # Scaled estimate should land near the true 8 s of cycles.
+        assert delta == pytest.approx(NEHALEM.freq_hz * 8.0, rel=0.15)
+
+
+class TestCounterGroup:
+    def test_read_deltas_keys(self, setup):
+        machine, backend, proc = setup
+        events = [resolve_event(n) for n in ("cycles", "instructions")]
+        g = CounterGroup(backend, events, proc.pid)
+        machine.run_for(1.0)
+        deltas = g.read_deltas()
+        assert set(deltas) == {"cycles", "instructions"}
+        assert deltas["instructions"] > 0
+
+    def test_ipc_from_group(self, setup):
+        machine, backend, proc = setup
+        events = [resolve_event(n) for n in ("cycles", "instructions")]
+        g = CounterGroup(backend, events, proc.pid)
+        machine.run_for(1.0)
+        d = g.read_deltas()
+        ipc = d["instructions"] / d["cycles"]
+        assert 0.5 < ipc < 3.0
+
+    def test_close_all(self, setup):
+        machine, backend, proc = setup
+        events = [resolve_event(n) for n in ("cycles", "instructions")]
+        g = CounterGroup(backend, events, proc.pid)
+        g.close()
+        assert machine.counters.open_count() == 0
+
+    def test_partial_open_failure_cleans_up(self, nehalem_machine, endless_workload):
+        """If one event fails to open, previously opened ones are closed."""
+        from repro.sim import PPC970, SimMachine
+
+        m = SimMachine(PPC970, tick=0.1)
+        p = m.spawn("j", endless_workload)
+        b = SimBackend(m)
+        events = [resolve_event("cycles"), resolve_event("fp-assist")]
+        with pytest.raises(EventError):
+            CounterGroup(b, events, p.pid)
+        assert m.counters.open_count() == 0
+
+    def test_enable_disable_cycle(self, setup):
+        machine, backend, proc = setup
+        g = CounterGroup(backend, [resolve_event("instructions")], proc.pid)
+        machine.run_for(0.5)
+        g.read_deltas()
+        g.disable()
+        machine.run_for(1.0)
+        assert g.read_deltas()["instructions"] == 0.0
+        g.enable()
+        machine.run_for(1.0)
+        assert g.read_deltas()["instructions"] > 0
+
+
+class TestReading:
+    def test_reading_is_frozen(self):
+        r = Reading(1, 2.0, 3.0)
+        with pytest.raises(AttributeError):
+            r.value = 5

@@ -1,0 +1,58 @@
+"""Event name resolution."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.perf import abi
+from repro.perf.events import event_names, resolve_event, spec_for_sim_event
+from repro.sim import NEHALEM, PPC970
+from repro.sim.events import Event
+
+
+class TestResolve:
+    def test_generic_events(self):
+        spec = resolve_event("cycles")
+        assert spec.sim_event is Event.CYCLES
+        assert spec.type_id is abi.PerfTypeId.HARDWARE
+        assert spec.generic
+
+    def test_case_insensitive(self):
+        assert resolve_event("CYCLES").name == "cycles"
+
+    def test_aliases(self):
+        assert resolve_event("cpu-cycles").name == "cycles"
+        assert resolve_event("insn").name == "instructions"
+        assert resolve_event("llc-misses").name == "cache-misses"
+
+    def test_raw_event_has_raw_type(self):
+        spec = resolve_event("fp-assist")
+        assert spec.type_id is abi.PerfTypeId.RAW
+        assert not spec.generic
+
+    def test_unknown_raises(self):
+        with pytest.raises(EventError):
+            resolve_event("teleportations")
+
+    def test_arch_gating(self):
+        """PPC970's PMU has no FP-assist or L3 events."""
+        resolve_event("fp-assist", NEHALEM)
+        with pytest.raises(EventError):
+            resolve_event("fp-assist", PPC970)
+        with pytest.raises(EventError):
+            resolve_event("l3-misses", PPC970)
+
+    def test_generic_always_allowed(self):
+        for name in ("cycles", "instructions", "cache-misses"):
+            resolve_event(name, PPC970)
+
+    def test_event_names_sorted_and_complete(self):
+        names = event_names()
+        assert names == sorted(names)
+        assert "cycles" in names and "fp-assist" in names
+
+    def test_reverse_lookup(self):
+        assert spec_for_sim_event(Event.FP_ASSIST).name == "fp-assist"
+
+    def test_every_sim_event_named(self):
+        for event in Event:
+            spec_for_sim_event(event)

@@ -1,0 +1,45 @@
+"""PAPI preset naming (§4's cross-platform standard names)."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.perf.papi import PAPI_PRESETS, papi_names, resolve_papi
+from repro.sim import NEHALEM, PPC970
+from repro.sim.events import Event
+
+
+class TestPresets:
+    def test_core_presets(self):
+        assert resolve_papi("PAPI_TOT_CYC").sim_event is Event.CYCLES
+        assert resolve_papi("PAPI_TOT_INS").sim_event is Event.INSTRUCTIONS
+        assert resolve_papi("PAPI_L3_TCM").sim_event is Event.L3_MISSES
+        assert resolve_papi("PAPI_FP_INS").sim_event is Event.FP_OPERATIONS
+
+    def test_case_insensitive(self):
+        assert resolve_papi("papi_tot_ins").name == "instructions"
+
+    def test_unknown(self):
+        with pytest.raises(EventError):
+            resolve_papi("PAPI_WARP_SPEED")
+
+    def test_arch_gating(self):
+        resolve_papi("PAPI_L3_TCM", NEHALEM)
+        with pytest.raises(EventError):
+            resolve_papi("PAPI_L3_TCM", PPC970)
+
+    def test_every_preset_resolves(self):
+        for preset in papi_names():
+            resolve_papi(preset)
+
+    def test_names_sorted(self):
+        assert papi_names() == sorted(PAPI_PRESETS)
+
+    def test_usable_for_counting(self, coarse_machine, endless_workload):
+        from repro.perf.counter import Counter
+        from repro.perf.simbackend import SimBackend
+
+        proc = coarse_machine.spawn("j", endless_workload)
+        backend = SimBackend(coarse_machine)
+        counter = Counter(backend, resolve_papi("PAPI_TOT_INS"), proc.pid)
+        coarse_machine.run_for(1.0)
+        assert counter.delta() > 0

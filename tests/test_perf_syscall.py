@@ -1,0 +1,108 @@
+"""Real syscall backend: graceful degradation without a PMU.
+
+The container's kernel exposes no PMU (perf_event_open -> ENOENT), which is
+itself part of what we must handle faithfully: the probe reports False and
+opens raise PerfNotSupportedError. Structural tests (attr construction,
+errno mapping) run everywhere; behavioural tests auto-skip when a PMU is
+present (they would then legitimately succeed).
+"""
+
+import errno
+
+import pytest
+
+from repro.errors import (
+    NoSuchTaskError,
+    PerfError,
+    PerfNotSupportedError,
+    PerfPermissionError,
+)
+from repro.perf import abi
+from repro.perf.events import resolve_event
+from repro.perf.syscall import (
+    RealBackend,
+    kernel_supports_perf_events,
+    paranoid_level,
+    perf_event_open,
+)
+
+
+class TestProbe:
+    def test_probe_returns_bool(self):
+        assert isinstance(kernel_supports_perf_events(), bool)
+
+    def test_paranoid_level_readable_or_none(self):
+        level = paranoid_level()
+        assert level is None or isinstance(level, int)
+
+
+@pytest.mark.skipif(
+    kernel_supports_perf_events(), reason="host has a PMU; ENOENT path untestable"
+)
+class TestNoPmuPath:
+    def test_open_raises_not_supported(self):
+        attr = abi.counting_attr(
+            abi.PerfTypeId.HARDWARE, int(abi.HardwareEventId.INSTRUCTIONS)
+        )
+        with pytest.raises(PerfNotSupportedError):
+            perf_event_open(attr, pid=0)
+
+    def test_backend_open_raises(self):
+        backend = RealBackend()
+        with pytest.raises(PerfError):
+            backend.open(resolve_event("cycles"), 0)
+
+
+@pytest.mark.skipif(
+    not kernel_supports_perf_events(), reason="no PMU on this kernel"
+)
+class TestWithPmu:
+    def test_self_monitoring_counts(self):
+        backend = RealBackend()
+        handle = backend.open(resolve_event("instructions"), 0)
+        try:
+            x = 0
+            for i in range(100000):
+                x += i
+            reading = backend.read(handle)
+            assert reading.value > 0
+        finally:
+            backend.close(handle)
+
+
+class TestErrnoMapping:
+    """Errno -> exception mapping, via a monkeypatched syscall."""
+
+    def _patch(self, monkeypatch, err):
+        import ctypes
+
+        class FakeLibc:
+            def syscall(self, *args):
+                ctypes.set_errno(err)
+                return -1
+
+        monkeypatch.setattr("repro.perf.syscall._get_libc", lambda: FakeLibc())
+
+    def _open(self):
+        attr = abi.counting_attr(abi.PerfTypeId.HARDWARE, 0)
+        return perf_event_open(attr, pid=1)
+
+    def test_enoent(self, monkeypatch):
+        self._patch(monkeypatch, errno.ENOENT)
+        with pytest.raises(PerfNotSupportedError):
+            self._open()
+
+    def test_eperm(self, monkeypatch):
+        self._patch(monkeypatch, errno.EPERM)
+        with pytest.raises(PerfPermissionError):
+            self._open()
+
+    def test_esrch(self, monkeypatch):
+        self._patch(monkeypatch, errno.ESRCH)
+        with pytest.raises(NoSuchTaskError):
+            self._open()
+
+    def test_einval(self, monkeypatch):
+        self._patch(monkeypatch, errno.EINVAL)
+        with pytest.raises(PerfError):
+            self._open()

@@ -1,0 +1,59 @@
+"""Pin-like instrumentation substrate."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pin.inscount import PIN_SLOWDOWN, inscount, native_run_time
+from repro.sim import NEHALEM
+from repro.sim.workloads import spec
+
+
+class TestNativeRunTime:
+    def test_matches_machine_execution(self, basic_workload, coarse_machine):
+        predicted = native_run_time(NEHALEM, basic_workload)
+        p = coarse_machine.spawn("j", basic_workload)
+        coarse_machine.run_for(predicted * 2)
+        assert not p.alive
+        assert p.cpu_time == pytest.approx(predicted, rel=0.1)
+
+    def test_endless_rejected(self, endless_workload):
+        with pytest.raises(WorkloadError):
+            native_run_time(NEHALEM, endless_workload)
+
+
+class TestInscount:
+    def test_count_close_to_exact(self, basic_workload):
+        run = inscount(NEHALEM, basic_workload)
+        exact = basic_workload.total_instructions
+        assert run.instructions == pytest.approx(exact, rel=5e-3)
+        assert run.instructions != exact  # instrumentation sees a residual
+
+    def test_deterministic(self, basic_workload):
+        a = inscount(NEHALEM, basic_workload)
+        b = inscount(NEHALEM, basic_workload)
+        assert a.instructions == b.instructions
+
+    def test_slowdown_applied(self, basic_workload):
+        run = inscount(NEHALEM, basic_workload)
+        assert run.slowdown == pytest.approx(PIN_SLOWDOWN)
+        assert run.wall_time == pytest.approx(run.native_time * PIN_SLOWDOWN)
+
+    def test_custom_slowdown(self, basic_workload):
+        run = inscount(NEHALEM, basic_workload, slowdown=2.0)
+        assert run.slowdown == pytest.approx(2.0)
+
+    def test_bad_slowdown(self, basic_workload):
+        with pytest.raises(WorkloadError):
+            inscount(NEHALEM, basic_workload, slowdown=0)
+
+    def test_suite_mean_error_near_paper(self):
+        """Over the SPEC models, mean |error| lands near the 0.06 % of §2.4."""
+        errors = []
+        for name in spec.available():
+            w = spec.workload(name)
+            run = inscount(NEHALEM, w)
+            errors.append(abs(run.instructions - w.total_instructions) / w.total_instructions)
+        mean = sum(errors) / len(errors)
+        assert 1e-4 < mean < 2e-3  # same order as 6e-4

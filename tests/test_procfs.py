@@ -1,0 +1,122 @@
+"""procfs providers: the real /proc (against ourselves) and the sim view."""
+
+import os
+
+import pytest
+
+from repro.errors import ProcfsError
+from repro.procfs.model import ProcessInfo, cpu_percent
+from repro.procfs.reader import ProcReader
+from repro.procfs.simproc import SimProcReader
+
+
+class TestRealProc:
+    """The container has a real /proc; exercise it on our own process."""
+
+    def test_uptime_positive(self):
+        assert ProcReader().uptime() > 0
+
+    def test_self_process(self):
+        info = ProcReader().process(os.getpid())
+        assert info.pid == os.getpid()
+        assert info.uid == os.getuid()
+        assert "python" in info.comm or info.comm  # interpreter name
+        assert info.cpu_seconds >= 0
+        assert os.getpid() in info.tids
+
+    def test_missing_pid_raises(self):
+        with pytest.raises(ProcfsError):
+            ProcReader().process(2**22 - 1)
+
+    def test_list_includes_self(self):
+        pids = {p.pid for p in ProcReader().list_processes()}
+        assert os.getpid() in pids
+
+    def test_comm_with_spaces_parsed(self, tmp_path):
+        """stat's comm field may contain spaces and parens."""
+        pid_dir = tmp_path / "123"
+        (pid_dir / "task").mkdir(parents=True)
+        (pid_dir / "task" / "123").mkdir()
+        stat = (
+            "123 (my (we)ird name) S 1 123 123 0 -1 4194304 "
+            + " ".join(["0"] * 32)
+            + "\n"
+        )
+        (pid_dir / "stat").write_text(stat)
+        (pid_dir / "status").write_text("Name: x\nUid:\t0\t0\t0\t0\n")
+        (tmp_path / "uptime").write_text("100.0 50.0\n")
+        reader = ProcReader(root=str(tmp_path), clock_ticks=100)
+        info = reader.process(123)
+        assert info.comm == "my (we)ird name"
+        assert info.state == "S"
+
+    def test_malformed_stat_raises(self, tmp_path):
+        pid_dir = tmp_path / "77"
+        pid_dir.mkdir()
+        (pid_dir / "stat").write_text("garbage without parens")
+        with pytest.raises(ProcfsError):
+            ProcReader(root=str(tmp_path)).process(77)
+
+
+class TestSimProc:
+    def test_lists_live_processes(self, nehalem_machine, endless_workload):
+        nehalem_machine.spawn("svc", endless_workload, user="bob", uid=1002)
+        reader = SimProcReader(nehalem_machine)
+        procs = reader.list_processes()
+        assert len(procs) == 1
+        info = procs[0]
+        assert info.user == "bob"
+        assert info.uid == 1002
+        assert info.comm == "svc"
+        assert info.state == "R"
+
+    def test_uptime_is_virtual(self, nehalem_machine):
+        reader = SimProcReader(nehalem_machine)
+        nehalem_machine.run_for(3.0)
+        assert reader.uptime() == pytest.approx(3.0)
+
+    def test_dead_process_disappears(self, nehalem_machine, endless_workload):
+        p = nehalem_machine.spawn("x", endless_workload)
+        reader = SimProcReader(nehalem_machine)
+        nehalem_machine.kill(p.pid)
+        with pytest.raises(ProcfsError):
+            reader.process(p.pid)
+        assert reader.list_processes() == []
+
+    def test_comm_truncated_to_15(self, nehalem_machine, endless_workload):
+        nehalem_machine.spawn("a-very-long-command-name", endless_workload)
+        info = SimProcReader(nehalem_machine).list_processes()[0]
+        assert len(info.comm) == 15
+
+    def test_cpu_seconds_accrue(self, nehalem_machine, endless_workload):
+        p = nehalem_machine.spawn("x", endless_workload)
+        reader = SimProcReader(nehalem_machine)
+        nehalem_machine.run_for(2.0)
+        assert reader.process(p.pid).cpu_seconds == pytest.approx(2.0, rel=0.05)
+
+
+class TestCpuPercent:
+    def _info(self, cpu_seconds, start=0.0):
+        return ProcessInfo(
+            pid=1, tids=(1,), uid=0, user="r", comm="c", state="R",
+            cpu_seconds=cpu_seconds, start_time=start, processor=0,
+        )
+
+    def test_interval_based(self):
+        prev, cur = self._info(1.0), self._info(2.0)
+        assert cpu_percent(prev, cur, 2.0) == pytest.approx(50.0)
+
+    def test_first_sample_uses_lifetime(self):
+        cur = self._info(5.0, start=10.0)
+        assert cpu_percent(None, cur, 1.0, uptime=20.0) == pytest.approx(50.0)
+
+    def test_first_sample_without_uptime(self):
+        assert cpu_percent(None, self._info(5.0), 1.0) == 0.0
+
+    def test_negative_clamped(self):
+        prev, cur = self._info(3.0), self._info(2.0)
+        assert cpu_percent(prev, cur, 1.0) == 0.0
+
+    def test_zero_interval(self):
+        prev, cur = self._info(1.0), self._info(2.0)
+        assert cpu_percent(prev, cur, 0.0) == 0.0

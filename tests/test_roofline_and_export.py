@@ -1,0 +1,144 @@
+"""Roofline selection (§2.6) and recording persistence."""
+
+import pytest
+
+from repro import Options, SimHost, TipTop
+from repro.analysis.roofline import (
+    MachineRoofline,
+    RooflinePoint,
+    machine_roofline,
+    point_from_deltas,
+    select_processor,
+)
+from repro.core.recorder import Recorder
+from repro.core.screen import get_screen
+from repro.errors import ReproError
+from repro.sim import CORE2, NEHALEM, SimMachine
+from repro.sim.workload import Workload
+from repro.sim.workloads import spec
+
+
+class TestMachineRoofline:
+    def test_ridge(self):
+        m = MachineRoofline("m", peak_flops=8e9, peak_bandwidth=4e9)
+        assert m.ridge_intensity == 2.0
+
+    def test_attainable_regimes(self):
+        m = MachineRoofline("m", peak_flops=8e9, peak_bandwidth=4e9)
+        assert m.attainable(1.0) == 4e9  # bandwidth-bound
+        assert m.attainable(10.0) == 8e9  # compute-bound
+        assert m.bound(1.0) == "memory"
+        assert m.bound(10.0) == "compute"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MachineRoofline("m", peak_flops=0, peak_bandwidth=1)
+        m = MachineRoofline("m", peak_flops=1, peak_bandwidth=1)
+        with pytest.raises(ReproError):
+            m.attainable(-1)
+
+    def test_from_arch(self):
+        r = machine_roofline(NEHALEM)
+        assert r.name == "nehalem"
+        assert r.peak_flops == pytest.approx(2 * NEHALEM.freq_hz)
+
+
+class TestPointFromDeltas:
+    def test_intensity(self):
+        deltas = {"fp-operations": 6400.0, "cache-misses": 10.0}
+        p = point_from_deltas(deltas, interval=2.0)
+        assert p.operational_intensity == pytest.approx(10.0)  # 6400/(10*64)
+        assert p.flops_per_sec == pytest.approx(3200.0)
+
+    def test_no_traffic_is_infinite_intensity(self):
+        p = point_from_deltas(
+            {"fp-operations": 100.0, "cache-misses": 0.0}, interval=1.0
+        )
+        assert p.operational_intensity == float("inf")
+
+    def test_missing_counter(self):
+        with pytest.raises(ReproError):
+            point_from_deltas({"fp-operations": 1.0}, interval=1.0)
+
+    def test_zero_interval(self):
+        with pytest.raises(ReproError):
+            point_from_deltas(
+                {"fp-operations": 1.0, "cache-misses": 1.0}, interval=0.0
+            )
+
+
+class TestSelection:
+    def test_memory_bound_app_prefers_bandwidth(self):
+        point = RooflinePoint(operational_intensity=0.1, flops_per_sec=1e9)
+        big_bw = MachineRoofline("bw", peak_flops=5e9, peak_bandwidth=40e9)
+        big_fp = MachineRoofline("fp", peak_flops=50e9, peak_bandwidth=10e9)
+        winner, table = select_processor(point, [big_bw, big_fp])
+        assert winner.name == "bw"
+        assert table["bw"] > table["fp"]
+
+    def test_compute_bound_app_prefers_flops(self):
+        point = RooflinePoint(operational_intensity=100.0, flops_per_sec=1e9)
+        big_bw = MachineRoofline("bw", peak_flops=5e9, peak_bandwidth=40e9)
+        big_fp = MachineRoofline("fp", peak_flops=50e9, peak_bandwidth=10e9)
+        winner, _ = select_processor(point, [big_bw, big_fp])
+        assert winner.name == "fp"
+
+    def test_empty_candidates(self):
+        with pytest.raises(ReproError):
+            select_processor(RooflinePoint(1.0, 1.0), [])
+
+    def test_end_to_end_from_mix_screen(self):
+        """The §2.6 workflow: watch the mix screen, place the app."""
+        machine = SimMachine(NEHALEM, tick=0.5, seed=2)
+        phase = spec.workload("470.lbm").phases[0].with_budget(float("inf"))
+        proc = machine.spawn("lbm", Workload("lbm", (phase,)))
+        app = TipTop(SimHost(machine), Options(delay=5.0), get_screen("mix"))
+        with app:
+            recorder = app.run_collect(3)
+        sample = recorder.for_pid(proc.pid)[-1]
+        point = point_from_deltas(sample.deltas, interval=5.0)
+        # lbm streams: low operational intensity, memory-bound everywhere.
+        nehalem = machine_roofline(NEHALEM)
+        assert point.operational_intensity < nehalem.ridge_intensity
+        assert nehalem.bound(point.operational_intensity) == "memory"
+
+
+class TestRecorderCsv:
+    def _recording(self):
+        machine = SimMachine(NEHALEM, tick=0.5, seed=4)
+        phase = spec.workload("456.hmmer").phases[0].with_budget(float("inf"))
+        machine.spawn("a", Workload("a", (phase,)))
+        machine.spawn("b", Workload("b", (phase,)))
+        app = TipTop(SimHost(machine), Options(delay=2.0))
+        with app:
+            return app.run_collect(3)
+
+    def test_roundtrip(self):
+        recorder = self._recording()
+        text = recorder.to_csv()
+        back = Recorder.from_csv(text)
+        assert len(back.samples) == len(recorder.samples)
+        assert back.pids() == recorder.pids()
+        pid = recorder.pids()[0]
+        assert back.total_delta(pid, "instructions") == pytest.approx(
+            recorder.total_delta(pid, "instructions"), rel=1e-5
+        )
+
+    def test_header_shape(self):
+        text = self._recording().to_csv()
+        header = text.splitlines()[0].split(",")
+        assert header[:5] == ["time", "pid", "comm", "user", "cpu_pct"]
+        assert "instructions" in header
+
+    def test_empty_roundtrip(self):
+        assert Recorder.from_csv("").samples == []
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            Recorder.from_csv("nope,nope\n1,2\n")
+
+    def test_bad_row(self):
+        recorder = self._recording()
+        text = recorder.to_csv() + "1,2,3\n"
+        with pytest.raises(ValueError):
+            Recorder.from_csv(text)

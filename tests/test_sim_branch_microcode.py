@@ -1,0 +1,82 @@
+"""Branch predictor and FP-assist micro-code models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import CORE2, NEHALEM, PPC970
+from repro.sim.branch import (
+    BranchBehavior,
+    mispredict_cpi,
+    mispredicts_per_instruction,
+    random_jump_ratio,
+)
+from repro.sim.isa import InstructionMix, OperandProfile
+from repro.sim.microcode import ASSIST_UOPS, assist_outcome
+
+
+class TestBranch:
+    def test_default_is_modest(self):
+        assert BranchBehavior().mispredict_ratio == pytest.approx(0.02)
+
+    def test_bounds(self):
+        with pytest.raises(WorkloadError):
+            BranchBehavior(mispredict_ratio=1.5)
+
+    def test_mispredicts_per_instruction(self):
+        b = BranchBehavior(mispredict_ratio=0.1)
+        assert mispredicts_per_instruction(b, 0.2) == pytest.approx(0.02)
+
+    def test_cpi_contribution(self):
+        b = BranchBehavior(mispredict_ratio=0.1)
+        assert mispredict_cpi(b, 0.2, 17.0) == pytest.approx(0.34)
+
+    def test_random_jump_ratio(self):
+        """The §2.4 validation micro-kernels: random indirect jumps."""
+        assert random_jump_ratio(1) == 0.0
+        assert random_jump_ratio(4) == pytest.approx(0.75)
+
+    def test_random_jump_needs_targets(self):
+        with pytest.raises(WorkloadError):
+            random_jump_ratio(0)
+
+
+class TestMicrocode:
+    X87_MIX = InstructionMix.of(int_alu=0.5, fp_x87=0.25, branch=0.25)
+    SSE_MIX = InstructionMix.of(int_alu=0.5, fp_sse=0.25, branch=0.25)
+    NONFINITE = OperandProfile(nonfinite=1.0)
+
+    def test_finite_operands_no_assist(self):
+        out = assist_outcome(NEHALEM, self.X87_MIX, OperandProfile())
+        assert out.assists_per_instruction == 0.0
+        assert out.cpi_tax == 0.0
+
+    def test_x87_nonfinite_assists(self):
+        """Table 1: 25 assists per 100 instructions on the x87 build."""
+        out = assist_outcome(NEHALEM, self.X87_MIX, self.NONFINITE)
+        assert out.assists_per_instruction == pytest.approx(0.25)
+        assert out.cpi_tax == pytest.approx(0.25 * NEHALEM.fp_assist_penalty)
+        assert out.extra_uops_per_instruction == pytest.approx(0.25 * ASSIST_UOPS)
+
+    def test_sse_nonfinite_no_assist(self):
+        """Table 1: the SSE build is unaffected."""
+        out = assist_outcome(NEHALEM, self.SSE_MIX, self.NONFINITE)
+        assert out.assists_per_instruction == 0.0
+
+    def test_ppc970_has_no_mechanism(self):
+        """Fig. 3d: the PowerPC handles Inf/NaN in hardware."""
+        assert not PPC970.has_fp_assist
+        out = assist_outcome(PPC970, self.X87_MIX, self.NONFINITE)
+        assert out.cpi_tax == 0.0
+
+    def test_core2_also_assists(self):
+        out = assist_outcome(CORE2, self.X87_MIX, self.NONFINITE)
+        assert out.cpi_tax > 0
+
+    def test_partial_nonfinite_scales(self):
+        half = assist_outcome(NEHALEM, self.X87_MIX, OperandProfile(nonfinite=0.5))
+        full = assist_outcome(NEHALEM, self.X87_MIX, self.NONFINITE)
+        assert half.cpi_tax == pytest.approx(full.cpi_tax / 2)
+
+    def test_denormals_also_assist(self):
+        out = assist_outcome(NEHALEM, self.X87_MIX, OperandProfile(denormal=1.0))
+        assert out.assists_per_instruction == pytest.approx(0.25)

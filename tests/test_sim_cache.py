@@ -1,0 +1,224 @@
+"""Analytic cache model: hit curves, miss chains, contention, inclusion."""
+
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.sim import NEHALEM
+from repro.sim.arch import CacheLevelSpec, CacheScope
+from repro.sim.cache import (
+    CacheHierarchy,
+    CacheInstance,
+    MemoryBehavior,
+    cumulative_hit,
+    hit_ratio,
+    miss_chain,
+)
+from repro.sim.cpu_topology import Topology
+
+
+def _levels(caps=None):
+    specs = NEHALEM.cache_levels
+    caps = caps or [float(s.size) for s in specs]
+    return list(zip(specs, caps))
+
+
+class TestHitRatio:
+    def test_fits_entirely(self):
+        assert hit_ratio(1024, 512, 0.5) == 1.0
+
+    def test_zero_working_set_hits(self):
+        assert hit_ratio(1024, 0, 0.5) == 1.0
+
+    def test_zero_capacity_misses(self):
+        assert hit_ratio(0, 1024, 0.5) == 0.0
+
+    def test_power_law(self):
+        assert hit_ratio(256, 1024, 0.5) == pytest.approx(0.5)
+
+    def test_monotone_in_capacity(self):
+        hits = [hit_ratio(c, 1 << 20, 0.5) for c in (1 << 10, 1 << 14, 1 << 18)]
+        assert hits == sorted(hits)
+
+
+class TestMemoryBehavior:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=-1)
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=1, locality=0)
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=1, streaming=1.5)
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=1, mlp=0)
+
+    def test_hit_ratios_must_be_cumulative(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=1, level_hit_ratios=(0.9, 0.5))
+
+    def test_hit_ratio_bounds(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=1, level_hit_ratios=(1.2,))
+
+    def test_negative_amplification_rejected(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(working_set=1, miss_amplification=(-1.0,))
+
+
+class TestCumulativeHit:
+    def test_full_capacity_returns_declared_ratio(self):
+        b = MemoryBehavior(working_set=1 << 30, level_hit_ratios=(0.85, 0.91, 0.92))
+        spec = NEHALEM.cache_levels[0]
+        assert cumulative_hit(b, 0, spec, float(spec.size)) == pytest.approx(0.85)
+
+    def test_halved_share_amplifies_misses(self):
+        b = MemoryBehavior(
+            working_set=1 << 30,
+            level_hit_ratios=(0.85,),
+            miss_amplification=(1.0,),
+        )
+        spec = NEHALEM.cache_levels[0]
+        h = cumulative_hit(b, 0, spec, spec.size / 2)
+        assert 1 - h == pytest.approx(2 * 0.15)
+
+    def test_small_working_set_immune_to_share_loss(self):
+        # A working set that fits in the reduced share loses nothing.
+        b = MemoryBehavior(working_set=1024, level_hit_ratios=(0.96,))
+        spec = NEHALEM.cache_levels[0]  # 32 KB
+        assert cumulative_hit(b, 0, spec, spec.size / 4) == pytest.approx(0.96)
+
+    def test_power_law_fallback_uses_floor(self):
+        b = MemoryBehavior(working_set=1 << 30)
+        spec = NEHALEM.cache_levels[0]
+        h = cumulative_hit(b, 0, spec, float(spec.size))
+        assert h >= spec.hit_floor
+
+
+class TestMissChain:
+    def test_conservation(self):
+        """Misses never exceed accesses at any level; accesses chain."""
+        b = MemoryBehavior(working_set=1 << 30, level_hit_ratios=(0.85, 0.91, 0.92))
+        p = miss_chain(b, 0.35, _levels())
+        for acc, miss in zip(p.accesses, p.misses):
+            assert 0 <= miss <= acc + 1e-12
+        for i in range(1, len(p.accesses)):
+            assert p.accesses[i] == pytest.approx(p.misses[i - 1])
+
+    def test_calibrated_mcf_profile(self):
+        """The mcf numbers behind Fig. 11: L1 5.25, L2 3.15, L3 2.8 per 100."""
+        b = MemoryBehavior(working_set=1 << 30, level_hit_ratios=(0.85, 0.91, 0.92))
+        p = miss_chain(b, 0.35, _levels())
+        assert 100 * p.misses[0] == pytest.approx(5.25)
+        assert 100 * p.misses[1] == pytest.approx(3.15)
+        assert 100 * p.misses[2] == pytest.approx(2.80)
+
+    def test_streaming_misses_everywhere(self):
+        b = MemoryBehavior(working_set=64, streaming=1.0)
+        p = miss_chain(b, 0.2, _levels())
+        for miss in p.misses:
+            assert miss == pytest.approx(0.2)
+
+    def test_inclusion_clamp_l3_loss_raises_inner_misses(self):
+        """Losing LLC share raises L1/L2 misses too (inclusive hierarchy)."""
+        b = MemoryBehavior(
+            working_set=1 << 30,
+            level_hit_ratios=(0.85, 0.91, 0.92),
+            miss_amplification=(1.0, 1.0, 1.0),
+        )
+        specs = NEHALEM.cache_levels
+        caps = [float(specs[0].size), float(specs[1].size), specs[2].size / 4]
+        p = miss_chain(b, 0.35, list(zip(specs, caps)))
+        full = miss_chain(b, 0.35, _levels())
+        assert p.misses[1] > full.misses[1]  # L2 misses rise
+        assert p.misses[2] > full.misses[2]  # L3 misses rise
+
+    def test_l2_loss_leaves_llc_misses_alone(self):
+        """Fig. 11d: SMT-shared L2 thrash does not change L3 misses."""
+        b = MemoryBehavior(
+            working_set=1 << 30,
+            level_hit_ratios=(0.85, 0.91, 0.92),
+            miss_amplification=(1.45, 2.35, 0.48),
+        )
+        specs = NEHALEM.cache_levels
+        caps = [specs[0].size / 2, specs[1].size / 2, float(specs[2].size)]
+        p = miss_chain(b, 0.35, list(zip(specs, caps)))
+        full = miss_chain(b, 0.35, _levels())
+        assert p.misses[1] > 3 * full.misses[1]  # L2 explodes
+        assert p.misses[2] == pytest.approx(full.misses[2])  # L3 unchanged
+
+    def test_zero_refs(self):
+        b = MemoryBehavior(working_set=1 << 20)
+        p = miss_chain(b, 0.0, _levels())
+        assert all(m == 0 for m in p.misses)
+
+    def test_llc_properties(self):
+        b = MemoryBehavior(working_set=1 << 30, level_hit_ratios=(0.85, 0.91, 0.92))
+        p = miss_chain(b, 0.35, _levels())
+        assert p.llc_miss_rate == p.misses[-1]
+        assert p.llc_access_rate == p.accesses[-1]
+
+
+class TestCacheInstance:
+    def _instance(self):
+        return CacheInstance(NEHALEM.cache_levels[2], 2, frozenset({0, 1, 2, 3}))
+
+    def test_solo_gets_full_capacity(self):
+        inst = self._instance()
+        assert inst.effective_capacity({1: 5.0}, 1) == pytest.approx(
+            inst.spec.size, rel=0.05
+        )
+
+    def test_equal_pressure_splits_evenly(self):
+        inst = self._instance()
+        pressures = {1: 10.0, 2: 10.0}
+        assert inst.effective_capacity(pressures, 1) == pytest.approx(
+            inst.spec.size / 2, rel=0.05
+        )
+
+    def test_no_pressure_full_capacity(self):
+        inst = self._instance()
+        assert inst.effective_capacity({}, 1) == inst.spec.size
+
+    def test_heavier_pressure_gets_more(self):
+        inst = self._instance()
+        pressures = {1: 30.0, 2: 10.0}
+        big = inst.effective_capacity(pressures, 1)
+        small = inst.effective_capacity(pressures, 2)
+        assert big > small
+        assert big + small == pytest.approx(inst.spec.size, rel=0.1)
+
+
+class TestCacheHierarchy:
+    def _hierarchy(self):
+        topo = Topology(NEHALEM, 1, 4)
+        return CacheHierarchy(NEHALEM, topo.pu_to_core(), topo.core_to_socket()), topo
+
+    def test_path_has_all_levels(self):
+        h, _ = self._hierarchy()
+        path = h.path_for_pu(0)
+        assert [i.spec.name for i in path] == ["L1", "L2", "L3"]
+
+    def test_smt_siblings_share_private_caches(self):
+        h, topo = self._hierarchy()
+        # PU0 and PU4 are SMT threads of core 0 (Fig. 11c numbering).
+        l1_a = h.path_for_pu(0)[0]
+        l1_b = h.path_for_pu(4)[0]
+        assert l1_a is l1_b
+
+    def test_different_cores_different_l2(self):
+        h, _ = self._hierarchy()
+        assert h.path_for_pu(0)[1] is not h.path_for_pu(1)[1]
+
+    def test_llc_shared_by_socket(self):
+        h, _ = self._hierarchy()
+        l3s = {id(h.path_for_pu(pu)[2]) for pu in range(8)}
+        assert len(l3s) == 1
+
+    def test_unknown_pu_raises(self):
+        h, _ = self._hierarchy()
+        with pytest.raises(SimulationError):
+            h.path_for_pu(99)
+
+    def test_uncontended_capacities(self):
+        h, _ = self._hierarchy()
+        caps = h.levels_with_capacity(0, None, 1)
+        assert [c for _, c in caps] == [float(s.size) for s in NEHALEM.cache_levels]

@@ -1,0 +1,162 @@
+"""Pipeline rate model and calibration."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CORE2, NEHALEM, PPC970
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.core import (
+    calibrate_phase,
+    compute_rates,
+    exec_cpi_for_target_ipc,
+    memory_cpi,
+    solo_rates,
+)
+from repro.sim.events import Event
+from repro.sim.isa import InstructionMix, OperandProfile
+from repro.sim.workload import Phase
+
+
+def _phase(**kw):
+    defaults = dict(
+        name="p",
+        instructions=1e9,
+        mix=InstructionMix.of(int_alu=0.5, load=0.25, branch=0.15, fp_x87=0.1),
+        memory=MemoryBehavior(working_set=1 << 20),
+        branches=BranchBehavior(mispredict_ratio=0.02),
+        exec_cpi=0.6,
+        noise=0.0,
+    )
+    defaults.update(kw)
+    return Phase(**defaults)
+
+
+class TestComputeRates:
+    def test_cpi_is_sum_of_components(self):
+        r = solo_rates(NEHALEM, _phase())
+        assert r.cpi == pytest.approx(
+            r.cpi_exec + r.cpi_memory + r.cpi_branch + r.cpi_assist
+        )
+
+    def test_events_have_instructions_unity(self):
+        r = solo_rates(NEHALEM, _phase())
+        assert r.events[Event.INSTRUCTIONS] == 1.0
+        assert r.events[Event.CYCLES] == pytest.approx(r.cpi)
+
+    def test_event_rates_match_mix(self):
+        p = _phase()
+        r = solo_rates(NEHALEM, p)
+        assert r.events[Event.LOADS] == p.mix.loads
+        assert r.events[Event.BRANCH_INSTRUCTIONS] == p.mix.branches
+        assert r.events[Event.X87_OPERATIONS] == p.mix.x87_ops
+
+    def test_llc_events_for_three_level_arch(self):
+        r = solo_rates(NEHALEM, _phase())
+        assert Event.L3_MISSES in r.events
+        assert r.events[Event.CACHE_MISSES] == pytest.approx(
+            r.events[Event.L3_MISSES]
+        )
+
+    def test_two_level_arch_has_no_l3(self):
+        r = solo_rates(PPC970, _phase())
+        assert Event.L3_MISSES not in r.events
+        assert r.events[Event.CACHE_MISSES] == pytest.approx(
+            r.events[Event.L2_MISSES]
+        )
+
+    def test_issue_share_slows_exec_only(self):
+        p = _phase()
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        solo = compute_rates(NEHALEM, p, caps, issue_share=1.0)
+        smt = compute_rates(NEHALEM, p, caps, issue_share=0.5)
+        assert smt.cpi_exec == pytest.approx(2 * solo.cpi_exec)
+        assert smt.cpi_memory == pytest.approx(solo.cpi_memory)
+
+    def test_issue_share_bounds(self):
+        p = _phase()
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        with pytest.raises(SimulationError):
+            compute_rates(NEHALEM, p, caps, issue_share=0.0)
+        with pytest.raises(SimulationError):
+            compute_rates(NEHALEM, p, caps, issue_share=1.5)
+
+    def test_noise_factor_scales_exec(self):
+        p = _phase()
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        calm = compute_rates(NEHALEM, p, caps, noise_factor=1.0)
+        rough = compute_rates(NEHALEM, p, caps, noise_factor=1.2)
+        assert rough.cpi_exec == pytest.approx(1.2 * calm.cpi_exec)
+
+    def test_assist_tax_visible(self):
+        p = _phase(operands=OperandProfile(nonfinite=1.0))
+        r = solo_rates(NEHALEM, p)
+        assert r.cpi_assist > 10  # 0.1 x87 * 264 cycles
+        assert r.events[Event.FP_ASSIST] == pytest.approx(0.1)
+
+    def test_memory_latency_override(self):
+        p = _phase(memory=MemoryBehavior(working_set=1 << 28))
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        fast = compute_rates(NEHALEM, p, caps, mem_latency_cycles=100.0)
+        slow = compute_rates(NEHALEM, p, caps, mem_latency_cycles=400.0)
+        assert slow.cpi_memory > fast.cpi_memory
+
+    def test_arch_factor_applies(self):
+        p = _phase(arch_factors=(("ppc970", 2.0),))
+        base = solo_rates(PPC970, _phase())
+        scaled = solo_rates(PPC970, p)
+        assert scaled.cpi_exec == pytest.approx(2 * base.cpi_exec)
+
+    def test_ipc_property(self):
+        r = solo_rates(NEHALEM, _phase())
+        assert r.ipc == pytest.approx(1 / r.cpi)
+
+
+class TestMemoryCpi:
+    def test_mlp_divides(self):
+        p = _phase(memory=MemoryBehavior(working_set=1 << 28, mlp=1.0))
+        q = _phase(memory=MemoryBehavior(working_set=1 << 28, mlp=4.0))
+        assert solo_rates(NEHALEM, p).cpi_memory == pytest.approx(
+            4 * solo_rates(NEHALEM, q).cpi_memory
+        )
+
+    def test_bad_mlp(self):
+        r = solo_rates(NEHALEM, _phase())
+        with pytest.raises(SimulationError):
+            memory_cpi(r.miss_profile, list(NEHALEM.cache_levels), 180.0, mlp=0)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.5, 1.0, 1.5, 1.8])
+    def test_roundtrip(self, target):
+        calibrated = calibrate_phase(NEHALEM, _phase(), target)
+        assert solo_rates(NEHALEM, calibrated).ipc == pytest.approx(target, rel=1e-6)
+
+    def test_high_ipc_needs_friendly_memory(self):
+        friendly = _phase(memory=MemoryBehavior(working_set=16 * 1024))
+        calibrated = calibrate_phase(NEHALEM, friendly, 2.5)
+        assert solo_rates(NEHALEM, calibrated).ipc == pytest.approx(2.5, rel=1e-6)
+
+    def test_unreachable_raises(self):
+        heavy = _phase(
+            memory=MemoryBehavior(working_set=1 << 31, mlp=1.0, locality=0.2)
+        )
+        with pytest.raises(SimulationError):
+            exec_cpi_for_target_ipc(NEHALEM, heavy, 3.9)
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(SimulationError):
+            exec_cpi_for_target_ipc(NEHALEM, _phase(), 0.0)
+
+    def test_transfers_across_archs(self):
+        """A memory-touching phase calibrated on Nehalem is slower on the
+        older machines (Fig. 6's ordering); PPC970 is slowest."""
+        p = calibrate_phase(
+            NEHALEM,
+            _phase(memory=MemoryBehavior(working_set=64 << 20, mlp=3.0)),
+            0.9,
+        )
+        core2 = solo_rates(CORE2, p).ipc
+        ppc = solo_rates(PPC970, p).ipc
+        assert core2 < 0.9
+        assert ppc < core2

@@ -1,0 +1,72 @@
+"""Instruction mixes and operand profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.isa import (
+    FINITE_OPERANDS,
+    InstructionClass,
+    InstructionMix,
+    OperandProfile,
+)
+
+
+class TestInstructionMix:
+    def test_of_builds_and_sums(self):
+        mix = InstructionMix.of(int_alu=0.5, load=0.3, branch=0.2)
+        assert mix.fraction(InstructionClass.INT_ALU) == 0.5
+        assert mix.loads == 0.3
+        assert mix.branches == 0.2
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix.of(int_alu=0.5, load=0.3)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix.of(int_alu=1.2, load=-0.2)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix.of(quantum_ops=1.0)
+
+    def test_mem_refs(self):
+        mix = InstructionMix.of(int_alu=0.5, load=0.3, store=0.2)
+        assert mix.mem_refs == pytest.approx(0.5)
+
+    def test_fp_split(self):
+        mix = InstructionMix.of(int_alu=0.5, fp_x87=0.2, fp_sse=0.3)
+        assert mix.fp_ops == pytest.approx(0.5)
+        assert mix.x87_ops == pytest.approx(0.2)
+        assert mix.sse_ops == pytest.approx(0.3)
+
+    def test_missing_class_is_zero(self):
+        mix = InstructionMix.of(int_alu=1.0)
+        assert mix.branches == 0.0
+
+    def test_blend(self):
+        a = InstructionMix.of(int_alu=1.0)
+        b = InstructionMix.of(load=1.0)
+        mid = a.scaled_toward(b, 0.25)
+        assert mid.fraction(InstructionClass.INT_ALU) == pytest.approx(0.75)
+        assert mid.loads == pytest.approx(0.25)
+
+    def test_blend_weight_bounds(self):
+        a = InstructionMix.of(int_alu=1.0)
+        with pytest.raises(WorkloadError):
+            a.scaled_toward(a, 1.5)
+
+
+class TestOperandProfile:
+    def test_finite_default(self):
+        assert FINITE_OPERANDS.assist_eligible == 0.0
+
+    def test_nonfinite_fraction(self):
+        p = OperandProfile(nonfinite=0.4, denormal=0.1)
+        assert p.assist_eligible == pytest.approx(0.5)
+
+    def test_bounds(self):
+        with pytest.raises(WorkloadError):
+            OperandProfile(nonfinite=1.5)
+        with pytest.raises(WorkloadError):
+            OperandProfile(nonfinite=0.7, denormal=0.7)

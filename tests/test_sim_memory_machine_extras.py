@@ -1,0 +1,130 @@
+"""MemorySystem and SimMachine edge cases not covered elsewhere."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import NEHALEM, PPC970, SimMachine
+from repro.sim.events import Event
+from repro.sim.memory import MemorySystem
+from repro.sim.workload import Workload
+
+
+class TestMemorySystem:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MemorySystem(bandwidth_bytes_per_sec=0, base_latency_cycles=100)
+        with pytest.raises(SimulationError):
+            MemorySystem(bandwidth_bytes_per_sec=1e9, base_latency_cycles=0)
+
+    def test_idle_bus_base_latency(self):
+        mem = MemorySystem(bandwidth_bytes_per_sec=25e9, base_latency_cycles=180)
+        assert mem.effective_latency(0.0) == 180.0
+        assert mem.utilisation(0.0) == 0.0
+
+    def test_latency_monotone_in_demand(self):
+        mem = MemorySystem(bandwidth_bytes_per_sec=25e9, base_latency_cycles=180)
+        lats = [mem.effective_latency(d) for d in (1e9, 10e9, 20e9, 24e9)]
+        assert lats == sorted(lats)
+
+    def test_latency_capped(self):
+        mem = MemorySystem(
+            bandwidth_bytes_per_sec=25e9,
+            base_latency_cycles=180,
+            max_inflation=2.5,
+        )
+        assert mem.effective_latency(1e15) <= 180 * 2.5
+
+    def test_utilisation_saturates_below_one(self):
+        mem = MemorySystem(bandwidth_bytes_per_sec=25e9, base_latency_cycles=180)
+        assert mem.utilisation(100e9) < 1.0
+
+
+class TestMachineExtras:
+    def test_tick_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            SimMachine(NEHALEM, tick=0)
+
+    def test_same_time_timers_fire_in_order(self, nehalem_machine):
+        fired = []
+        nehalem_machine.at(0.5, lambda: fired.append(1))
+        nehalem_machine.at(0.5, lambda: fired.append(2))
+        nehalem_machine.at(0.5, lambda: fired.append(3))
+        nehalem_machine.run_for(1.0)
+        assert fired == [1, 2, 3]
+
+    def test_run_until_partial_tick(self):
+        m = SimMachine(NEHALEM, tick=1.0)
+        m.run_until(2.3)
+        assert m.now == pytest.approx(2.3)
+
+    def test_unknown_thread_lookup(self, nehalem_machine):
+        with pytest.raises(SimulationError):
+            nehalem_machine.thread(777)
+
+    def test_thread_lookup(self, nehalem_machine, endless_workload):
+        p = nehalem_machine.spawn("mt", endless_workload, nthreads=2)
+        assert nehalem_machine.thread(p.threads[1].tid) is p.threads[1]
+
+    def test_multithread_tids_never_collide_with_pids(
+        self, nehalem_machine, endless_workload
+    ):
+        a = nehalem_machine.spawn("a", endless_workload, nthreads=4)
+        b = nehalem_machine.spawn("b", endless_workload)
+        a_tids = {t.tid for t in a.threads}
+        assert b.pid not in a_tids
+        assert len(a_tids) == 4
+
+    def test_mem_latency_event_consistency(self, coarse_machine):
+        """MEM_LATENCY_CYCLES / CACHE_MISSES ~= base latency when alone."""
+        from repro.sim.workloads import spec
+
+        phase = spec.workload("429.mcf").phases[2].with_budget(math.inf)
+        p = coarse_machine.spawn("mcf", Workload("mcf", (phase,)))
+        lat = coarse_machine.counters.open(Event.MEM_LATENCY_CYCLES, p.pid, p.uid)
+        mis = coarse_machine.counters.open(Event.CACHE_MISSES, p.pid, p.uid)
+        coarse_machine.run_for(10.0)
+        assert lat.value / mis.value == pytest.approx(NEHALEM.mem_latency, rel=0.2)
+
+    def test_kill_unknown_pid(self, nehalem_machine):
+        with pytest.raises(SimulationError):
+            nehalem_machine.kill(5)
+
+    def test_context_switches_counted_under_oversubscription(
+        self, endless_workload
+    ):
+        m = SimMachine(NEHALEM, sockets=1, cores_per_socket=1, tick=0.25, seed=2)
+        procs = [m.spawn(f"j{i}", endless_workload) for i in range(4)]
+        m.run_for(10.0)
+        switches = sum(p.threads[0].context_switches for p in procs)
+        assert switches > 4  # real time-sharing happened
+
+    def test_ppc_machine_runs_generic_events_only(self, endless_workload):
+        m = SimMachine(PPC970, tick=0.5)
+        p = m.spawn("j", endless_workload)
+        c = m.counters.open(Event.INSTRUCTIONS, p.pid, p.uid)
+        m.run_for(2.0)
+        assert c.value > 0
+
+
+class TestGridHeterogeneity:
+    def test_same_job_runs_slower_on_older_node(self):
+        """The paper's fleet is heterogeneous; IPC differs per node."""
+        from repro.sim.grid import Grid, NodeSpec
+        from repro.sim.workloads import datacenter
+        from repro.sim.arch import WESTMERE_E5640
+
+        fleet = [
+            NodeSpec(name="new", arch=WESTMERE_E5640),
+            NodeSpec(name="old", arch=PPC970, sockets=1, cores_per_socket=2),
+        ]
+        grid = Grid(fleet, tick=1.0, seed=5)
+        wl = datacenter.compute_job("j", 1.5, duration_hint=30.0)
+        done = {}
+        for node in ("new", "old"):
+            machine = grid.node(node)
+            proc = machine.spawn("j", wl)
+            machine.run_for(200.0)
+            done[node] = proc.cpu_time
+        assert done["old"] > 1.5 * done["new"]  # same work, slower metal

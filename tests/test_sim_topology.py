@@ -1,0 +1,68 @@
+"""Topology: PU numbering, sibling lookup, hwloc rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import NEHALEM, PPC970, WESTMERE_E5640
+from repro.sim.cpu_topology import Topology
+
+
+class TestNumbering:
+    def test_quad_core_smt_counts(self):
+        topo = Topology(NEHALEM, 1, 4)
+        assert topo.n_cores == 4
+        assert topo.n_pus == 8
+
+    def test_linux_style_smt_numbering(self):
+        """Fig. 11c: core 0 hosts PU#0 and PU#4."""
+        topo = Topology(NEHALEM, 1, 4)
+        core0 = [p.pu_id for p in topo.pus_of_core(0)]
+        assert core0 == [0, 4]
+
+    def test_siblings(self):
+        topo = Topology(NEHALEM, 1, 4)
+        assert [p.pu_id for p in topo.siblings(0)] == [4]
+        assert [p.pu_id for p in topo.siblings(4)] == [0]
+
+    def test_no_smt_no_siblings(self):
+        topo = Topology(PPC970, 1, 2)
+        assert topo.siblings(0) == []
+
+    def test_two_socket_node(self):
+        """The bi-Xeon E5640 of Figs. 1/10: 16 PUs, 8 cores, 2 sockets."""
+        topo = Topology(WESTMERE_E5640, 2, 4)
+        assert topo.n_pus == 16
+        assert topo.pu(0).socket_id == 0
+        assert topo.pu(7).socket_id == 1
+
+    def test_unknown_pu(self):
+        topo = Topology(NEHALEM, 1, 4)
+        with pytest.raises(SimulationError):
+            topo.pu(64)
+
+    def test_invalid_shape(self):
+        with pytest.raises(SimulationError):
+            Topology(NEHALEM, 0, 4)
+
+    def test_maps_cover_all(self):
+        topo = Topology(WESTMERE_E5640, 2, 4)
+        assert set(topo.pu_to_core()) == set(range(16))
+        assert set(topo.core_to_socket()) == set(range(8))
+
+
+class TestRender:
+    def test_render_fig11c_shape(self):
+        """The hwloc drawing: machine, socket, shared L3, 4 cores, 8 PUs."""
+        topo = Topology(NEHALEM, 1, 4)
+        text = topo.render(memory_bytes=5965 * 1024 * 1024)
+        assert "Machine (5965MB)" in text
+        assert "Socket#0" in text
+        assert "L3 (8192KB)" in text
+        assert text.count("L2 (256KB)") == 4
+        assert text.count("L1 (32KB)") == 4
+        for pu in range(8):
+            assert f"PU#{pu}" in text
+
+    def test_render_without_memory(self):
+        text = Topology(NEHALEM, 1, 4).render()
+        assert text.startswith("Machine")

@@ -1,0 +1,98 @@
+"""Workload phase sequencing."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.cache import MemoryBehavior
+from repro.sim.isa import InstructionMix
+from repro.sim.workload import Phase, Workload, steady
+
+
+def _phase(name, instructions, **kw):
+    return Phase(
+        name=name,
+        instructions=instructions,
+        mix=InstructionMix.of(int_alu=1.0),
+        memory=MemoryBehavior(working_set=1024),
+        noise=0.0,
+        **kw,
+    )
+
+
+class TestPhase:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            _phase("p", 0)
+
+    def test_exec_cpi_positive(self):
+        with pytest.raises(WorkloadError):
+            _phase("p", 1.0, exec_cpi=0)
+
+    def test_with_budget(self):
+        p = _phase("p", 100.0)
+        assert p.with_budget(5.0).instructions == 5.0
+        assert p.instructions == 100.0  # original unchanged
+
+    def test_arch_factor_lookup(self):
+        p = _phase("p", 1.0, arch_factors=(("ppc970", 1.5),))
+        assert p.arch_factor("ppc970") == 1.5
+        assert p.arch_factor("nehalem") == 1.0
+
+
+class TestWorkload:
+    def test_needs_phases(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", ())
+
+    def test_total_instructions(self):
+        w = Workload("w", (_phase("a", 10.0), _phase("b", 20.0)))
+        assert w.total_instructions == 30.0
+
+    def test_repeat_multiplies(self):
+        w = Workload("w", (_phase("a", 10.0),), repeat=3)
+        assert w.total_instructions == 30.0
+
+    def test_locate_walks_phases(self):
+        w = Workload("w", (_phase("a", 10.0), _phase("b", 20.0)))
+        phase, remaining = w.locate(0.0)
+        assert phase.name == "a" and remaining == 10.0
+        phase, remaining = w.locate(15.0)
+        assert phase.name == "b" and remaining == 15.0
+
+    def test_locate_exhausted_returns_none(self):
+        w = Workload("w", (_phase("a", 10.0),))
+        assert w.locate(10.0) is None
+        assert w.locate(99.0) is None
+
+    def test_locate_with_repeat(self):
+        w = Workload("w", (_phase("a", 10.0), _phase("b", 10.0)), repeat=2)
+        phase, _ = w.locate(25.0)
+        assert phase.name == "a"  # second pass
+        assert w.locate(40.0) is None
+
+    def test_locate_negative_rejected(self):
+        w = steady("w", _phase("a", 10.0))
+        with pytest.raises(WorkloadError):
+            w.locate(-1.0)
+
+    def test_infinite_final_phase(self):
+        w = Workload("w", (_phase("a", 10.0), _phase("z", math.inf)))
+        assert math.isinf(w.total_instructions)
+        phase, remaining = w.locate(1e18)
+        assert phase.name == "z"
+        assert math.isinf(remaining)
+
+    def test_infinite_must_be_last(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", (_phase("z", math.inf), _phase("a", 10.0)))
+
+    def test_phase_names(self):
+        w = Workload("w", (_phase("a", 1.0), _phase("b", 1.0)))
+        assert w.phase_names() == ["a", "b"]
+
+    def test_exact_pass_boundary_starts_next_pass(self):
+        w = Workload("w", (_phase("a", 10.0),), repeat=2)
+        phase, remaining = w.locate(10.0)
+        assert phase.name == "a" and remaining == 10.0

@@ -1,0 +1,165 @@
+"""Triggers (§3.2 attach-on-phase) and fast-forward recommendations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Options, SimHost, TipTop
+from repro.analysis.fastforward import compare_skips, recommend_skip
+from repro.analysis.timeseries import MetricSeries
+from repro.core.screen import get_screen
+from repro.core.triggers import Comparison, Trigger, TriggerSet
+from repro.errors import ConfigError, ReproError
+from repro.sim import NEHALEM, SimMachine
+from repro.sim.workload import Workload
+from repro.sim.workloads import revolve
+
+
+class TestTriggerUnit:
+    def _snapshot(self, time, ipc, pid=1):
+        from repro.core.sampler import Row, Snapshot
+
+        row = Row(
+            pid=pid, tid=pid, user="u", comm="c", cpu_pct=100.0, cpu_time=0.0,
+            deltas={}, values={"IPC": ipc},
+        )
+        return Snapshot(time=time, interval=1.0, rows=(row,))
+
+    def test_fires_after_hold(self):
+        fired = []
+        t = Trigger("IPC", Comparison.BELOW, 0.5, fired.append, hold=3)
+        for i in range(5):
+            t.observe(self._snapshot(float(i), 0.1))
+        assert len(fired) == 1
+        assert fired[0].time == 2.0  # third consecutive sample
+
+    def test_streak_resets(self):
+        fired = []
+        t = Trigger("IPC", Comparison.BELOW, 0.5, fired.append, hold=3)
+        values = [0.1, 0.1, 0.9, 0.1, 0.1, 0.1]
+        for i, v in enumerate(values):
+            t.observe(self._snapshot(float(i), v))
+        assert len(fired) == 1
+        assert fired[0].time == 5.0
+
+    def test_above_comparison(self):
+        fired = []
+        t = Trigger("IPC", Comparison.ABOVE, 2.0, fired.append, hold=1)
+        t.observe(self._snapshot(0.0, 2.5))
+        assert fired
+
+    def test_once_disarms(self):
+        fired = []
+        t = Trigger("IPC", Comparison.BELOW, 0.5, fired.append, hold=1)
+        for i in range(5):
+            t.observe(self._snapshot(float(i), 0.1))
+        assert len(fired) == 1
+
+    def test_rearm_mode(self):
+        fired = []
+        t = Trigger("IPC", Comparison.BELOW, 0.5, fired.append, hold=2, once=False)
+        values = [0.1, 0.1, 0.9, 0.1, 0.1]
+        for i, v in enumerate(values):
+            t.observe(self._snapshot(float(i), v))
+        assert len(fired) == 2
+
+    def test_nan_never_matches(self):
+        fired = []
+        t = Trigger("IPC", Comparison.BELOW, 0.5, fired.append, hold=1)
+        t.observe(self._snapshot(0.0, math.nan))
+        assert not fired
+
+    def test_pid_filter(self):
+        fired = []
+        t = Trigger("IPC", Comparison.BELOW, 0.5, fired.append, hold=1, pid=99)
+        t.observe(self._snapshot(0.0, 0.1, pid=1))
+        assert not fired
+
+    def test_bad_hold(self):
+        with pytest.raises(ConfigError):
+            Trigger("IPC", Comparison.BELOW, 0.5, lambda e: None, hold=0)
+
+    def test_trigger_set(self):
+        hits = []
+        ts = TriggerSet(
+            [Trigger("IPC", Comparison.BELOW, 0.5, hits.append, hold=1)]
+        )
+        ts.add(Trigger("IPC", Comparison.ABOVE, 3.0, hits.append, hold=1))
+        ts.observe(self._snapshot(0.0, 0.2))
+        assert ts.any_fired
+        assert len(hits) == 1
+
+
+class TestTriggerEndToEnd:
+    def test_attach_when_collapse_begins(self):
+        """The §3.2 workflow on the §3.1 victim: run at full speed, get
+        called back the moment the pathological phase starts."""
+        workload = Workload(
+            "r-small",
+            tuple(
+                p.with_budget(p.instructions / 100)
+                for p in revolve.original().phases
+            ),
+        )
+        machine = SimMachine(NEHALEM, tick=0.5, seed=10)
+        proc = machine.spawn("R", workload)
+        app = TipTop(SimHost(machine), Options(delay=2.0), get_screen("fpassist"))
+        attached = []
+        triggers = TriggerSet([
+            Trigger("IPC", Comparison.BELOW, 0.3, attached.append,
+                    pid=proc.pid, hold=2),
+        ])
+        with app:
+            for snapshot in app.snapshots(120):
+                triggers.observe(snapshot)
+                if triggers.any_fired or not proc.alive:
+                    break
+        assert attached, "the collapse must trigger the attach"
+        event = attached[0]
+        # Nominal part: 953/100 steps at ~5 s/step -> collapse near t~48 s.
+        assert 40.0 < event.time < 70.0
+        assert proc.alive  # caught it live, mid-run
+
+
+class TestFastForward:
+    def _profile(self, init_ipc=0.6, steady_ipc=1.4, init_frac=0.1, n=200):
+        cut = int(n * init_frac)
+        y = np.r_[init_ipc * np.ones(cut), steady_ipc * np.ones(n - cut)]
+        x = np.cumsum(np.full(n, 1e10))
+        return MetricSeries(x, y, "profile")
+
+    def test_recommends_boundary(self):
+        ff = recommend_skip(self._profile(), window=5)
+        assert ff.fraction_of_run == pytest.approx(0.1, abs=0.03)
+        assert ff.initialization_mean_ipc == pytest.approx(0.6, abs=0.05)
+        assert ff.steady_mean_ipc == pytest.approx(1.4, abs=0.05)
+
+    def test_flat_profile_skips_nothing(self):
+        n = 100
+        flat = MetricSeries(
+            np.cumsum(np.full(n, 1e10)), np.ones(n), "flat"
+        )
+        ff = recommend_skip(flat, window=5)
+        assert ff.skip_instructions == 0.0
+        assert ff.fraction_of_run == 0.0
+
+    def test_late_transition_is_not_initialization(self):
+        ff = recommend_skip(self._profile(init_frac=0.7), window=5)
+        assert ff.skip_instructions == 0.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ReproError):
+            recommend_skip(MetricSeries.of([1.0], [1.0]), window=5)
+
+    def test_per_arch_comparison(self):
+        """§3.2: the right skip differs per architecture."""
+        profiles = {
+            "nehalem": self._profile(init_frac=0.10),
+            "ppc970": self._profile(init_frac=0.15),
+        }
+        skips = compare_skips(profiles, window=5)
+        assert (
+            skips["ppc970"].skip_instructions
+            > skips["nehalem"].skip_instructions
+        )

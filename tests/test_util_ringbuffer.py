@@ -1,0 +1,85 @@
+"""RingBuffer behaviour."""
+
+import pytest
+
+from repro.util.ringbuffer import RingBuffer
+
+
+class TestBasics:
+    def test_empty(self):
+        rb = RingBuffer(4)
+        assert len(rb) == 0
+        assert not rb.full
+        assert rb.capacity == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_append_and_iterate_in_order(self):
+        rb = RingBuffer(4)
+        rb.extend([1, 2, 3])
+        assert list(rb) == [1, 2, 3]
+
+    def test_latest(self):
+        rb = RingBuffer(3)
+        rb.extend(["a", "b"])
+        assert rb.latest() == "b"
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(IndexError):
+            RingBuffer(2).latest()
+
+
+class TestEviction:
+    def test_overwrite_oldest(self):
+        rb = RingBuffer(3)
+        rb.extend([1, 2, 3, 4, 5])
+        assert list(rb) == [3, 4, 5]
+        assert rb.full
+
+    def test_len_capped(self):
+        rb = RingBuffer(3)
+        rb.extend(range(100))
+        assert len(rb) == 3
+
+    def test_wrap_many_times(self):
+        rb = RingBuffer(2)
+        for i in range(1001):
+            rb.append(i)
+        assert list(rb) == [999, 1000]
+
+
+class TestIndexing:
+    def test_positive_index(self):
+        rb = RingBuffer(3)
+        rb.extend([10, 20, 30, 40])
+        assert rb[0] == 20
+        assert rb[2] == 40
+
+    def test_negative_index(self):
+        rb = RingBuffer(3)
+        rb.extend([10, 20, 30])
+        assert rb[-1] == 30
+
+    def test_out_of_range(self):
+        rb = RingBuffer(3)
+        rb.append(1)
+        with pytest.raises(IndexError):
+            rb[1]
+
+    def test_slice_rejected(self):
+        rb = RingBuffer(3)
+        rb.append(1)
+        with pytest.raises(TypeError):
+            rb[0:1]
+
+
+class TestClear:
+    def test_clear_resets(self):
+        rb = RingBuffer(3)
+        rb.extend([1, 2, 3])
+        rb.clear()
+        assert len(rb) == 0
+        rb.append(9)
+        assert list(rb) == [9]

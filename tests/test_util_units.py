@@ -1,0 +1,116 @@
+"""Units formatting/parsing."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.units import (
+    format_count,
+    format_millions,
+    format_percent,
+    format_rate,
+    format_seconds,
+    format_size,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_kb(self):
+        assert parse_size("32KB") == 32 * 1024
+
+    def test_mb(self):
+        assert parse_size("8MB") == 8 * 1024**2
+
+    def test_bare_number_string(self):
+        assert parse_size("256") == 256
+
+    def test_lowercase_and_spaces(self):
+        assert parse_size(" 12 mb ") == 12 * 1024**2
+
+    def test_gb_and_tb(self):
+        assert parse_size("2GB") == 2 * 1024**3
+        assert parse_size("1TB") == 1024**4
+
+    def test_kib_alias(self):
+        assert parse_size("3KiB") == 3 * 1024
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("5XB")
+
+
+class TestFormatSize:
+    def test_exact_kb(self):
+        assert format_size(32 * 1024) == "32KB"
+
+    def test_l3_label_like_hwloc(self):
+        assert format_size(8 * 1024**2) == "8192KB"
+
+    def test_small_bytes(self):
+        assert format_size(100) == "100B"
+
+
+class TestFormatMillions:
+    def test_fig1_scale(self):
+        # Fig. 1 shows Mcycle 26456 — i.e. 2.6456e10 cycles.
+        assert format_millions(2.6456e10) == "26456"
+
+    def test_small_value_keeps_decimal(self):
+        assert format_millions(1.5e6) == "1.5"
+
+    def test_width_pads(self):
+        assert format_millions(1.5e6, width=8) == "     1.5"
+
+
+class TestFormatCount:
+    def test_giga(self):
+        assert format_count(2.5e9) == "2.5G"
+
+    def test_mega(self):
+        assert format_count(3.2e6) == "3.2M"
+
+    def test_kilo(self):
+        assert format_count(9_100) == "9.1K"
+
+    def test_unit(self):
+        assert format_count(42) == "42"
+
+
+class TestFormatRate:
+    def test_ipc_two_decimals(self):
+        assert format_rate(1.9671) == "1.97"
+
+    def test_nan_dash(self):
+        assert format_rate(math.nan) == "-"
+
+    def test_large_no_decimals(self):
+        assert format_rate(250.0) == "250"
+
+
+class TestFormatPercent:
+    def test_typical(self):
+        assert format_percent(99.94) == "99.9"
+
+    def test_nan(self):
+        assert format_percent(math.nan).strip() == "-"
+
+
+class TestFormatSeconds:
+    def test_hms(self):
+        assert format_seconds(3725) == "1:02:05"
+
+    def test_zero(self):
+        assert format_seconds(0) == "0:00:00"

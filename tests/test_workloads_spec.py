@@ -1,0 +1,136 @@
+"""SPEC benchmark models (Figs. 6-9, 11)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import CORE2, NEHALEM, PPC970
+from repro.sim.core import solo_rates
+from repro.sim.workloads import spec
+
+
+class TestRegistry:
+    def test_available(self):
+        names = spec.available()
+        for expected in (
+            "429.mcf",
+            "473.astar",
+            "410.bwaves",
+            "435.gromacs",
+            "456.hmmer",
+            "482.sphinx3",
+            "464.h264ref",
+            "433.milc",
+        ):
+            assert expected in names
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            spec.workload("999.nothing")
+
+    def test_unknown_compiler_variant(self):
+        with pytest.raises(WorkloadError):
+            spec.workload("429.mcf", "icc")
+
+    def test_fig9_benchmarks_have_both_compilers(self):
+        for name in ("456.hmmer", "482.sphinx3", "464.h264ref", "433.milc"):
+            assert set(spec.compilers(name)) == {"gcc", "icc"}
+
+    def test_cache_returns_same_object(self):
+        assert spec.workload("429.mcf") is spec.workload("429.mcf")
+
+
+class TestCalibration:
+    def test_every_phase_hits_its_target(self):
+        """Calibration is exact by construction on the reference machine."""
+        for name in spec.available():
+            for comp in spec.compilers(name):
+                for phase in spec.workload(name, comp).phases:
+                    ipc = solo_rates(NEHALEM, phase).ipc
+                    assert 0.2 < ipc < 3.0, (name, comp, phase.name, ipc)
+
+    def test_mcf_is_memory_bound(self):
+        w = spec.workload("429.mcf")
+        r = solo_rates(NEHALEM, w.phases[0])
+        assert r.cpi_memory > r.cpi_exec
+
+    def test_hmmer_is_compute_bound(self):
+        w = spec.workload("456.hmmer")
+        r = solo_rates(NEHALEM, w.phases[0])
+        assert r.cpi_exec > r.cpi_memory
+
+    def test_arch_ordering_for_astar(self):
+        """Fig. 6b: Nehalem fastest, PPC970 slowest, for every phase."""
+        w = spec.workload("473.astar")
+        for phase in w.phases:
+            neh = solo_rates(NEHALEM, phase).ipc
+            ppc = solo_rates(PPC970, phase).ipc
+            assert ppc < neh
+
+
+class TestFig9Shapes:
+    def _run_time(self, name, compiler):
+        from repro.pin.inscount import native_run_time
+
+        return native_run_time(NEHALEM, spec.workload(name, compiler))
+
+    def _mean_ipc(self, name, compiler):
+        w = spec.workload(name, compiler)
+        weights = [p.instructions for p in w.phases]
+        ipcs = [solo_rates(NEHALEM, p).ipc for p in w.phases]
+        cycles = sum(n / i for n, i in zip(weights, ipcs))
+        return sum(weights) / cycles
+
+    def test_hmmer_higher_ipc_wins(self):
+        """Fig. 9a."""
+        assert self._mean_ipc("456.hmmer", "icc") > self._mean_ipc("456.hmmer", "gcc")
+        assert self._run_time("456.hmmer", "icc") < self._run_time("456.hmmer", "gcc")
+
+    def test_sphinx3_lower_ipc_wins(self):
+        """Fig. 9b: icc's IPC is lower yet it finishes first."""
+        assert self._mean_ipc("482.sphinx3", "icc") < self._mean_ipc(
+            "482.sphinx3", "gcc"
+        )
+        assert self._run_time("482.sphinx3", "icc") < self._run_time(
+            "482.sphinx3", "gcc"
+        )
+
+    def test_h264ref_inversion(self):
+        """Fig. 9c: gcc leads in phase 1, trails in phase 2; times close."""
+        gcc = spec.workload("464.h264ref", "gcc")
+        icc = spec.workload("464.h264ref", "icc")
+        gcc_p1 = solo_rates(NEHALEM, gcc.phases[0]).ipc
+        icc_p1 = solo_rates(NEHALEM, icc.phases[0]).ipc
+        gcc_p2 = solo_rates(NEHALEM, gcc.phases[1]).ipc
+        icc_p2 = solo_rates(NEHALEM, icc.phases[1]).ipc
+        assert gcc_p1 > icc_p1
+        assert gcc_p2 < icc_p2
+        t_gcc = self._run_time("464.h264ref", "gcc")
+        t_icc = self._run_time("464.h264ref", "icc")
+        assert abs(t_gcc - t_icc) / t_gcc < 0.1
+
+    def test_milc_same_speed_different_ipc(self):
+        """Fig. 9d: identical wall time, gcc IPC constantly higher."""
+        t_gcc = self._run_time("433.milc", "gcc")
+        t_icc = self._run_time("433.milc", "icc")
+        assert t_gcc == pytest.approx(t_icc, rel=0.03)
+        assert self._mean_ipc("433.milc", "gcc") > self._mean_ipc("433.milc", "icc")
+
+
+class TestGromacs:
+    def test_ripples_on_nehalem_only(self):
+        """Fig. 7b: hi/lo alternation visible on Nehalem, flat elsewhere."""
+        w = spec.workload("435.gromacs")
+        hi, lo = w.phases[0], w.phases[1]
+        neh_ratio = solo_rates(NEHALEM, hi).ipc / solo_rates(NEHALEM, lo).ipc
+        core_ratio = solo_rates(CORE2, hi).ipc / solo_rates(CORE2, lo).ipc
+        assert neh_ratio > 1.05
+        assert core_ratio == pytest.approx(1.0, abs=0.02)
+
+
+class TestPpcBuild:
+    def test_ppc_binary_has_more_instructions(self):
+        """Fig. 8: the PPC curve shifts right (different binary)."""
+        intel = spec.workload("473.astar")
+        ppc = spec.ppc_workload("473.astar")
+        assert ppc.total_instructions > intel.total_instructions
+        assert len(ppc.phases) == len(intel.phases)
