@@ -1,0 +1,131 @@
+"""Hot-path throughput: batched ``run_ticks`` vs the scalar tick loop.
+
+The paper's tool promises monitoring overhead in the noise (§2.5); our
+bottleneck is the simulation itself. This benchmark drives the same
+200-process synthetic population over 1000 ticks through both machine
+advance paths and records the speedup in ``BENCH_throughput.json`` so
+future PRs can track the trajectory.
+
+Both machines are warmed for ``WARMUP_TICKS`` first: the batched path's
+contention/rate memos key on object identities that converge once the
+scheduler's round-robin orbit has revisited every co-schedule a few times,
+and steady state is the regime a long-running monitor lives in. Bitwise
+equivalence of the two paths is proven separately by
+``tests/test_run_ticks_equivalence.py``; this file only times them.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the run for CI smoke coverage and skips
+the speedup assertion (shared CI runners make timing ratios unreliable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _harness import OUT_DIR
+
+from repro.sim.arch import NEHALEM
+from repro.sim.events import Event
+from repro.sim.machine import SimMachine
+from repro.sim.workloads import synthetic
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+PROCESSES = 200
+WARMUP_TICKS = 30 if SMOKE else 300
+MEASURED_TICKS = 100 if SMOKE else 1000
+MIN_SPEEDUP = 3.0
+
+#: Ten counters per task, the width of a realistic custom screen.
+EVENTS = (
+    Event.INSTRUCTIONS,
+    Event.CYCLES,
+    Event.CACHE_REFERENCES,
+    Event.CACHE_MISSES,
+    Event.BRANCH_INSTRUCTIONS,
+    Event.BRANCH_MISSES,
+    Event.L1D_ACCESSES,
+    Event.L1D_MISSES,
+    Event.LOADS,
+    Event.STORES,
+)
+
+
+def build_machine() -> SimMachine:
+    """A 4-core node oversubscribed 50:1 with monitored synthetic tasks."""
+    machine = SimMachine(
+        NEHALEM, sockets=1, cores_per_socket=4, tick=0.1, seed=7
+    )
+    for spec in synthetic.generate_specs(PROCESSES, seed=3):
+        workload = synthetic.build(spec, NEHALEM, seed=11)
+        proc = machine.spawn(spec.name, workload, nthreads=1, duty_cycle=1.0)
+        for event in EVENTS:
+            machine.counters.open(event, proc.pid, 0)
+    return machine
+
+
+#: Best-of-N timing damps scheduler noise on shared machines.
+REPEATS = 1 if SMOKE else 2
+
+
+def _time_scalar() -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        machine = build_machine()
+        for _ in range(WARMUP_TICKS):
+            machine._step(machine.tick)
+        t0 = time.perf_counter()
+        for _ in range(MEASURED_TICKS):
+            machine._step(machine.tick)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_batched() -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        machine = build_machine()
+        machine.run_ticks(WARMUP_TICKS)
+        t0 = time.perf_counter()
+        machine.run_ticks(MEASURED_TICKS)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_throughput_speedup():
+    scalar_seconds = _time_scalar()
+    vectorized_seconds = _time_batched()
+    speedup = scalar_seconds / vectorized_seconds
+    payload = {
+        "scenario": {
+            "arch": NEHALEM.name,
+            "sockets": 1,
+            "cores_per_socket": 4,
+            "tick": 0.1,
+            "processes": PROCESSES,
+            "events_per_task": len(EVENTS),
+            "warmup_ticks": WARMUP_TICKS,
+            "measured_ticks": MEASURED_TICKS,
+            "smoke": SMOKE,
+        },
+        "scalar_seconds": round(scalar_seconds, 6),
+        "vectorized_seconds": round(vectorized_seconds, 6),
+        "speedup": round(speedup, 3),
+        "ticks_per_second_vectorized": round(
+            MEASURED_TICKS / vectorized_seconds, 1
+        ),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(
+        f"\nscalar {scalar_seconds:.3f}s  vectorized {vectorized_seconds:.3f}s"
+        f"  speedup {speedup:.2f}x"
+    )
+    assert vectorized_seconds > 0
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"vectorized path is only {speedup:.2f}x faster "
+            f"(scalar {scalar_seconds:.3f}s, vectorized {vectorized_seconds:.3f}s)"
+        )

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.analysis.phase_detect import detect_phases
 from repro.analysis.timeseries import MetricSeries

@@ -104,6 +104,7 @@ class TipTop:
         self.sampler = Sampler(
             host.backend, host.tasks, self.screen, self.options
         )
+        self._advance_seconds = 0.0
 
     def snapshots(self, iterations: int | None = None) -> Iterator[Snapshot]:
         """Yield snapshots forever (or ``iterations`` times).
@@ -117,9 +118,36 @@ class TipTop:
         # Baseline pass: attach counters, zero-length interval.
         yield self.sampler.sample()
         while limit is None or count < limit:
+            t0 = time.perf_counter()
             self.host.sleep(self.options.delay)
+            self._advance_seconds = time.perf_counter() - t0
             yield self.sampler.sample()
             count += 1
+
+    def _emit_profile(self, render_seconds: float) -> None:
+        """One ``--profile`` line per refresh: where the wall time went.
+
+        ``advance`` is the host sleep (virtual-machine simulation time for
+        a SimHost, idle wall time for a RealHost); ``read``/``eval``/
+        ``refresh`` come from the sampler's timing of counter+/proc reads,
+        frame building with derived-metric evaluation, and process-list
+        maintenance; ``render`` is text formatting. The paper's §2.5
+        overhead claim is about exactly this breakdown.
+        """
+        if not self.options.profile:
+            return
+        timing = self.sampler.last_timing
+        if timing is None:
+            return
+        print(
+            f"profile: advance={self._advance_seconds * 1e3:8.2f}ms "
+            f"read={timing.read_seconds * 1e3:7.2f}ms "
+            f"eval={timing.eval_seconds * 1e3:7.2f}ms "
+            f"refresh={timing.refresh_seconds * 1e3:7.2f}ms "
+            f"render={render_seconds * 1e3:7.2f}ms "
+            f"tasks={timing.tasks}",
+            file=sys.stderr,
+        )
 
     def run_collect(self, iterations: int, recorder: Recorder | None = None) -> Recorder:
         """Sample ``iterations`` intervals into a :class:`Recorder`.
@@ -132,6 +160,7 @@ class TipTop:
             if i == 0:
                 continue
             recorder.record(snapshot)
+            self._emit_profile(0.0)
         return recorder
 
     def run_batch(
@@ -153,7 +182,9 @@ class TipTop:
         for i, snapshot in enumerate(self.snapshots(iterations)):
             if i == 0:
                 continue
+            t0 = time.perf_counter()
             block = formatter.render_batch(self.screen, snapshot)
+            self._emit_profile(time.perf_counter() - t0)
             blocks.append(block)
             sink(block)
         return blocks
@@ -177,9 +208,11 @@ class TipTop:
         for i, snapshot in enumerate(self.snapshots(iterations)):
             if i == 0:
                 continue
+            t0 = time.perf_counter()
             frame = formatter.render_frame(
                 self.screen, snapshot, idle_threshold=self.options.idle_threshold
             )
+            self._emit_profile(time.perf_counter() - t0)
             frames.append(frame)
             sink(frame)
         return frames

@@ -48,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sim", action="store_true",
                         help="monitor a demo simulated node instead of the "
                              "real kernel (required where no PMU exists)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-refresh wall-time breakdown "
+                             "(advance/read/eval/render) to stderr")
     return parser
 
 
@@ -67,6 +70,7 @@ def main(argv: list[str] | None = None) -> int:
             watch_uid=args.uid,
             watch_pids=frozenset(args.pid),
             screen=args.screen,
+            profile=args.profile,
         )
         if args.screen_file:
             from repro.core.config_file import find_screen, load_screens

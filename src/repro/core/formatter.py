@@ -4,10 +4,16 @@ Tiptop has no graphics (§2.1): live mode repaints a text screen (ncurses in
 the original; a plain string frame here, which is also what the tests
 assert against), batch mode appends snapshot blocks to a stream "convenient
 for further processing" with sed/awk-style tools.
+
+When a snapshot carries a :class:`~repro.core.frame.SnapshotFrame`, the
+renderers pull table cells column-wise from its arrays (one ``tolist`` per
+column) instead of walking per-row dicts; the emitted text is identical.
 """
 
 from __future__ import annotations
 
+from repro.core.columns import ColumnKind
+from repro.core.frame import SnapshotFrame
 from repro.core.sampler import Row, Snapshot
 from repro.core.screen import Screen
 from repro.util.tabulate import render_table
@@ -21,6 +27,42 @@ def render_rows(screen: Screen, rows: list[Row] | tuple[Row, ...]) -> str:
     return render_table(formats, data)
 
 
+def _frame_columns(screen: Screen, frame: SnapshotFrame) -> list[list]:
+    """One Python list per screen column, in row order."""
+    columns: list[list] = []
+    for c in screen.columns:
+        if c.kind is ColumnKind.PID:
+            columns.append(frame.pids.tolist())
+        elif c.kind is ColumnKind.USER:
+            columns.append(list(frame.users))
+        elif c.kind is ColumnKind.CPU_PCT:
+            columns.append(frame.cpu_pct.tolist())
+        elif c.kind is ColumnKind.TIME:
+            columns.append(frame.cpu_time.tolist())
+        elif c.kind is ColumnKind.COMMAND:
+            columns.append(list(frame.comms))
+        elif c.kind is ColumnKind.PROCESSOR:
+            columns.append(frame.processors.tolist())
+        elif c.header in frame.metrics:
+            columns.append(frame.metrics[c.header].tolist())
+        else:
+            columns.append(list(frame.labels.get(c.header, [""] * len(frame))))
+    return columns
+
+
+def render_frame_table(screen: Screen, frame: SnapshotFrame) -> str:
+    """The column table for a frame (header included)."""
+    formats = [c.to_format() for c in screen.columns]
+    data = [list(cells) for cells in zip(*_frame_columns(screen, frame))]
+    return render_table(formats, data)
+
+
+def _table_for(screen: Screen, snapshot: Snapshot) -> str:
+    if snapshot.frame is not None:
+        return render_frame_table(screen, snapshot.frame)
+    return render_rows(screen, snapshot.rows)
+
+
 def render_frame(
     screen: Screen,
     snapshot: Snapshot,
@@ -28,20 +70,31 @@ def render_frame(
     idle_threshold: float = 0.0,
 ) -> str:
     """One live-mode frame: summary line plus the column table."""
-    rows = [r for r in snapshot.rows if r.cpu_pct >= idle_threshold]
-    busy = sum(1 for r in snapshot.rows if r.cpu_pct >= 50.0)
+    frame = snapshot.frame
+    if frame is not None:
+        total = len(frame)
+        busy = int((frame.cpu_pct >= 50.0).sum())
+        table = render_frame_table(
+            screen, frame.select(frame.cpu_pct >= idle_threshold)
+        )
+    else:
+        total = len(snapshot.rows)
+        busy = sum(1 for r in snapshot.rows if r.cpu_pct >= 50.0)
+        table = render_rows(
+            screen, [r for r in snapshot.rows if r.cpu_pct >= idle_threshold]
+        )
     header = (
         f"tiptop - up {format_seconds(snapshot.time)}, "
-        f"{len(snapshot.rows)} tasks, {busy} running, "
+        f"{total} tasks, {busy} running, "
         f"delay {snapshot.interval:.1f}s"
     )
-    return header + "\n" + render_rows(screen, rows)
+    return header + "\n" + table
 
 
 def render_batch(screen: Screen, snapshot: Snapshot) -> str:
     """One batch-mode block (timestamp line, table, trailing blank line)."""
     stamp = f"--- t={snapshot.time:.1f}s interval={snapshot.interval:.1f}s ---"
-    return stamp + "\n" + render_rows(screen, snapshot.rows) + "\n"
+    return stamp + "\n" + _table_for(screen, snapshot) + "\n"
 
 
 def render_csv_header(screen: Screen) -> str:

@@ -1,0 +1,283 @@
+"""Columnar snapshot container: the pipeline's shared interchange type.
+
+The paper's promise is monitoring at negligible overhead (§2.5), and the
+ROADMAP's north star is "as fast as the hardware allows". Per-task ``Row``
+objects made every pipeline stage — sampling, recording, rendering,
+analysis — re-walk Python lists and rebuild dicts per interval.
+:class:`SnapshotFrame` replaces that interchange with one numpy-backed
+columnar block per refresh: identity columns (pids, tids, uids, users,
+commands), /proc-derived columns (%CPU, cumulative CPU time, last
+processor), one float64 array per counter event, and one float64 array per
+derived screen column. Downstream stages slice arrays instead of looping.
+
+``Row``/``Sample`` remain as thin adapters: :meth:`to_rows` materialises
+the exact objects the scalar pipeline used to build (same values, same
+dict ordering), and :meth:`from_rows` lifts legacy row lists back into a
+frame, so pre-existing call sites and tests keep working unchanged.
+
+The ``columns`` field records the screen layout as ``(header, kind)``
+pairs (kind is a :class:`~repro.core.columns.ColumnKind` value string), so
+a frame is self-describing: renderers and the CSV codec can reconstruct
+any row value without consulting the screen that produced it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.sampler import Row
+
+#: header -> ColumnKind.value for the intrinsic screen columns.
+INTRINSIC_KINDS = {
+    "PID": "pid",
+    "USER": "user",
+    "%CPU": "cpu",
+    "TIME+": "time",
+    "COMMAND": "command",
+    "P": "processor",
+}
+
+
+@dataclass(frozen=True)
+class SnapshotFrame:
+    """One refresh as a column block (all arrays share one row axis).
+
+    Attributes:
+        time: snapshot timestamp (seconds since boot).
+        interval: seconds since the previous snapshot (0.0 on the first).
+        pids: process ids, int64.
+        tids: monitored task ids (== pids unless per-thread mode), int64.
+        uids: owner uids, int64 (-1 when unknown, e.g. lifted from rows).
+        users: owner login names.
+        comms: command names.
+        cpu_pct: %CPU over the interval, float64.
+        cpu_time: cumulative CPU seconds, float64.
+        processors: CPU each task last ran on, int64 (-1 when unknown).
+        deltas: scaled counter deltas, one float64 array per event name.
+        metrics: derived column values, one float64 array per header.
+        labels: non-intrinsic string columns (rare; kept for losslessness).
+        columns: screen layout as (header, kind-value) pairs.
+    """
+
+    time: float
+    interval: float
+    pids: np.ndarray
+    tids: np.ndarray
+    uids: np.ndarray
+    users: tuple[str, ...]
+    comms: tuple[str, ...]
+    cpu_pct: np.ndarray
+    cpu_time: np.ndarray
+    processors: np.ndarray
+    deltas: dict[str, np.ndarray]
+    metrics: dict[str, np.ndarray]
+    labels: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    columns: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        n = len(self.pids)
+        for name in ("tids", "uids", "cpu_pct", "cpu_time", "processors",
+                     "users", "comms"):
+            if len(getattr(self, name)) != n:
+                raise ReproError(
+                    f"frame column {name!r} has {len(getattr(self, name))} "
+                    f"entries for {n} tasks"
+                )
+        for group_name in ("deltas", "metrics", "labels"):
+            for key, col in getattr(self, group_name).items():
+                if len(col) != n:
+                    raise ReproError(
+                        f"frame {group_name} column {key!r} has {len(col)} "
+                        f"entries for {n} tasks"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.pids)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def empty(cls, time: float = 0.0, interval: float = 0.0) -> "SnapshotFrame":
+        """A zero-task frame."""
+        return cls(
+            time=time,
+            interval=interval,
+            pids=np.empty(0, dtype=np.int64),
+            tids=np.empty(0, dtype=np.int64),
+            uids=np.empty(0, dtype=np.int64),
+            users=(),
+            comms=(),
+            cpu_pct=np.empty(0),
+            cpu_time=np.empty(0),
+            processors=np.empty(0, dtype=np.int64),
+            deltas={},
+            metrics={},
+        )
+
+    @classmethod
+    def from_rows(
+        cls, time: float, interval: float, rows: "tuple[Row, ...] | list[Row]"
+    ) -> "SnapshotFrame":
+        """Lift legacy :class:`~repro.core.sampler.Row` objects into a frame.
+
+        Column kinds are inferred: known intrinsic headers keep their kind,
+        numeric values become ``expr`` columns, strings become ``label``
+        columns. Uids are not part of ``Row`` and read as -1.
+        """
+        n = len(rows)
+        if n == 0:
+            return cls.empty(time, interval)
+        columns: list[tuple[str, str]] = []
+        for header, value in rows[0].values.items():
+            kind = INTRINSIC_KINDS.get(header)
+            if kind is None:
+                kind = "expr" if isinstance(value, (int, float)) else "label"
+            columns.append((header, kind))
+        event_names: list[str] = []
+        for row in rows:
+            for name in row.deltas:
+                if name not in event_names:
+                    event_names.append(name)
+        metrics: dict[str, np.ndarray] = {}
+        labels: dict[str, tuple[str, ...]] = {}
+        for header, kind in columns:
+            if kind == "expr":
+                metrics[header] = np.fromiter(
+                    (
+                        v if isinstance((v := row.values.get(header)), (int, float))
+                        else math.nan
+                        for row in rows
+                    ),
+                    dtype=float,
+                    count=n,
+                )
+            elif kind == "label":
+                labels[header] = tuple(
+                    str(row.values.get(header, "")) for row in rows
+                )
+        return cls(
+            time=time,
+            interval=interval,
+            pids=np.fromiter((r.pid for r in rows), dtype=np.int64, count=n),
+            tids=np.fromiter((r.tid for r in rows), dtype=np.int64, count=n),
+            uids=np.full(n, -1, dtype=np.int64),
+            users=tuple(r.user for r in rows),
+            comms=tuple(r.comm for r in rows),
+            cpu_pct=np.fromiter((r.cpu_pct for r in rows), dtype=float, count=n),
+            cpu_time=np.fromiter((r.cpu_time for r in rows), dtype=float, count=n),
+            processors=np.full(n, -1, dtype=np.int64),
+            deltas={
+                name: np.fromiter(
+                    (r.deltas.get(name, 0.0) for r in rows), dtype=float, count=n
+                )
+                for name in event_names
+            },
+            metrics=metrics,
+            labels=labels,
+            columns=tuple(columns),
+        )
+
+    # -- reshaping ----------------------------------------------------------
+    def take(self, order: "list[int] | np.ndarray") -> "SnapshotFrame":
+        """Frame with rows permuted/selected by integer index."""
+        idx = np.asarray(order, dtype=np.intp)
+        picks = idx.tolist()
+        return replace(
+            self,
+            pids=self.pids[idx],
+            tids=self.tids[idx],
+            uids=self.uids[idx],
+            users=tuple(self.users[i] for i in picks),
+            comms=tuple(self.comms[i] for i in picks),
+            cpu_pct=self.cpu_pct[idx],
+            cpu_time=self.cpu_time[idx],
+            processors=self.processors[idx],
+            deltas={k: v[idx] for k, v in self.deltas.items()},
+            metrics={k: v[idx] for k, v in self.metrics.items()},
+            labels={
+                k: tuple(v[i] for i in picks) for k, v in self.labels.items()
+            },
+        )
+
+    def select(self, mask: np.ndarray) -> "SnapshotFrame":
+        """Frame with only the rows where ``mask`` is true."""
+        return self.take(np.flatnonzero(mask))
+
+    # -- access -------------------------------------------------------------
+    def column_kind(self, header: str) -> str | None:
+        """Kind-value of a screen column (None when absent)."""
+        for name, kind in self.columns:
+            if name == header:
+                return kind
+        return None
+
+    def numeric_column(self, header: str) -> np.ndarray | None:
+        """Float view of a numeric screen column (None for string columns
+        or headers this frame does not carry)."""
+        kind = self.column_kind(header)
+        if kind == "pid":
+            return self.pids.astype(float)
+        if kind == "cpu":
+            return self.cpu_pct
+        if kind == "time":
+            return self.cpu_time
+        if kind == "processor":
+            return self.processors.astype(float)
+        if kind == "expr":
+            return self.metrics[header]
+        if kind is None and header in self.metrics:
+            return self.metrics[header]
+        return None
+
+    def value_at(self, header: str, kind: str, i: int):
+        """One cell as the exact scalar the row pipeline produced."""
+        if kind == "pid":
+            return int(self.pids[i])
+        if kind == "user":
+            return self.users[i]
+        if kind == "cpu":
+            return float(self.cpu_pct[i])
+        if kind == "time":
+            return float(self.cpu_time[i])
+        if kind == "command":
+            return self.comms[i]
+        if kind == "processor":
+            return int(self.processors[i])
+        if kind == "expr":
+            return float(self.metrics[header][i])
+        return self.labels[header][i]
+
+    # -- adapters -----------------------------------------------------------
+    def to_rows(self) -> "tuple[Row, ...]":
+        """Materialise legacy :class:`~repro.core.sampler.Row` objects.
+
+        Values and dict orderings match what the scalar per-row pipeline
+        produced, so everything downstream of the old API is unchanged.
+        """
+        from repro.core.sampler import Row
+
+        event_names = tuple(self.deltas)
+        rows = []
+        for i in range(len(self)):
+            rows.append(
+                Row(
+                    pid=int(self.pids[i]),
+                    tid=int(self.tids[i]),
+                    user=self.users[i],
+                    comm=self.comms[i],
+                    cpu_pct=float(self.cpu_pct[i]),
+                    cpu_time=float(self.cpu_time[i]),
+                    deltas={k: float(self.deltas[k][i]) for k in event_names},
+                    values={
+                        header: self.value_at(header, kind, i)
+                        for header, kind in self.columns
+                    },
+                )
+            )
+        return tuple(rows)

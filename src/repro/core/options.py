@@ -34,6 +34,8 @@ class Options:
             everything, like tiptop's idle-process toggle).
         sort_by: column header to sort rows by (descending); "%CPU" default.
         max_tasks: cap on simultaneously monitored tasks (guards fd usage).
+        profile: print a per-refresh wall-time breakdown to stderr, making
+            overhead claims like the paper's §2.5 observable on our tool.
     """
 
     delay: float = 2.0
@@ -47,6 +49,7 @@ class Options:
     idle_threshold: float = 0.0
     sort_by: str = "%CPU"
     max_tasks: int = 512
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.delay <= 0:

@@ -2,19 +2,41 @@
 
 The paper's figures are all time series of per-interval metrics (IPC every
 5 s, misses per 100 instructions every 10 s...). :class:`Recorder`
-accumulates snapshots and exposes exactly the series the figures plot —
+accumulates :class:`~repro.core.frame.SnapshotFrame` blocks — one per
+snapshot — and exposes exactly the series the figures plot, computed with
+numpy masks over concatenated columns rather than per-sample Python loops:
 by pid, by command, against time or against cumulative instructions
 (Fig. 8's x-axis).
+
+The legacy :class:`Sample` surface is kept as an adapter:
+``recorder.samples`` materialises (and caches) the same flat sample list
+the old recorder stored, and ``Recorder(samples=[...])`` lifts such a list
+back into frames, so existing call sites and tests are unchanged.
+
+CSV persistence round-trips losslessly through the frames: counter deltas,
+NaN metric cells, non-ASCII command names, tids/uids/processors and the
+screen column layout all survive ``to_csv`` -> ``from_csv`` bit-for-bit
+(floats are serialised with ``repr``). The reader also accepts the older
+five-fixed-columns format that carried deltas only.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.frame import INTRINSIC_KINDS, SnapshotFrame
 from repro.core.sampler import Snapshot
+
+_FIXED = ["time", "pid", "comm", "user", "cpu_pct"]
+_EXTENDED = ["tid", "uid", "cpu_time", "processor", "interval"]
+_METRIC_PREFIX = "value:"
+_LABEL_PREFIX = "label:"
+_COLSPEC = "screen_columns"
 
 
 @dataclass(frozen=True)
@@ -30,30 +52,59 @@ class Sample:
     values: dict[str, float | str | int]
 
 
-@dataclass
 class Recorder:
-    """Accumulates samples across snapshots."""
+    """Accumulates snapshot frames; serves series from columnar storage.
 
-    samples: list[Sample] = field(default_factory=list)
+    Args:
+        samples: optional legacy flat sample list to lift into frames
+            (consecutive samples with equal timestamps group into one
+            frame).
+    """
 
+    def __init__(self, samples: list[Sample] | None = None) -> None:
+        self._frames: list[SnapshotFrame] = []
+        self._samples_cache: list[Sample] | None = None
+        self._index: _Index | None = None
+        if samples:
+            self._frames.extend(_frames_from_samples(samples))
+
+    # -- ingestion ----------------------------------------------------------
     def record(self, snapshot: Snapshot) -> None:
-        """Fold one snapshot's rows in."""
-        for row in snapshot.rows:
-            self.samples.append(
-                Sample(
-                    time=snapshot.time,
-                    pid=row.pid,
-                    comm=row.comm,
-                    user=row.user,
-                    cpu_pct=row.cpu_pct,
-                    deltas=dict(row.deltas),
-                    values=dict(row.values),
-                )
+        """Fold one snapshot in (uses its frame; lifts rows if absent)."""
+        frame = snapshot.frame
+        if frame is None:
+            frame = SnapshotFrame.from_rows(
+                snapshot.time, snapshot.interval, snapshot.rows
             )
+        self.record_frame(frame)
+
+    def record_frame(self, frame: SnapshotFrame) -> None:
+        """Fold one columnar frame in (empty frames are dropped)."""
+        if len(frame) == 0:
+            return
+        self._frames.append(frame)
+        self._samples_cache = None
+        self._index = None
+
+    # -- legacy adapter surface ---------------------------------------------
+    @property
+    def frames(self) -> list[SnapshotFrame]:
+        """The recorded frames, in record order."""
+        return list(self._frames)
+
+    @property
+    def samples(self) -> list[Sample]:
+        """Flat per-task samples (materialised from the frames, cached)."""
+        if self._samples_cache is None:
+            flat: list[Sample] = []
+            for frame in self._frames:
+                flat.extend(_samples_from_frame(frame))
+            self._samples_cache = flat
+        return self._samples_cache
 
     def pids(self) -> list[int]:
         """All pids seen, sorted."""
-        return sorted({s.pid for s in self.samples})
+        return sorted(set(self._get_index().pids.tolist()))
 
     def for_pid(self, pid: int) -> list[Sample]:
         """Samples of one process in time order."""
@@ -63,20 +114,22 @@ class Recorder:
         """Samples of all processes with this command name."""
         return [s for s in self.samples if s.comm == comm]
 
+    # -- columnar queries ---------------------------------------------------
+    def _get_index(self) -> "_Index":
+        if self._index is None:
+            self._index = _Index(self._frames)
+        return self._index
+
     def series(
         self, pid: int, header: str, *, drop_nan: bool = True
     ) -> tuple[np.ndarray, np.ndarray]:
         """(times, values) of one derived column for one pid."""
-        times, values = [], []
-        for s in self.for_pid(pid):
-            v = s.values.get(header)
-            if not isinstance(v, (int, float)):
-                continue
-            if drop_nan and (isinstance(v, float) and math.isnan(v)):
-                continue
-            times.append(s.time)
-            values.append(float(v))
-        return np.asarray(times), np.asarray(values)
+        idx = self._get_index()
+        values, present = idx.metric(header)
+        mask = (idx.pids == pid) & present
+        if drop_nan:
+            mask = mask & ~np.isnan(values)
+        return idx.times[mask], values[mask]
 
     def series_vs_instructions(
         self, pid: int, header: str
@@ -85,17 +138,17 @@ class Recorder:
 
         Requires the screen to have counted ``instructions``.
         """
-        xs, values = [], []
-        total = 0.0
-        for s in self.for_pid(pid):
-            total += s.deltas.get("instructions", 0.0)
-            v = s.values.get(header)
-            if isinstance(v, (int, float)) and not (
-                isinstance(v, float) and math.isnan(v)
-            ):
-                xs.append(total)
-                values.append(float(v))
-        return np.asarray(xs), np.asarray(values)
+        idx = self._get_index()
+        mask = idx.pids == pid
+        instr = idx.events.get("instructions")
+        if instr is None:
+            totals = np.zeros(int(mask.sum()))
+        else:
+            totals = np.cumsum(instr[mask])
+        values, present = idx.metric(header)
+        picked = values[mask]
+        ok = present[mask] & ~np.isnan(picked)
+        return totals[ok], picked[ok]
 
     def mean(self, pid: int, header: str) -> float:
         """Time-average of a derived column for one pid (NaN if empty)."""
@@ -104,63 +157,378 @@ class Recorder:
 
     def total_delta(self, pid: int, event_name: str) -> float:
         """Sum of an event's deltas over the whole recording."""
-        return sum(s.deltas.get(event_name, 0.0) for s in self.for_pid(pid))
+        idx = self._get_index()
+        column = idx.events.get(event_name)
+        if column is None:
+            return 0.0
+        return float(column[idx.pids == pid].sum())
 
     # -- persistence --------------------------------------------------------
     def to_csv(self) -> str:
         """Serialise the recording as CSV (one line per task-interval).
 
-        Columns: time, pid, comm, user, cpu_pct, then every counter delta
-        (union across samples, sorted). Derived column values are not
-        exported — they recompute from the deltas.
+        Columns: the five legacy fixed columns (time, pid, comm, user,
+        cpu_pct), every counter delta (union across frames, sorted), the
+        extended identity columns (tid, uid, cpu_time, processor,
+        interval), one ``value:<header>`` column per derived metric, one
+        ``label:<header>`` column per string column, and finally the
+        per-frame screen layout. Floats are written with ``repr`` so the
+        round trip is lossless, including NaN cells; the csv module quotes
+        commas and preserves non-ASCII command names.
         """
-        events = sorted({k for s in self.samples for k in s.deltas})
-        header = ["time", "pid", "comm", "user", "cpu_pct", *events]
-        lines = [",".join(header)]
-        for s in self.samples:
-            cells = [
-                f"{s.time:.3f}",
-                str(s.pid),
-                s.comm,
-                s.user,
-                f"{s.cpu_pct:.2f}",
-                *(f"{s.deltas.get(e, 0.0):.6g}" for e in events),
-            ]
-            lines.append(",".join(cells))
-        return "\n".join(lines) + "\n"
+        events = sorted({name for f in self._frames for name in f.deltas})
+        metric_headers = sorted({h for f in self._frames for h in f.metrics})
+        label_headers = sorted({h for f in self._frames for h in f.labels})
+        header = [
+            *_FIXED,
+            *events,
+            *_EXTENDED,
+            *(_METRIC_PREFIX + h for h in metric_headers),
+            *(_LABEL_PREFIX + h for h in label_headers),
+            _COLSPEC,
+        ]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(header)
+        for f in self._frames:
+            colspec = ";".join(f"{kind}:{name}" for name, kind in f.columns)
+            for i in range(len(f)):
+                row = [
+                    repr(f.time),
+                    str(int(f.pids[i])),
+                    f.comms[i],
+                    f.users[i],
+                    repr(float(f.cpu_pct[i])),
+                ]
+                for e in events:
+                    col = f.deltas.get(e)
+                    row.append(repr(float(col[i])) if col is not None else "0.0")
+                row.extend(
+                    [
+                        str(int(f.tids[i])),
+                        str(int(f.uids[i])),
+                        repr(float(f.cpu_time[i])),
+                        str(int(f.processors[i])),
+                        repr(f.interval),
+                    ]
+                )
+                for h in metric_headers:
+                    col = f.metrics.get(h)
+                    row.append(repr(float(col[i])) if col is not None else "")
+                for h in label_headers:
+                    col = f.labels.get(h)
+                    row.append(col[i] if col is not None else "")
+                row.append(colspec)
+                writer.writerow(row)
+        return buffer.getvalue()
 
     @classmethod
     def from_csv(cls, text: str) -> "Recorder":
         """Rebuild a recording from :meth:`to_csv` output.
 
+        Also accepts the legacy format (five fixed columns plus deltas
+        only); such rows group into frames by equal consecutive
+        timestamps with zero intervals and unknown tids/uids/processors.
+
         Raises:
             ValueError: malformed header or rows.
         """
-        lines = [line for line in text.splitlines() if line.strip()]
-        if not lines:
+        rows = [r for r in csv.reader(io.StringIO(text)) if r]
+        if not rows:
             return cls()
-        header = lines[0].split(",")
-        fixed = ["time", "pid", "comm", "user", "cpu_pct"]
-        if header[: len(fixed)] != fixed:
+        header = rows[0]
+        if header[: len(_FIXED)] != _FIXED:
             raise ValueError(f"unexpected CSV header {header[:5]}")
-        events = header[len(fixed):]
+        for row in rows[1:]:
+            if len(row) != len(header):
+                raise ValueError(f"row arity mismatch: {','.join(row)!r}")
         recorder = cls()
-        for line in lines[1:]:
-            cells = line.split(",")
-            if len(cells) != len(header):
-                raise ValueError(f"row arity mismatch: {line!r}")
-            deltas = {
-                e: float(v) for e, v in zip(events, cells[len(fixed):])
-            }
-            recorder.samples.append(
+        if header[-1] == _COLSPEC:
+            recorder._frames.extend(_frames_from_extended_csv(header, rows[1:]))
+        else:
+            events = header[len(_FIXED):]
+            samples = [
                 Sample(
-                    time=float(cells[0]),
-                    pid=int(cells[1]),
-                    comm=cells[2],
-                    user=cells[3],
-                    cpu_pct=float(cells[4]),
-                    deltas=deltas,
+                    time=float(row[0]),
+                    pid=int(row[1]),
+                    comm=row[2],
+                    user=row[3],
+                    cpu_pct=float(row[4]),
+                    deltas={
+                        e: float(v)
+                        for e, v in zip(events, row[len(_FIXED):])
+                    },
                     values={},
                 )
-            )
+                for row in rows[1:]
+            ]
+            recorder._frames.extend(_frames_from_samples(samples))
         return recorder
+
+
+class _Index:
+    """Concatenated columns over a frame list (built lazily, cached)."""
+
+    def __init__(self, frames: list[SnapshotFrame]) -> None:
+        self._frames = frames
+        n = sum(len(f) for f in frames)
+        if frames:
+            self.times = np.concatenate(
+                [np.full(len(f), f.time) for f in frames]
+            )
+            self.pids = np.concatenate([f.pids for f in frames])
+        else:
+            self.times = np.empty(0)
+            self.pids = np.empty(0, dtype=np.int64)
+        event_names: list[str] = []
+        for f in frames:
+            for name in f.deltas:
+                if name not in event_names:
+                    event_names.append(name)
+        self.events = {
+            name: np.concatenate(
+                [
+                    f.deltas.get(name, np.zeros(len(f)))
+                    for f in frames
+                ]
+            )
+            if frames
+            else np.empty(0)
+            for name in event_names
+        }
+        self._n = n
+        self._metric_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def metric(self, header: str) -> tuple[np.ndarray, np.ndarray]:
+        """(values, present) for one numeric column across all frames.
+
+        ``present`` is False where a frame does not carry the column (the
+        old per-sample ``values.get(header)`` miss), NaN cells stay NaN.
+        """
+        cached = self._metric_cache.get(header)
+        if cached is not None:
+            return cached
+        values_parts: list[np.ndarray] = []
+        present_parts: list[np.ndarray] = []
+        for f in self._frames:
+            column = f.numeric_column(header)
+            if column is None:
+                values_parts.append(np.full(len(f), math.nan))
+                present_parts.append(np.zeros(len(f), dtype=bool))
+            else:
+                values_parts.append(column)
+                present_parts.append(np.ones(len(f), dtype=bool))
+        if values_parts:
+            result = (
+                np.concatenate(values_parts),
+                np.concatenate(present_parts),
+            )
+        else:
+            result = (np.empty(0), np.empty(0, dtype=bool))
+        self._metric_cache[header] = result
+        return result
+
+
+# -- Sample <-> frame adapters ----------------------------------------------
+def _samples_from_frame(frame: SnapshotFrame) -> list[Sample]:
+    event_names = tuple(frame.deltas)
+    return [
+        Sample(
+            time=frame.time,
+            pid=int(frame.pids[i]),
+            comm=frame.comms[i],
+            user=frame.users[i],
+            cpu_pct=float(frame.cpu_pct[i]),
+            deltas={name: float(frame.deltas[name][i]) for name in event_names},
+            values={
+                header: frame.value_at(header, kind, i)
+                for header, kind in frame.columns
+            },
+        )
+        for i in range(len(frame))
+    ]
+
+
+def _frames_from_samples(samples: list[Sample]) -> list[SnapshotFrame]:
+    """Group consecutive equal-time samples into frames (order-preserving)."""
+    frames: list[SnapshotFrame] = []
+    group: list[Sample] = []
+    for s in samples:
+        if group and s.time != group[0].time:
+            frames.append(_frame_from_group(group))
+            group = []
+        group.append(s)
+    if group:
+        frames.append(_frame_from_group(group))
+    return frames
+
+
+def _numeric_or(value, fallback: float) -> float:
+    return float(value) if isinstance(value, (int, float)) else fallback
+
+
+def _frame_from_group(group: list[Sample]) -> SnapshotFrame:
+    n = len(group)
+    columns: list[tuple[str, str]] = []
+    for header, value in group[0].values.items():
+        kind = INTRINSIC_KINDS.get(header)
+        if kind is None:
+            kind = "expr" if isinstance(value, (int, float)) else "label"
+        columns.append((header, kind))
+    event_names: list[str] = []
+    for s in group:
+        for name in s.deltas:
+            if name not in event_names:
+                event_names.append(name)
+    metrics: dict[str, np.ndarray] = {}
+    labels: dict[str, tuple[str, ...]] = {}
+    for header, kind in columns:
+        if kind == "expr":
+            metrics[header] = np.fromiter(
+                (
+                    _numeric_or(s.values.get(header), math.nan)
+                    for s in group
+                ),
+                dtype=float,
+                count=n,
+            )
+        elif kind == "label":
+            labels[header] = tuple(str(s.values.get(header, "")) for s in group)
+    return SnapshotFrame(
+        time=group[0].time,
+        interval=0.0,
+        pids=np.fromiter((s.pid for s in group), dtype=np.int64, count=n),
+        tids=np.fromiter((s.pid for s in group), dtype=np.int64, count=n),
+        uids=np.full(n, -1, dtype=np.int64),
+        users=tuple(s.user for s in group),
+        comms=tuple(s.comm for s in group),
+        cpu_pct=np.fromiter((s.cpu_pct for s in group), dtype=float, count=n),
+        cpu_time=np.fromiter(
+            (_numeric_or(s.values.get("TIME+"), 0.0) for s in group),
+            dtype=float,
+            count=n,
+        ),
+        processors=np.fromiter(
+            (int(_numeric_or(s.values.get("P"), -1)) for s in group),
+            dtype=np.int64,
+            count=n,
+        ),
+        deltas={
+            name: np.fromiter(
+                (s.deltas.get(name, 0.0) for s in group), dtype=float, count=n
+            )
+            for name in event_names
+        },
+        metrics=metrics,
+        labels=labels,
+        columns=tuple(columns),
+    )
+
+
+# -- extended CSV decoding ---------------------------------------------------
+def _frames_from_extended_csv(
+    header: list[str], rows: list[list[str]]
+) -> list[SnapshotFrame]:
+    n_fixed = len(_FIXED)
+    split = None
+    for i in range(n_fixed, len(header)):
+        if header[i : i + len(_EXTENDED)] == _EXTENDED:
+            split = i
+            break
+    if split is None:
+        raise ValueError(f"CSV header lacks the extended columns {_EXTENDED}")
+    events = header[n_fixed:split]
+    tail = header[split + len(_EXTENDED) : -1]
+    metric_headers = [
+        h[len(_METRIC_PREFIX):] for h in tail if h.startswith(_METRIC_PREFIX)
+    ]
+    label_headers = [
+        h[len(_LABEL_PREFIX):] for h in tail if h.startswith(_LABEL_PREFIX)
+    ]
+
+    frames: list[SnapshotFrame] = []
+    group: list[list[str]] = []
+
+    def group_key(row: list[str]) -> tuple[str, str, str]:
+        return (row[0], row[split + 4], row[-1])  # time, interval, colspec
+
+    def flush() -> None:
+        if not group:
+            return
+        frames.append(
+            _frame_from_csv_group(
+                group, split, events, metric_headers, label_headers
+            )
+        )
+        group.clear()
+
+    for row in rows:
+        if group and group_key(row) != group_key(group[0]):
+            flush()
+        group.append(row)
+    flush()
+    return frames
+
+
+def _frame_from_csv_group(
+    group: list[list[str]],
+    split: int,
+    events: list[str],
+    metric_headers: list[str],
+    label_headers: list[str],
+) -> SnapshotFrame:
+    n = len(group)
+    colspec = group[0][-1]
+    columns: tuple[tuple[str, str], ...] = ()
+    if colspec:
+        columns = tuple(
+            (name, kind)
+            for kind, name in (
+                entry.split(":", 1) for entry in colspec.split(";")
+            )
+        )
+    kinds = dict(columns)
+    n_fixed = len(_FIXED)
+    metric_base = split + len(_EXTENDED)
+    metrics: dict[str, np.ndarray] = {}
+    for j, h in enumerate(metric_headers):
+        if kinds.get(h) != "expr":
+            continue
+        metrics[h] = np.fromiter(
+            (float(row[metric_base + j]) for row in group), dtype=float, count=n
+        )
+    labels: dict[str, tuple[str, ...]] = {}
+    label_base = metric_base + len(metric_headers)
+    for j, h in enumerate(label_headers):
+        if kinds.get(h) != "label":
+            continue
+        labels[h] = tuple(row[label_base + j] for row in group)
+    return SnapshotFrame(
+        time=float(group[0][0]),
+        interval=float(group[0][split + 4]),
+        pids=np.fromiter((int(r[1]) for r in group), dtype=np.int64, count=n),
+        tids=np.fromiter(
+            (int(r[split]) for r in group), dtype=np.int64, count=n
+        ),
+        uids=np.fromiter(
+            (int(r[split + 1]) for r in group), dtype=np.int64, count=n
+        ),
+        users=tuple(r[3] for r in group),
+        comms=tuple(r[2] for r in group),
+        cpu_pct=np.fromiter((float(r[4]) for r in group), dtype=float, count=n),
+        cpu_time=np.fromiter(
+            (float(r[split + 2]) for r in group), dtype=float, count=n
+        ),
+        processors=np.fromiter(
+            (int(r[split + 3]) for r in group), dtype=np.int64, count=n
+        ),
+        deltas={
+            e: np.fromiter(
+                (float(r[n_fixed + j]) for r in group), dtype=float, count=n
+            )
+            for j, e in enumerate(events)
+        },
+        metrics=metrics,
+        labels=labels,
+        columns=columns,
+    )

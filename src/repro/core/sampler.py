@@ -1,31 +1,42 @@
-"""The sampling loop: counter deltas -> rows of derived metrics.
+"""The sampling loop: counter deltas -> a columnar frame of derived metrics.
 
 Tiptop is "basically an infinite loop that displays how many times the
 requested events have happened for each task, and then goes idle until some
 timeout expires" (§2.3). :class:`Sampler` owns one turn of that loop: read
 every tracked task's counters and /proc entry, compute per-interval deltas
-and the screen's derived columns, and emit a :class:`Snapshot` of
-:class:`Row` objects.
+and the screen's derived columns, and emit one
+:class:`~repro.core.frame.SnapshotFrame` — the columnar block the rest of
+the pipeline consumes. Derived columns evaluate vectorised over whole
+delta arrays (one numpy pass per column) rather than per task.
+
+:class:`Row` and :class:`Snapshot` remain as the legacy adapter surface:
+:meth:`Sampler.sample` wraps :meth:`Sampler.sample_frame` and materialises
+rows with identical values and ordering, so existing call sites see no
+difference.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 
-from repro.core.columns import Column, ColumnKind
+import numpy as np
+
+from repro.core.columns import ColumnKind
 from repro.core.expr import canonical_name
+from repro.core.frame import SnapshotFrame
 from repro.core.options import Options
 from repro.core.proclist import ProcessList, TrackedTask
 from repro.core.screen import Screen
 from repro.errors import CounterStateError, ProcfsError
 from repro.perf.counter import Backend
-from repro.procfs.model import TaskProvider, cpu_percent
+from repro.procfs.model import ProcessInfo, TaskProvider, cpu_percent
 
 
 @dataclass(frozen=True)
 class Row:
-    """One task's values for one interval.
+    """One task's values for one interval (legacy adapter over the frame).
 
     Attributes:
         pid: process id.
@@ -55,11 +66,17 @@ class Row:
 
 @dataclass(frozen=True)
 class Snapshot:
-    """One refresh: all rows plus interval metadata."""
+    """One refresh: all rows plus interval metadata.
+
+    ``frame`` carries the columnar form when the snapshot came from
+    :meth:`Sampler.sample` (None for snapshots constructed directly from
+    rows, e.g. in tests).
+    """
 
     time: float
     interval: float
     rows: tuple[Row, ...]
+    frame: SnapshotFrame | None = None
 
     def row_for(self, pid: int) -> Row | None:
         """First row of ``pid`` (None if not sampled this interval)."""
@@ -67,6 +84,23 @@ class Snapshot:
             if row.pid == pid:
                 return row
         return None
+
+
+@dataclass(frozen=True)
+class SampleTiming:
+    """Wall-time breakdown of one sampling pass (the ``--profile`` data).
+
+    Attributes:
+        read_seconds: reading counters and /proc for all tasks.
+        eval_seconds: building the frame and evaluating derived columns.
+        refresh_seconds: process-list attach/detach bookkeeping.
+        tasks: number of tasks sampled.
+    """
+
+    read_seconds: float
+    eval_seconds: float
+    refresh_seconds: float
+    tasks: int
 
 
 class Sampler:
@@ -92,9 +126,20 @@ class Sampler:
         self.events = screen.required_events()
         self.proclist = ProcessList(backend, tasks, self.events, self.options)
         self._last_time: float | None = None
+        self.last_timing: SampleTiming | None = None
 
     def sample(self) -> Snapshot:
-        """Take one snapshot (read deltas, compute columns, attach/detach).
+        """Take one snapshot (legacy row view over :meth:`sample_frame`)."""
+        frame = self.sample_frame()
+        return Snapshot(
+            time=frame.time,
+            interval=frame.interval,
+            rows=frame.to_rows(),
+            frame=frame,
+        )
+
+    def sample_frame(self) -> SnapshotFrame:
+        """Take one columnar snapshot (read deltas, evaluate columns).
 
         Counters of already-tracked tasks are read *before* the process
         list is refreshed, so a task that exited during the interval still
@@ -107,27 +152,40 @@ class Sampler:
         first = self._last_time is None
         interval = 0.0 if first else now - self._last_time
         self._last_time = now
+        refresh_seconds = 0.0
         if first:
+            t0 = perf_counter()
             self.proclist.refresh()
+            refresh_seconds += perf_counter() - t0
 
-        rows: list[Row] = []
+        t0 = perf_counter()
+        gathered: list[tuple[TrackedTask, ProcessInfo, dict[str, float], float]] = []
         for task in list(self.proclist.tracked.values()):
-            row = self._sample_task(task, interval)
-            if row is not None:
-                rows.append(row)
-        rows.sort(key=self._sort_key, reverse=True)
+            reading = self._read_task(task, interval)
+            if reading is not None:
+                gathered.append(reading)
+        read_seconds = perf_counter() - t0
+
+        t0 = perf_counter()
+        frame = self._build_frame(now, interval, gathered)
+        frame = frame.take(self._sort_order(frame))
+        eval_seconds = perf_counter() - t0
+
         if not first:
+            t0 = perf_counter()
             self.proclist.refresh()
-        return Snapshot(time=now, interval=interval, rows=tuple(rows))
+            refresh_seconds += perf_counter() - t0
+        self.last_timing = SampleTiming(
+            read_seconds=read_seconds,
+            eval_seconds=eval_seconds,
+            refresh_seconds=refresh_seconds,
+            tasks=len(gathered),
+        )
+        return frame
 
-    def _sort_key(self, row: Row):
-        key = self.options.sort_by
-        if key == "%CPU":
-            return row.cpu_pct
-        value = row.values.get(key, 0.0)
-        return value if isinstance(value, (int, float)) else 0.0
-
-    def _sample_task(self, task: TrackedTask, interval: float) -> Row | None:
+    def _read_task(
+        self, task: TrackedTask, interval: float
+    ) -> tuple[TrackedTask, ProcessInfo, dict[str, float], float] | None:
         final = False
         try:
             info = self.tasks.process(task.pid)
@@ -149,47 +207,104 @@ class Sampler:
                 task.last_info, info, interval, uptime=self.tasks.uptime()
             )
         task.last_info = info
+        return task, info, deltas, pct
 
-        env = {canonical_name(k): v for k, v in deltas.items()}
+    def _build_frame(
+        self,
+        now: float,
+        interval: float,
+        gathered: list[tuple[TrackedTask, ProcessInfo, dict[str, float], float]],
+    ) -> SnapshotFrame:
+        n = len(gathered)
+        event_names: list[str] = []
+        for _, _, deltas, _ in gathered:
+            for name in deltas:
+                if name not in event_names:
+                    event_names.append(name)
+        delta_cols = {
+            name: np.fromiter(
+                (deltas.get(name, 0.0) for _, _, deltas, _ in gathered),
+                dtype=float,
+                count=n,
+            )
+            for name in event_names
+        }
+        cpu_pct = np.fromiter((pct for *_, pct in gathered), dtype=float, count=n)
+
+        env: dict[str, np.ndarray | float] = {
+            canonical_name(k): v for k, v in delta_cols.items()
+        }
         env["delta_t"] = interval if interval > 0 else math.nan
-        env["cpu_pct"] = pct
-
-        values: dict[str, float | str | int] = {}
+        env["cpu_pct"] = cpu_pct
+        metrics: dict[str, np.ndarray] = {}
         for column in self.screen.columns:
-            values[column.header] = self._column_value(column, env, info, pct, task)
-        return Row(
-            pid=info.pid,
-            tid=task.tid,
-            user=info.user,
-            comm=info.comm,
-            cpu_pct=pct,
-            cpu_time=info.cpu_seconds,
-            deltas=deltas,
-            values=values,
+            if column.kind is ColumnKind.EXPR:
+                assert column.expression is not None
+                # With zero tasks there are no delta columns to evaluate
+                # over (the row pipeline never evaluated either).
+                metrics[column.header] = (
+                    column.expression.evaluate_column(env, n)
+                    if n
+                    else np.empty(0)
+                )
+
+        return SnapshotFrame(
+            time=now,
+            interval=interval,
+            pids=np.fromiter(
+                (info.pid for _, info, _, _ in gathered), dtype=np.int64, count=n
+            ),
+            tids=np.fromiter(
+                (task.tid for task, _, _, _ in gathered), dtype=np.int64, count=n
+            ),
+            uids=np.fromiter(
+                (info.uid for _, info, _, _ in gathered), dtype=np.int64, count=n
+            ),
+            users=tuple(info.user for _, info, _, _ in gathered),
+            comms=tuple(info.comm for _, info, _, _ in gathered),
+            cpu_pct=cpu_pct,
+            cpu_time=np.fromiter(
+                (info.cpu_seconds for _, info, _, _ in gathered),
+                dtype=float,
+                count=n,
+            ),
+            processors=np.fromiter(
+                (info.processor for _, info, _, _ in gathered),
+                dtype=np.int64,
+                count=n,
+            ),
+            deltas=delta_cols,
+            metrics=metrics,
+            columns=tuple((c.header, c.kind.value) for c in self.screen.columns),
         )
 
-    @staticmethod
-    def _column_value(
-        column: Column,
-        env: dict[str, float],
-        info,
-        pct: float,
-        task: TrackedTask,
-    ) -> float | str | int:
-        if column.kind is ColumnKind.PID:
-            return info.pid
-        if column.kind is ColumnKind.USER:
-            return info.user
-        if column.kind is ColumnKind.CPU_PCT:
-            return pct
-        if column.kind is ColumnKind.TIME:
-            return info.cpu_seconds
-        if column.kind is ColumnKind.COMMAND:
-            return info.comm
-        if column.kind is ColumnKind.PROCESSOR:
-            return info.processor
-        assert column.expression is not None
-        return column.expression.evaluate(env)
+    def _sort_order(self, frame: SnapshotFrame) -> list[int]:
+        """The descending sort permutation, matching the old row sort.
+
+        Same key semantics as sorting rows on ``options.sort_by`` (string
+        and absent columns key as 0.0), and the same stable timsort over
+        the same Python scalars — so the permutation is identical,
+        including NaN comparison behaviour.
+        """
+        key = self.options.sort_by
+        n = len(frame)
+        if key == "%CPU":
+            values = frame.cpu_pct.tolist()
+        else:
+            kind = frame.column_kind(key)
+            if kind == "pid":
+                values = frame.pids.tolist()
+            elif kind == "cpu":
+                values = frame.cpu_pct.tolist()
+            elif kind == "time":
+                values = frame.cpu_time.tolist()
+            elif kind == "processor":
+                values = frame.processors.tolist()
+            elif kind == "expr":
+                values = frame.metrics[key].tolist()
+            else:
+                values = [0.0] * n
+        return sorted(range(n), key=values.__getitem__, reverse=True)
 
     def close(self) -> None:
         """Detach all counters."""

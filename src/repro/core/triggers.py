@@ -15,7 +15,7 @@ import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.core.sampler import Row, Snapshot
+from repro.core.sampler import Snapshot
 from repro.errors import ConfigError
 
 

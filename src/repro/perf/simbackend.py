@@ -135,6 +135,30 @@ class SimBackend:
             running = max(running, tr)
         return Reading(value, enabled, running)
 
+    def read_many(self, handles: list[int]) -> list[Reading]:
+        """Batched :meth:`read`: one Reading per handle, in order.
+
+        One call per sampling pass instead of one per counter — the
+        syscall-batching analogue of perf's group reads. Results are
+        exactly what per-handle ``read`` calls would return.
+        """
+        readings: list[Reading] = []
+        get = self._get
+        for handle in handles:
+            h = get(handle)
+            value = 0
+            enabled = 0.0
+            running = 0.0
+            for kc in h.kernel_counters:
+                v, te, tr = kc.reading()
+                value += v
+                if te > enabled:
+                    enabled = te
+                if tr > running:
+                    running = tr
+            readings.append(Reading(value, enabled, running))
+        return readings
+
     def enable(self, handle: int) -> None:
         """Arm all underlying kernel counters."""
         for kc in self._get(handle).kernel_counters:

@@ -224,5 +224,67 @@ def calibrate_phase(arch: ArchModel, phase: Phase, target_ipc: float) -> Phase:
     )
 
 
+class RateCache:
+    """Exact memo over :func:`compute_rates`.
+
+    ``compute_rates`` is a pure function, so two calls with the *same
+    objects* and the same scalar arguments return value-identical results.
+    The cache keys on object identity (phases and cache-level specs live for
+    the whole machine lifetime) plus the raw float arguments, and stores
+    strong references to the keyed objects so an id can never be recycled
+    while its entry is live. Eviction only costs speed, never correctness:
+    a recomputed entry is bitwise-identical to the evicted one.
+
+    Used by :meth:`SimMachine.run_ticks` to avoid re-deriving rates for the
+    (phase, capacities, latency, share) combinations that repeat every time
+    the scheduler's round-robin orbit revisits a co-schedule.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        # key -> (rates, keepalive) where keepalive pins the ids in the key.
+        self._store: dict[tuple, tuple[SliceRates, tuple]] = {}
+
+    def rates(
+        self,
+        arch: ArchModel,
+        phase: Phase,
+        level_capacities: list[tuple[CacheLevelSpec, float]],
+        mem_latency_cycles: float | None = None,
+        issue_share: float = 1.0,
+    ) -> SliceRates:
+        """Memoised :func:`compute_rates` (identical result object on hit)."""
+        key = (
+            id(arch),
+            id(phase),
+            tuple((id(spec), cap) for spec, cap in level_capacities),
+            mem_latency_cycles,
+            issue_share,
+        )
+        entry = self._store.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        result = compute_rates(
+            arch,
+            phase,
+            level_capacities,
+            mem_latency_cycles=mem_latency_cycles,
+            issue_share=issue_share,
+        )
+        if len(self._store) >= self.max_entries:
+            self._store.clear()
+        keepalive = (arch, phase, tuple(spec for spec, _ in level_capacities))
+        self._store[key] = (result, keepalive)
+        return result
+
+    def clear(self) -> None:
+        """Drop all entries (correctness-neutral)."""
+        self._store.clear()
+
+
 #: Instruction classes with memory side effects, exposed for tests.
 MEMORY_CLASSES = (InstructionClass.LOAD, InstructionClass.STORE)

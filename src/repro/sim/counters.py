@@ -22,7 +22,7 @@ counting). The loss process is deterministic per table seed.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -100,6 +100,10 @@ class CounterTable:
         self._by_tid: dict[int, list[KernelCounter]] = {}
         self._rotation: dict[int, int] = {}
         self._rng = np.random.default_rng((seed, 0xC0))
+        # Memo for advance_idle: (time_enabled, dt, ticks) -> folded clock.
+        # Counters attached at the same instant share time_enabled, so one
+        # fold serves a whole cohort.
+        self._clock_cache: dict[tuple[float, float, int], float] = {}
 
     def open(
         self,
@@ -207,6 +211,44 @@ class CounterTable:
                     counter.value += delta
         if len([c for c in counters if c.enabled]) > self.pmu_width:
             self.rotate(tid)
+
+    def advance_idle(self, tid: int, dt: float, ticks: int) -> None:
+        """Batch-apply ``ticks`` idle accruals to the counters of ``tid``.
+
+        Bitwise-equivalent to ``ticks`` consecutive
+        ``accrue(tid, {}, wall_dt=dt, scheduled_dt=0.0, alive=True)`` calls:
+        each enabled counter's ``time_enabled`` advances through the same
+        sequence of float additions (folded once per distinct starting
+        value and memoised), ``time_running``/``value`` stay put because the
+        task never ran, and the multiplexing window rotates once per tick.
+        The caller must guarantee the enabled set does not change across the
+        covered ticks.
+        """
+        if ticks <= 0:
+            return
+        counters = self._by_tid.get(tid)
+        if not counters:
+            return
+        enabled = [c for c in counters if c.enabled]
+        for counter in enabled:
+            counter.time_enabled = self._fold_clock(
+                counter.time_enabled, dt, ticks
+            )
+        if len(enabled) > self.pmu_width:
+            self._rotation[tid] = self._rotation.get(tid, 0) + ticks
+
+    def _fold_clock(self, start: float, dt: float, ticks: int) -> float:
+        """``start`` after ``ticks`` sequential ``+= dt`` additions."""
+        key = (start, dt, ticks)
+        cached = self._clock_cache.get(key)
+        if cached is None:
+            value = start
+            for _ in range(ticks):
+                value += dt
+            if len(self._clock_cache) >= 65536:
+                self._clock_cache.clear()
+            self._clock_cache[key] = cached = value
+        return cached
 
     def _accrue_sampled(self, counter: KernelCounter, delta: float) -> None:
         """Sampling-mode accrual: period quantisation plus interrupt loss."""

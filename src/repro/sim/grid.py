@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel, WESTMERE_E5640
@@ -336,8 +336,6 @@ class Grid:
 def default_fleet(n_standard: int = 4, n_dedicated: int = 1) -> list[NodeSpec]:
     """A small mixed fleet in the paper's spirit: quad- and dual-core
     bi-Xeons, plus node(s) dedicated to the eternal queues."""
-    from dataclasses import replace
-
     from repro.sim.arch import NEHALEM
 
     fleet: list[NodeSpec] = []

@@ -29,7 +29,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel
 from repro.sim.cache import CacheHierarchy, CacheInstance
-from repro.sim.core import SliceRates, compute_rates
+from repro.sim.core import RateCache, SliceRates, compute_rates
 from repro.sim.counters import CounterTable
 from repro.sim.cpu_topology import Topology
 from repro.sim.events import Event
@@ -96,6 +96,13 @@ class SimMachine:
         self._timer_seq = itertools.count()
         self._last_rates: dict[int, SliceRates] = {}
         self._booted = False
+        # Batched-path memos (run_ticks). Both are exact: the rate cache
+        # keys pure-function inputs by identity, and the contention cache
+        # keys whole co-schedules by (pu, phase, previous-rates) identity.
+        # Entries pin the objects behind the ids they key on, so eviction
+        # is the only way an id leaves the cache.
+        self._rate_cache = RateCache()
+        self._contention_cache: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Process management
@@ -215,6 +222,97 @@ class SimMachine:
         while self.now < deadline - 1e-12:
             self._step(min(self.tick, deadline - self.now))
 
+    def run_ticks(self, n: int) -> None:
+        """Advance exactly ``n`` whole ticks on the batched fast path.
+
+        Produces bitwise-identical machine, counter and RNG state to ``n``
+        successive scalar ticks (``_step(tick)`` each), but amortises the
+        per-tick model evaluation three ways:
+
+        * **Contention memo** — the fixed-point of
+          :meth:`_resolve_contention` is a deterministic pure function of
+          the co-schedule shape: which PUs run which phases, seeded with
+          which previous-tick rates. Over-subscribed nodes revisit the same
+          co-schedules as the scheduler's round-robin orbit repeats, so the
+          resolved :class:`SliceRates` are cached per co-schedule key and
+          replayed instead of re-iterated.
+        * **Rate memo** — the :class:`RateCache` shared by both memo layers
+          deduplicates the inner :func:`compute_rates` calls.
+        * **Lazy idle clock** — unscheduled-but-alive tasks only advance
+          their counters' ``time_enabled``; instead of touching every
+          counter every tick, each task records how many ticks it has been
+          accounted for and the arrears are folded in bulk
+          (:meth:`CounterTable.advance_idle`) right before the task runs,
+          before any timer callback can observe counter state, and at the
+          end of the batch.
+
+        Correctness does not depend on cache hit rates (misses fall back to
+        the scalar code paths on the very same objects); only speed does.
+        """
+        if n < 0:
+            raise SimulationError(f"cannot run a negative tick count {n}")
+        dt = self.tick
+        counters = self.counters
+        # tid -> ticks of this batch already folded into its counters.
+        synced: dict[int, int] = {}
+
+        def sync_tid(tid: int, upto: int) -> None:
+            done = synced.get(tid, 0)
+            if upto > done:
+                counters.advance_idle(tid, dt, upto - done)
+            synced[tid] = upto
+
+        def sync_all(upto: int) -> None:
+            for tid, thread in self._threads.items():
+                if thread.alive:
+                    sync_tid(tid, upto)
+
+        def timers_due() -> bool:
+            return bool(self._timers) and self._timers[0][0] <= self.now + 1e-12
+
+        for t in range(n):
+            if timers_due():
+                # Callbacks may read counters, kill tasks or spawn new
+                # ones: bring every live task's clocks current first.
+                sync_all(t)
+                self._fire_timers()
+                for tid, thread in self._threads.items():
+                    if thread.alive:
+                        synced.setdefault(tid, t)
+            runnable = [
+                thread
+                for thread in self._threads.values()
+                if thread.state is TaskState.RUNNABLE
+                and (
+                    thread.duty_rng is None
+                    or thread.duty_rng.random() < thread.process.duty_cycle
+                )
+            ]
+            assignment = self.scheduler.dispatch(runnable, dt).assignment
+            located = {
+                thread.tid: thread.current_phase()
+                for thread in assignment.values()
+            }
+            rates = self._cached_contention(assignment, located)
+            for pu_id, thread in assignment.items():
+                sync_tid(thread.tid, t)
+                self._run_slice(
+                    thread,
+                    pu_id,
+                    rates.get(thread.tid),
+                    dt,
+                    rate_cache=self._rate_cache,
+                )
+                synced[thread.tid] = t + 1
+            self.now += dt
+            if timers_due():
+                sync_all(t + 1)
+                self._fire_timers()
+                for tid, thread in self._threads.items():
+                    if thread.alive:
+                        synced.setdefault(tid, t + 1)
+        sync_all(n)
+
     def _fire_timers(self) -> None:
         while self._timers and self._timers[0][0] <= self.now + 1e-12:
             _, _, callback = heapq.heappop(self._timers)
@@ -263,11 +361,25 @@ class SimMachine:
         return per_core
 
     def _resolve_contention(
-        self, assignment: dict[int, SimThread]
+        self,
+        assignment: dict[int, SimThread],
+        located: dict[int, tuple] | None = None,
+        rate_cache: RateCache | None = None,
     ) -> dict[int, SliceRates]:
-        """Fixed-point on access pressures -> capacities -> rates."""
+        """Fixed-point on access pressures -> capacities -> rates.
+
+        ``located`` optionally pre-resolves ``thread.current_phase()`` per
+        tid (the lookup is pure within a tick, so hoisting it is exact);
+        ``rate_cache`` optionally memoises the inner ``compute_rates``
+        calls. Both default to the plain scalar behaviour.
+        """
         if not assignment:
             return {}
+        if located is None:
+            located = {
+                thread.tid: thread.current_phase()
+                for thread in assignment.values()
+            }
         per_core = self._active_per_core(assignment)
         shares = {
             pu: issue_share(self.arch, per_core[self.topology.pu(pu).core_id])
@@ -277,8 +389,7 @@ class SimMachine:
         inst_rate: dict[int, float] = {}
         rates: dict[int, SliceRates] = {}
         for pu, thread in assignment.items():
-            located = thread.current_phase()
-            if located is None:
+            if located[thread.tid] is None:
                 continue
             prev = self._last_rates.get(thread.tid)
             guess_cpi = prev.cpi if prev else 1.0
@@ -289,10 +400,10 @@ class SimMachine:
             pressures: dict[CacheInstance, dict[int, float]] = {}
             demand = 0.0
             for pu, thread in assignment.items():
-                located = thread.current_phase()
-                if located is None:
+                loc = located[thread.tid]
+                if loc is None:
                     continue
-                phase, _ = located
+                phase, _ = loc
                 path = self.caches.path_for_pu(pu)
                 prev = rates.get(thread.tid)
                 if prev is not None:
@@ -311,20 +422,79 @@ class SimMachine:
                     )
             mem_latency = self.memory.effective_latency(demand)
             for pu, thread in assignment.items():
-                located = thread.current_phase()
-                if located is None:
+                loc = located[thread.tid]
+                if loc is None:
                     continue
-                phase, _ = located
+                phase, _ = loc
                 caps = self.caches.levels_with_capacity(pu, pressures, thread.tid)
-                r = compute_rates(
-                    self.arch,
-                    phase,
-                    caps,
-                    mem_latency_cycles=mem_latency,
-                    issue_share=shares[pu],
-                )
+                if rate_cache is not None:
+                    r = rate_cache.rates(
+                        self.arch,
+                        phase,
+                        caps,
+                        mem_latency_cycles=mem_latency,
+                        issue_share=shares[pu],
+                    )
+                else:
+                    r = compute_rates(
+                        self.arch,
+                        phase,
+                        caps,
+                        mem_latency_cycles=mem_latency,
+                        issue_share=shares[pu],
+                    )
                 rates[thread.tid] = r
                 inst_rate[thread.tid] = self.arch.freq_hz / r.cpi
+        return rates
+
+    #: Size cap for the co-schedule memo (entries are small; the cap only
+    #: guards pathological populations with unbounded phase turnover).
+    _CONTENTION_CACHE_MAX = 8192
+
+    def _cached_contention(
+        self,
+        assignment: dict[int, SimThread],
+        located: dict[int, tuple],
+    ) -> dict[int, SliceRates]:
+        """Memoised :meth:`_resolve_contention` for the batched path.
+
+        The fixed-point depends only on the *shape* of the co-schedule:
+        (pu, active phase, previous-tick rates) per slot, in assignment
+        order (the order matters because bus demand accumulates in it).
+        Phases and SliceRates are immutable, so identity-keying them makes
+        a cache hit return the very objects the scalar path would have
+        recomputed.
+        """
+        if not assignment:
+            return {}
+        key = tuple(
+            (
+                pu,
+                id(loc[0]) if (loc := located[thread.tid]) is not None else None,
+                id(prev) if (prev := self._last_rates.get(thread.tid)) is not None else None,
+            )
+            for pu, thread in assignment.items()
+        )
+        entry = self._contention_cache.get(key)
+        threads = list(assignment.values())
+        if entry is not None:
+            results = entry[0]
+            return {
+                thread.tid: r
+                for thread, r in zip(threads, results)
+                if r is not None
+            }
+        rates = self._resolve_contention(
+            assignment, located=located, rate_cache=self._rate_cache
+        )
+        results = tuple(rates.get(thread.tid) for thread in threads)
+        keepalive = tuple(
+            (located[thread.tid], self._last_rates.get(thread.tid))
+            for thread in threads
+        )
+        if len(self._contention_cache) >= self._CONTENTION_CACHE_MAX:
+            self._contention_cache.clear()
+        self._contention_cache[key] = (results, keepalive)
         return rates
 
     # ------------------------------------------------------------------
@@ -336,8 +506,14 @@ class SimMachine:
         pu_id: int,
         contended: SliceRates | None,
         dt: float,
+        rate_cache: RateCache | None = None,
     ) -> None:
-        """Retire instructions on ``thread`` for one tick on ``pu_id``."""
+        """Retire instructions on ``thread`` for one tick on ``pu_id``.
+
+        ``current_phase()`` is pure between mutations of ``thread.retired``,
+        so each phase position is located exactly once per retirement step
+        and the result reused for the loop/termination checks.
+        """
         located = thread.current_phase()
         if located is None:
             self._reap(thread, dt)
@@ -351,13 +527,13 @@ class SimMachine:
         ) if located[0].noise > 0 else 1.0
 
         base = contended
-        while cycle_budget > 1e-6:
-            located = thread.current_phase()
-            if located is None:
-                break
+        while cycle_budget > 1e-6 and located is not None:
             phase, remaining = located
             if base is not None and base.miss_profile.accesses:
                 rates = base
+            elif rate_cache is not None:
+                caps = [(s, float(s.size)) for s in self.arch.cache_levels]
+                rates = rate_cache.rates(self.arch, phase, caps)
             else:
                 caps = [(s, float(s.size)) for s in self.arch.cache_levels]
                 rates = compute_rates(self.arch, phase, caps)
@@ -375,7 +551,8 @@ class SimMachine:
             thread.cycles += cycles
             consumed_cycles += cycles
             cycle_budget -= cycles
-            if thread.current_phase() is None:
+            located = thread.current_phase()
+            if located is None:
                 break
             # Crossing into a new phase invalidates the contended rates;
             # recompute solo for the remainder of this tick (one tick of
@@ -385,7 +562,7 @@ class SimMachine:
 
         scheduled_dt = dt * min(1.0, consumed_cycles / (self.arch.freq_hz * dt))
         thread.cpu_time += scheduled_dt
-        done = thread.current_phase() is None
+        done = located is None
         # A thread that finishes mid-tick stops its counters' enabled clock
         # at death; otherwise user-space scaling (enabled/running) would
         # extrapolate the dead fraction of the tick as multiplexed time.
@@ -398,7 +575,7 @@ class SimMachine:
         )
         if contended is not None:
             self._last_rates[thread.tid] = contended
-        if thread.current_phase() is None:
+        if done:
             self._reap(thread, 0.0)
 
     def _reap(self, thread: SimThread, dt: float) -> None:

@@ -23,8 +23,7 @@ This module provides exactly that workflow:
 from __future__ import annotations
 
 import enum
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.sim.arch import ArchModel

@@ -69,6 +69,8 @@ class Scheduler:
         assignment: dict[int, SimThread] = {}
 
         for thread in order:
+            if not free_pus:
+                break
             eligible = [pu for pu in self._eligible_pus(thread) if pu in free_pus]
             if not eligible:
                 continue
