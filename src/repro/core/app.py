@@ -16,12 +16,14 @@ from collections.abc import Callable, Iterator
 from typing import Protocol
 
 from repro.core import formatter
+from repro.core.columns import HEALTH_COLUMN, ColumnKind
 from repro.core.options import Options
 from repro.core.recorder import Recorder
 from repro.core.sampler import Sampler, Snapshot
 from repro.core.screen import Screen, get_screen
 from repro.errors import PerfNotSupportedError
 from repro.perf.counter import Backend
+from repro.perf.faults import FaultPlan
 from repro.perf.simbackend import SimBackend
 from repro.perf.syscall import RealBackend, kernel_supports_perf_events
 from repro.procfs.model import TaskProvider
@@ -48,11 +50,19 @@ class SimHost:
         machine: the node to monitor.
         monitor_uid: uid tiptop runs as (0 = may watch everyone; see the
             paper's footnote 1 on unprivileged monitoring).
+        faults: optional seeded fault plan the backend executes (chaos
+            mode); None models a well-behaved kernel.
     """
 
-    def __init__(self, machine: SimMachine, monitor_uid: int = 0) -> None:
+    def __init__(
+        self,
+        machine: SimMachine,
+        monitor_uid: int = 0,
+        *,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.machine = machine
-        self.backend: Backend = SimBackend(machine, monitor_uid)
+        self.backend: Backend = SimBackend(machine, monitor_uid, faults=faults)
         self.tasks: TaskProvider = SimProcReader(machine)
 
     def sleep(self, seconds: float) -> None:
@@ -100,7 +110,20 @@ class TipTop:
     ) -> None:
         self.host = host
         self.options = options or Options()
-        self.screen = screen or get_screen(self.options.screen)
+        screen = screen or get_screen(self.options.screen)
+        if self.options.chaos is not None:
+            # Chaos mode: seed the backend's fault plan (unless the host
+            # already carries one) and surface per-task lifecycle state
+            # as a HEALTH column. Both derive from the one seed, so a
+            # rerun with the same options replays byte-identically.
+            backend = host.backend
+            if isinstance(backend, SimBackend) and backend.faults is None:
+                backend.faults = FaultPlan.from_seed(self.options.chaos)
+            if not any(
+                c.kind is ColumnKind.HEALTH for c in screen.columns
+            ):
+                screen = screen.with_columns(HEALTH_COLUMN)
+        self.screen = screen
         self.sampler = Sampler(
             host.backend, host.tasks, self.screen, self.options
         )

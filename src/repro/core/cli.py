@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-refresh wall-time breakdown "
                              "(advance/read/eval/render) to stderr")
+    parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                        help="inject a seeded schedule of kernel faults "
+                             "(ESRCH/EMFILE/EINTR/EAGAIN, corrupt reads, "
+                             "multiplex starvation) and show a HEALTH "
+                             "column; the same seed replays the same "
+                             "failures byte-for-byte (requires --sim)")
     return parser
 
 
@@ -61,6 +67,13 @@ def main(argv: list[str] | None = None) -> int:
         for screen in builtin_screens():
             print(f"{screen.name:10s} {screen.description}")
         return 0
+    if args.chaos is not None and not args.sim:
+        print(
+            "tiptop: --chaos injects faults into the simulated kernel "
+            "and requires --sim",
+            file=sys.stderr,
+        )
+        return 2
     try:
         options = Options(
             delay=args.delay,
@@ -71,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
             watch_pids=frozenset(args.pid),
             screen=args.screen,
             profile=args.profile,
+            chaos=args.chaos,
         )
         if args.screen_file:
             from repro.core.config_file import find_screen, load_screens

@@ -28,6 +28,7 @@ class ColumnKind(enum.Enum):
     COMMAND = "command"
     PROCESSOR = "processor"
     EXPR = "expr"
+    HEALTH = "health"
 
 
 def _fmt_fixed(decimals: int):
@@ -71,7 +72,7 @@ class Column:
 
     def to_format(self) -> ColumnFormat:
         """Rendering spec for the table layer."""
-        if self.kind in (ColumnKind.USER, ColumnKind.COMMAND):
+        if self.kind in (ColumnKind.USER, ColumnKind.COMMAND, ColumnKind.HEALTH):
             render = str
         elif self.kind is ColumnKind.PID or self.kind is ColumnKind.PROCESSOR:
             render = lambda v: str(int(v))  # noqa: E731
@@ -111,6 +112,10 @@ def expr_column(
 
 #: Intrinsic columns shared by most screens.
 PID_COLUMN = Column("PID", ColumnKind.PID, width=6)
+#: Per-task lifecycle state (ok / retry / reattached), shown under chaos.
+HEALTH_COLUMN = Column(
+    "HEALTH", ColumnKind.HEALTH, width=10, align=Align.LEFT
+)
 USER_COLUMN = Column("USER", ColumnKind.USER, width=8, align=Align.LEFT)
 CPU_COLUMN = Column("%CPU", ColumnKind.CPU_PCT, width=5, decimals=1)
 TIME_COLUMN = Column("TIME+", ColumnKind.TIME, width=9, decimals=0)

@@ -36,6 +36,16 @@ class Options:
         max_tasks: cap on simultaneously monitored tasks (guards fd usage).
         profile: print a per-refresh wall-time breakdown to stderr, making
             overhead claims like the paper's §2.5 observable on our tool.
+        chaos: fault-injection seed (``--chaos SEED``). None disables
+            injection; any int seeds a replayable
+            :class:`~repro.perf.faults.FaultPlan` so batch runs of a
+            failure schedule are byte-identical.
+        retry_limit: extra attempts after a transient perf error
+            (EINTR/EAGAIN/corrupt read) before the operation is given up
+            for the interval.
+        retry_backoff: base seconds slept between retries (doubles per
+            attempt). 0 keeps retries immediate — the right choice for
+            simulated hosts, where sleeping wall time means nothing.
     """
 
     delay: float = 2.0
@@ -50,6 +60,9 @@ class Options:
     sort_by: str = "%CPU"
     max_tasks: int = 512
     profile: bool = False
+    chaos: int | None = None
+    retry_limit: int = 2
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.delay <= 0:
@@ -60,6 +73,14 @@ class Options:
             raise ConfigError("idle_threshold must be >= 0")
         if self.max_tasks < 1:
             raise ConfigError("max_tasks must be >= 1")
+        if self.retry_limit < 0:
+            raise ConfigError(
+                f"retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
 
     def wants(self, *, pid: int, uid: int, comm: str) -> bool:
         """Whether a task passes the watch filters."""

@@ -1,21 +1,45 @@
-"""Tracked-task set: discover, attach, detach.
+"""Tracked-task set: discover, attach, detach — and survive failures.
 
 Each refresh, tiptop rescans the process list: new tasks get counters
 attached (monitoring can start at any time — no restart needed, §2.2), and
-tasks that exited are detached and their counters closed. Attach failures
-from permission (other users' processes under an unprivileged monitor) are
-remembered so they are not retried on every refresh.
+tasks that exited are detached and their counters closed. The attach/read
+error paths follow an explicit lifecycle policy:
+
+* **Permission denials** (other users' processes under an unprivileged
+  monitor) are remembered so they are not retried on every refresh.
+* **Transient errors** (EINTR/EAGAIN/corrupt reads) get a bounded number
+  of immediate retries with optional backoff; only exhaustion counts as
+  an attach failure, and the task is retried at the next refresh.
+* **Per-task failures** (stale handles, ESRCH mid-read) *quarantine* the
+  task: its counters are closed at once (no fd leaks), and reattach is
+  attempted after an exponentially growing number of refreshes. A task
+  that comes back is marked ``reattached`` for one interval. The episode
+  count survives reattach (a flapping task keeps escalating) until the
+  task completes a clean interval.
+
+The per-task ``health`` value ("ok", "retry", "reattached") feeds the
+HEALTH screen column under ``--chaos``; :meth:`ProcessList.health_report`
+adds the quarantined set for programmatic consumers.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.options import Options
-from repro.errors import NoSuchTaskError, PerfError, PerfPermissionError
+from repro.errors import (
+    NoSuchTaskError,
+    PerfError,
+    PerfPermissionError,
+    TransientPerfError,
+)
 from repro.perf.counter import Backend, CounterGroup
 from repro.perf.events import EventSpec
 from repro.procfs.model import ProcessInfo, TaskProvider
+
+#: Cap on the quarantine backoff, in refreshes (2**(failures-1), clamped).
+MAX_QUARANTINE_REFRESHES = 8
 
 
 @dataclass
@@ -23,7 +47,8 @@ class TrackedTask:
     """One monitored task and its counters.
 
     ``tid`` is the process pid in per-process mode, or an individual thread
-    id in per-thread mode (§2.2).
+    id in per-thread mode (§2.2). ``health`` is the task's lifecycle state
+    as of its last sampled interval.
     """
 
     pid: int
@@ -31,6 +56,23 @@ class TrackedTask:
     group: CounterGroup
     last_info: ProcessInfo | None = None
     first_seen: float = 0.0
+    health: str = "ok"
+    reattach_reported: bool = False
+
+
+@dataclass
+class QuarantineEntry:
+    """Why a task is benched and when it may come back.
+
+    Attributes:
+        failures: quarantine episodes so far (drives the backoff).
+        eligible_at: refresh counter value at which reattach is allowed.
+        reason: exception class name of the failure that benched it.
+    """
+
+    failures: int
+    eligible_at: int
+    reason: str
 
 
 @dataclass
@@ -41,7 +83,7 @@ class ProcessList:
         backend: perf backend for counter attach/close.
         tasks: /proc provider.
         events: counter events each task gets.
-        options: watch filters and per-thread mode.
+        options: watch filters, per-thread mode, retry budget.
     """
 
     backend: Backend
@@ -50,7 +92,14 @@ class ProcessList:
     options: Options
     tracked: dict[int, TrackedTask] = field(default_factory=dict)
     denied: set[int] = field(default_factory=set)
+    quarantined: dict[int, QuarantineEntry] = field(default_factory=dict)
+    #: Quarantine episodes per tid, surviving reattach so a flapping task
+    #: (fail, reattach, fail again) keeps escalating its backoff; cleared
+    #: by :meth:`note_healthy` once the task completes a clean interval.
+    quarantine_history: dict[int, int] = field(default_factory=dict)
     attach_errors: int = 0
+    attach_retries: int = 0
+    refresh_count: int = 0
 
     def refresh(self) -> tuple[list[TrackedTask], list[int]]:
         """Rescan /proc; attach new tasks, drop dead ones.
@@ -58,6 +107,7 @@ class ProcessList:
         Returns:
             (attached, detached_tids) for this refresh.
         """
+        self.refresh_count += 1
         now = self.tasks.uptime()
         visible = {}
         for info in self.tasks.list_processes():
@@ -73,22 +123,18 @@ class ProcessList:
         for tid, info in visible.items():
             if tid in self.tracked or tid in self.denied:
                 continue
+            entry = self.quarantined.get(tid)
+            if entry is not None and self.refresh_count < entry.eligible_at:
+                continue
             if len(self.tracked) >= self.options.max_tasks:
                 break
-            try:
-                group = CounterGroup(
-                    self.backend,
-                    self.events,
-                    tid,
-                    inherit=not self.options.per_thread,
-                )
-            except PerfPermissionError:
-                self.denied.add(tid)
-                continue
-            except (NoSuchTaskError, PerfError):
-                self.attach_errors += 1
+            group = self._attach(tid)
+            if group is None:
                 continue
             task = TrackedTask(pid=info.pid, tid=tid, group=group, first_seen=now)
+            if entry is not None:
+                del self.quarantined[tid]
+                task.health = "reattached"
             self.tracked[tid] = task
             attached.append(task)
 
@@ -98,7 +144,85 @@ class ProcessList:
                 self.tracked[tid].group.close()
                 del self.tracked[tid]
                 detached.append(tid)
+        # A quarantined task that is no longer even listed has exited for
+        # good; tids are not recycled, so its entry is dead weight.
+        for tid in list(self.quarantined):
+            if tid not in visible:
+                del self.quarantined[tid]
+                self.quarantine_history.pop(tid, None)
         return attached, detached
+
+    def _attach(self, tid: int) -> CounterGroup | None:
+        """Open the task's counter group under the retry policy.
+
+        Transient errors are retried up to ``options.retry_limit`` extra
+        times (with exponential backoff when ``options.retry_backoff`` is
+        set); exhaustion or a hard error counts one attach failure and
+        leaves the task for the next refresh. Permission denials are
+        cached permanently.
+        """
+        attempts = 0
+        while True:
+            try:
+                return CounterGroup(
+                    self.backend,
+                    self.events,
+                    tid,
+                    inherit=not self.options.per_thread,
+                )
+            except PerfPermissionError:
+                self.denied.add(tid)
+                return None
+            except TransientPerfError:
+                attempts += 1
+                if attempts > self.options.retry_limit:
+                    self.attach_errors += 1
+                    return None
+                self.attach_retries += 1
+                self._backoff(attempts)
+            except (NoSuchTaskError, PerfError):
+                self.attach_errors += 1
+                return None
+
+    def _backoff(self, attempts: int) -> None:
+        if self.options.retry_backoff > 0:
+            time.sleep(self.options.retry_backoff * 2 ** (attempts - 1))
+
+    def quarantine(self, tid: int, reason: str) -> None:
+        """Bench a failing task: close its counters now, reattach later.
+
+        The group close is guaranteed (exception-safe per counter), so a
+        quarantined task never leaks handles. Repeat offenders wait
+        exponentially longer: ``2**(failures-1)`` refreshes, capped at
+        :data:`MAX_QUARANTINE_REFRESHES`.
+        """
+        task = self.tracked.pop(tid, None)
+        if task is not None:
+            task.group.close()
+        failures = self.quarantine_history.get(tid, 0) + 1
+        self.quarantine_history[tid] = failures
+        backoff = min(2 ** (failures - 1), MAX_QUARANTINE_REFRESHES)
+        self.quarantined[tid] = QuarantineEntry(
+            failures=failures,
+            eligible_at=self.refresh_count + backoff,
+            reason=reason,
+        )
+
+    def note_healthy(self, tid: int) -> None:
+        """Forget a task's quarantine history after a clean interval.
+
+        Without this, one bad episode would permanently inflate the
+        backoff of every later (unrelated) failure; with it, only tasks
+        that keep failing *before proving themselves* escalate.
+        """
+        self.quarantine_history.pop(tid, None)
+
+    def health_report(self) -> dict[int, str]:
+        """Lifecycle state of every known task (tracked and benched)."""
+        report = {tid: task.health for tid, task in self.tracked.items()}
+        for tid in self.quarantined:
+            report[tid] = "quarantined"
+        return report
 
     def close(self) -> None:
         """Detach everything (shutdown)."""

@@ -500,7 +500,9 @@ def _frame_from_csv_group(
     labels: dict[str, tuple[str, ...]] = {}
     label_base = metric_base + len(metric_headers)
     for j, h in enumerate(label_headers):
-        if kinds.get(h) != "label":
+        # "health" columns (chaos mode's HEALTH) are string-valued and
+        # round-trip through label storage like any other label.
+        if kinds.get(h) not in ("label", "health"):
             continue
         labels[h] = tuple(row[label_base + j] for row in group)
     return SnapshotFrame(

@@ -13,11 +13,18 @@ delta arrays (one numpy pass per column) rather than per task.
 :meth:`Sampler.sample` wraps :meth:`Sampler.sample_frame` and materialises
 rows with identical values and ordering, so existing call sites see no
 difference.
+
+Reads follow the resilience policy of :mod:`repro.core.proclist`: transient
+perf errors are retried within a bounded budget, hard per-task failures
+quarantine the task (counters closed immediately, reattach after backoff),
+and each task's lifecycle state is published as the HEALTH column when the
+screen carries one (``--chaos`` mode does this automatically).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -29,7 +36,7 @@ from repro.core.frame import SnapshotFrame
 from repro.core.options import Options
 from repro.core.proclist import ProcessList, TrackedTask
 from repro.core.screen import Screen
-from repro.errors import CounterStateError, ProcfsError
+from repro.errors import PerfError, ProcfsError, TransientPerfError
 from repro.perf.counter import Backend
 from repro.procfs.model import ProcessInfo, TaskProvider, cpu_percent
 
@@ -127,6 +134,17 @@ class Sampler:
         self.proclist = ProcessList(backend, tasks, self.events, self.options)
         self._last_time: float | None = None
         self.last_timing: SampleTiming | None = None
+        #: Successful-after-retry and given-up read tallies (chaos stats).
+        self.read_retries = 0
+        self.read_skips = 0
+        self._health_header = next(
+            (
+                c.header
+                for c in screen.columns
+                if c.kind is ColumnKind.HEALTH
+            ),
+            None,
+        )
 
     def sample(self) -> Snapshot:
         """Take one snapshot (legacy row view over :meth:`sample_frame`)."""
@@ -196,9 +214,8 @@ class Sampler:
                 return None
             info = task.last_info
             final = True
-        try:
-            deltas = task.group.read_deltas()
-        except CounterStateError:
+        deltas = self._read_deltas(task)
+        if deltas is None:
             return None
         if final:
             pct = 0.0
@@ -208,6 +225,46 @@ class Sampler:
             )
         task.last_info = info
         return task, info, deltas, pct
+
+    def _read_deltas(self, task: TrackedTask) -> dict[str, float] | None:
+        """Read one task's counter group under the lifecycle policy.
+
+        Transient errors (EINTR/EAGAIN/corrupt reads) are retried up to
+        ``options.retry_limit`` extra times; exhaustion skips the task's
+        row for this interval but keeps its counters attached (health
+        "retrying"). Hard errors — stale handles, a target that the
+        kernel says is gone — quarantine the task: counters are closed
+        immediately and reattach happens after a backoff, so a failing
+        task can never wedge the sampling loop or leak fds.
+        """
+        attempts = 0
+        while True:
+            try:
+                deltas = task.group.read_deltas()
+            except TransientPerfError:
+                attempts += 1
+                if attempts > self.options.retry_limit:
+                    task.health = "retrying"
+                    self.read_skips += 1
+                    return None
+                self.read_retries += 1
+                if self.options.retry_backoff > 0:
+                    time.sleep(
+                        self.options.retry_backoff * 2 ** (attempts - 1)
+                    )
+                continue
+            except PerfError as exc:
+                self.proclist.quarantine(task.tid, type(exc).__name__)
+                return None
+            if attempts:
+                task.health = "retry"
+            elif task.health == "reattached" and not task.reattach_reported:
+                task.reattach_reported = True
+            else:
+                task.health = "ok"
+                # A full clean interval resets the quarantine backoff.
+                self.proclist.note_healthy(task.tid)
+            return deltas
 
     def _build_frame(
         self,
@@ -248,6 +305,12 @@ class Sampler:
                     else np.empty(0)
                 )
 
+        labels: dict[str, tuple[str, ...]] = {}
+        if self._health_header is not None:
+            labels[self._health_header] = tuple(
+                task.health for task, _, _, _ in gathered
+            )
+
         return SnapshotFrame(
             time=now,
             interval=interval,
@@ -275,6 +338,7 @@ class Sampler:
             ),
             deltas=delta_cols,
             metrics=metrics,
+            labels=labels,
             columns=tuple((c.header, c.kind.value) for c in self.screen.columns),
         )
 

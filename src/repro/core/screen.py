@@ -39,6 +39,29 @@ class Screen:
     description: str
     columns: tuple[Column, ...]
 
+    def with_columns(self, *extra: Column) -> "Screen":
+        """This screen plus ``extra`` columns appended (headers must be new).
+
+        Used e.g. by chaos mode to append the HEALTH lifecycle column to
+        whatever screen the user selected.
+
+        Raises:
+            ConfigError: when an extra column duplicates an existing header.
+        """
+        have = {c.header for c in self.columns}
+        for column in extra:
+            if column.header in have:
+                raise ConfigError(
+                    f"screen {self.name!r} already has column "
+                    f"{column.header!r}"
+                )
+            have.add(column.header)
+        return Screen(
+            name=self.name,
+            description=self.description,
+            columns=(*self.columns, *extra),
+        )
+
     def required_events(self) -> list[EventSpec]:
         """Counter events this screen's expressions reference, resolved.
 

@@ -37,6 +37,42 @@ class NoSuchTaskError(PerfError):
     """The monitored task does not exist (ESRCH)."""
 
 
+class TransientPerfError(PerfError):
+    """A perf operation failed in a way that is safe to retry.
+
+    The kernel (real or simulated) reported a condition that does not
+    invalidate the counter or its target — the same call may well succeed
+    if reissued. Consumers (:class:`~repro.core.sampler.Sampler`,
+    :class:`~repro.core.proclist.ProcessList`) retry these with a bounded
+    backoff instead of dropping the task.
+    """
+
+
+class PerfInterruptedError(TransientPerfError):
+    """A perf syscall was interrupted by a signal (EINTR)."""
+
+
+class PerfBusyError(TransientPerfError):
+    """The kernel asked us to try again later (EAGAIN/EBUSY)."""
+
+
+class CorruptReadError(TransientPerfError):
+    """A counter read returned garbage (short read / torn value).
+
+    The fd itself is presumed healthy — a re-read usually succeeds — so
+    this is classified transient; persistent corruption escalates to
+    quarantine through the retry budget.
+    """
+
+
+class FdLimitError(PerfError):
+    """The per-process or system fd table is full (EMFILE/ENFILE).
+
+    Not a per-task denial: the attach is retried on a later refresh once
+    descriptors have been released, rather than the task being blacklisted.
+    """
+
+
 class CounterStateError(PerfError):
     """A counter operation was issued in an invalid state.
 

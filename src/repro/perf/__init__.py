@@ -14,10 +14,15 @@ package provides:
   resolution (generic events vs vendor-manual raw events, §2.2).
 * :mod:`repro.perf.counter` — high-level ``Counter``/``CounterGroup``
   objects with delta reads and multiplex scaling.
+* :mod:`repro.perf.faults` — seeded, replayable fault-injection plans
+  (ESRCH/EMFILE/EINTR/EAGAIN, corrupt reads, multiplex starvation) the
+  sim backend executes natively, so every robustness claim has a
+  deterministic test.
 """
 
 from repro.perf.counter import Backend, Counter, CounterGroup, Reading
 from repro.perf.events import EventSpec, resolve_event
+from repro.perf.faults import FaultPlan, FaultSpec, default_specs
 from repro.perf.simbackend import SimBackend
 from repro.perf.syscall import RealBackend, kernel_supports_perf_events
 
@@ -26,9 +31,12 @@ __all__ = [
     "Counter",
     "CounterGroup",
     "EventSpec",
+    "FaultPlan",
+    "FaultSpec",
     "Reading",
     "RealBackend",
     "SimBackend",
+    "default_specs",
     "kernel_supports_perf_events",
     "resolve_event",
 ]

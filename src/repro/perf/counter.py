@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
-from repro.errors import CounterStateError
+from repro.errors import CounterStateError, PerfError
 from repro.perf.events import EventSpec
 
 
@@ -152,10 +152,16 @@ class Counter:
         self._last = Reading(0, self._last.time_enabled, self._last.time_running)
 
     def close(self) -> None:
-        """Release the kernel handle (idempotent)."""
+        """Release the kernel handle (idempotent).
+
+        The handle is forgotten *before* the backend call returns: even
+        when ``close`` itself fails (an interrupted ``close(2)`` still
+        releases the fd on Linux, and both backends mirror that), the
+        counter never retains a handle it might double-close or leak.
+        """
         if self._handle is not None:
-            self.backend.close(self._handle)
-            self._handle = None
+            handle, self._handle = self._handle, None
+            self.backend.close(handle)
 
     def __enter__(self) -> "Counter":
         return self
@@ -190,6 +196,9 @@ class CounterGroup:
                     Counter(backend, event, tid, inherit=inherit)
                 )
         except Exception:
+            # Partial open: if event k of n failed, release the k-1
+            # already-open handles before the error propagates — a group
+            # either exists fully or not at all.
             self.close()
             raise
 
@@ -222,11 +231,17 @@ class CounterGroup:
             c.disable()
 
     def close(self) -> None:
-        """Release every handle (idempotent, exception-safe)."""
+        """Release every handle (idempotent, exception-safe).
+
+        A failing close of one counter (stale handle, injected EINTR)
+        must not strand the remaining handles, so per-counter perf errors
+        are swallowed; the underlying fd is released either way (both
+        backends release before raising, as ``close(2)`` does).
+        """
         for c in self.counters:
             try:
                 c.close()
-            except CounterStateError:  # pragma: no cover - defensive
+            except PerfError:
                 pass
 
     def __enter__(self) -> "CounterGroup":

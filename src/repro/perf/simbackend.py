@@ -15,6 +15,10 @@ counter table. Kernel behaviours modelled:
   per-thread kernel counters and sums them.
 * **Multiplexing**: handled by the machine's counter table; ``read``
   returns ``time_enabled``/``time_running`` so user space can scale.
+* **Faults**: an optional :class:`~repro.perf.faults.FaultPlan` injects
+  seeded failures (ESRCH, EMFILE, EINTR, EAGAIN, corrupt reads,
+  multiplex starvation) into open/enable/read/close — the misbehaving
+  kernel the tool must survive, replayable from one seed.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.errors import (
 )
 from repro.perf.counter import Reading
 from repro.perf.events import EventSpec
+from repro.perf.faults import FaultPlan
 from repro.sim.counters import KernelCounter
 from repro.sim.machine import SimMachine
 
@@ -40,8 +45,10 @@ ROOT_UID = 0
 @dataclass
 class _Handle:
     handle_id: int
+    tid: int
     kernel_counters: list[KernelCounter]
     closed: bool = False
+    last_reading: Reading | None = None
 
 
 class SimBackend:
@@ -53,13 +60,25 @@ class SimBackend:
             requires no privilege (§2.2); like the kernel, the backend
             enforces that an unprivileged monitor only watches its own
             processes unless ``monitor_uid`` is ROOT_UID.
+        faults: optional seeded fault plan consulted on every backend
+            call (None = a well-behaved kernel).
     """
 
-    def __init__(self, machine: SimMachine, monitor_uid: int = ROOT_UID) -> None:
+    def __init__(
+        self,
+        machine: SimMachine,
+        monitor_uid: int = ROOT_UID,
+        *,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.machine = machine
         self.monitor_uid = monitor_uid
+        self.faults = faults
         self._handles: dict[int, _Handle] = {}
         self._ids = itertools.count(100)
+        #: lifetime open/close tally, for leak accounting in tests.
+        self.opened_total = 0
+        self.closed_total = 0
 
     # -- helpers ---------------------------------------------------------
     def _target_tids(self, tid: int, inherit: bool) -> list[int]:
@@ -92,6 +111,12 @@ class SimBackend:
             raise CounterStateError(f"no such open handle {handle}")
         return h
 
+    def _inject(self, op: str, tid: int) -> str | None:
+        """Consult the fault plan; raising classes raise from here."""
+        if self.faults is None:
+            return None
+        return self.faults.raise_for(op, tid)
+
     # -- Backend protocol -------------------------------------------------
     def open(
         self,
@@ -106,82 +131,128 @@ class SimBackend:
         ``sample_period`` switches the counter into sampling mode (§2.5):
         the value is reconstructed from PMU interrupts every ``period``
         events rather than counted exactly.
+
+        A partial open never leaks: if opening the per-thread kernel
+        counter k of n fails (dead thread, injected fault), the k-1
+        already-open kernel counters are closed before the error
+        propagates.
         """
+        self._inject("open", tid)
         if not self.machine.arch.supports_event(event.sim_event):
             raise EventError(
                 f"PMU of {self.machine.arch.name} cannot count {event.name!r}"
             )
         tids = self._target_tids(tid, inherit)
-        kcs = [
-            self.machine.counters.open(
-                event.sim_event, t, self.monitor_uid, sample_period=sample_period
-            )
-            for t in tids
-        ]
+        kcs: list[KernelCounter] = []
+        try:
+            for t in tids:
+                kcs.append(
+                    self.machine.counters.open(
+                        event.sim_event,
+                        t,
+                        self.monitor_uid,
+                        sample_period=sample_period,
+                    )
+                )
+        except Exception:
+            for kc in kcs:
+                if not kc.closed:
+                    self.machine.counters.close(kc.counter_id)
+            raise
         handle = next(self._ids)
-        self._handles[handle] = _Handle(handle, kcs)
+        self._handles[handle] = _Handle(handle, tid, kcs)
+        self.opened_total += 1
         return handle
 
-    def read(self, handle: int) -> Reading:
-        """Sum the per-thread kernel counters behind this handle."""
-        h = self._get(handle)
+    def _read_handle(self, h: _Handle) -> Reading:
+        """One clean (fault-free) read of a handle's kernel counters."""
         value = 0
         enabled = 0.0
         running = 0.0
         for kc in h.kernel_counters:
             v, te, tr = kc.reading()
             value += v
-            enabled = max(enabled, te)
-            running = max(running, tr)
-        return Reading(value, enabled, running)
+            if te > enabled:
+                enabled = te
+            if tr > running:
+                running = tr
+        reading = Reading(value, enabled, running)
+        h.last_reading = reading
+        return reading
+
+    def _starved_reading(self, h: _Handle) -> Reading:
+        """What a multiplex-starved interval reads as: no progress.
+
+        The counter never reached the PMU since the last read, so the
+        value and ``time_running`` are frozen at their previous snapshot
+        (delta scaling then yields 0 for the interval, as on Linux).
+        """
+        if h.last_reading is not None:
+            return h.last_reading
+        return Reading(0, 0.0, 0.0)
+
+    def read(self, handle: int) -> Reading:
+        """Sum the per-thread kernel counters behind this handle."""
+        h = self._get(handle)
+        if self._inject("read", h.tid) == "starve":
+            return self._starved_reading(h)
+        return self._read_handle(h)
 
     def read_many(self, handles: list[int]) -> list[Reading]:
         """Batched :meth:`read`: one Reading per handle, in order.
 
         One call per sampling pass instead of one per counter — the
         syscall-batching analogue of perf's group reads. Results are
-        exactly what per-handle ``read`` calls would return.
+        exactly what per-handle ``read`` calls would return, including any
+        injected faults: each handle consults the fault plan exactly as an
+        individual ``read`` would, and an injected error aborts the whole
+        batch before any delta baseline moves.
         """
+        resolved = [self._get(handle) for handle in handles]
         readings: list[Reading] = []
-        get = self._get
-        for handle in handles:
-            h = get(handle)
-            value = 0
-            enabled = 0.0
-            running = 0.0
-            for kc in h.kernel_counters:
-                v, te, tr = kc.reading()
-                value += v
-                if te > enabled:
-                    enabled = te
-                if tr > running:
-                    running = tr
-            readings.append(Reading(value, enabled, running))
+        for h in resolved:
+            if self._inject("read", h.tid) == "starve":
+                readings.append(self._starved_reading(h))
+            else:
+                readings.append(self._read_handle(h))
         return readings
 
     def enable(self, handle: int) -> None:
         """Arm all underlying kernel counters."""
-        for kc in self._get(handle).kernel_counters:
+        h = self._get(handle)
+        self._inject("enable", h.tid)
+        for kc in h.kernel_counters:
             kc.enabled = True
 
     def disable(self, handle: int) -> None:
         """Disarm all underlying kernel counters."""
-        for kc in self._get(handle).kernel_counters:
+        h = self._get(handle)
+        self._inject("disable", h.tid)
+        for kc in h.kernel_counters:
             kc.enabled = False
 
     def reset(self, handle: int) -> None:
         """Zero all underlying kernel counter values."""
-        for kc in self._get(handle).kernel_counters:
+        h = self._get(handle)
+        self._inject("reset", h.tid)
+        for kc in h.kernel_counters:
             kc.value = 0.0
 
     def close(self, handle: int) -> None:
-        """Release the handle and its kernel counters."""
+        """Release the handle and its kernel counters.
+
+        Mirrors ``close(2)`` on Linux: the descriptor is released even
+        when the call reports EINTR, so an injected interrupt fires
+        *after* the kernel counters are gone and nothing leaks.
+        """
         h = self._get(handle)
         for kc in h.kernel_counters:
             if not kc.closed:
                 self.machine.counters.close(kc.counter_id)
         h.closed = True
         del self._handles[handle]
+        self.closed_total += 1
+        self._inject("close", h.tid)
 
     def open_handle_count(self) -> int:
         """Number of live handles (for leak tests)."""

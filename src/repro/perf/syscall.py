@@ -18,8 +18,12 @@ import os
 import struct
 
 from repro.errors import (
+    CorruptReadError,
+    FdLimitError,
     NoSuchTaskError,
+    PerfBusyError,
     PerfError,
+    PerfInterruptedError,
     PerfNotSupportedError,
     PerfPermissionError,
 )
@@ -54,7 +58,8 @@ def perf_event_open(
 
     Raises:
         PerfNotSupportedError / PerfPermissionError / NoSuchTaskError /
-        PerfError: mapped from the syscall's errno.
+        FdLimitError / PerfInterruptedError / PerfBusyError / PerfError:
+        mapped from the syscall's errno.
     """
     libc = _get_libc()
     fd = libc.syscall(
@@ -67,20 +72,38 @@ def perf_event_open(
     )
     if fd >= 0:
         return fd
-    err = ctypes.get_errno()
+    raise _errno_error(ctypes.get_errno(), f"perf_event_open on task {pid}")
+
+
+def _errno_error(err: int, what: str) -> PerfError:
+    """Map one errno to the library's exception taxonomy.
+
+    The retry/quarantine machinery keys off these classes, so the mapping
+    is the contract: transient errnos (EINTR, EAGAIN, EBUSY) must come
+    back as :class:`TransientPerfError` subclasses, resource exhaustion
+    (EMFILE/ENFILE) as :class:`FdLimitError`, task death as
+    :class:`NoSuchTaskError` — exactly what the simulated backend's fault
+    plans inject.
+    """
+    strerror = os.strerror(err)
     if err in (errno.ENOENT, errno.ENOSYS, errno.EOPNOTSUPP):
-        raise PerfNotSupportedError(
-            f"perf_event_open failed: {os.strerror(err)} "
-            "(no usable PMU on this kernel)"
+        return PerfNotSupportedError(
+            f"{what} failed: {strerror} (no usable PMU on this kernel)"
         )
     if err in (errno.EPERM, errno.EACCES):
-        raise PerfPermissionError(
-            f"perf_event_open denied: {os.strerror(err)} "
+        return PerfPermissionError(
+            f"{what} denied: {strerror} "
             "(non-privileged users can only watch their own tasks)"
         )
     if err == errno.ESRCH:
-        raise NoSuchTaskError(f"no such task {pid}")
-    raise PerfError(f"perf_event_open failed: {os.strerror(err)}")
+        return NoSuchTaskError(f"{what} failed: no such task")
+    if err in (errno.EMFILE, errno.ENFILE):
+        return FdLimitError(f"{what} failed: {strerror} (fd table full)")
+    if err == errno.EINTR:
+        return PerfInterruptedError(f"{what} interrupted: {strerror}")
+    if err in (errno.EAGAIN, errno.EBUSY):
+        return PerfBusyError(f"{what} busy: {strerror}")
+    return PerfError(f"{what} failed: {strerror}")
 
 
 def paranoid_level() -> int | None:
@@ -140,13 +163,23 @@ class RealBackend:
         return fd
 
     def read(self, handle: int) -> Reading:
-        """Read value/time_enabled/time_running from the counter fd."""
+        """Read value/time_enabled/time_running from the counter fd.
+
+        ``os.read`` already restarts EINTR (PEP 475); remaining OSErrors
+        are mapped through the errno taxonomy so the caller's retry logic
+        sees EAGAIN as :class:`~repro.errors.PerfBusyError` rather than a
+        terminal failure. A short read means the kernel handed back a torn
+        value — :class:`~repro.errors.CorruptReadError`, which is
+        retryable.
+        """
         try:
             data = os.read(handle, _READ_STRUCT.size)
         except OSError as exc:
-            raise PerfError(f"read on counter fd {handle} failed: {exc}") from exc
+            raise _errno_error(
+                exc.errno or errno.EIO, f"read on counter fd {handle}"
+            ) from exc
         if len(data) < _READ_STRUCT.size:
-            raise PerfError(
+            raise CorruptReadError(
                 f"short read ({len(data)} bytes) on counter fd {handle}"
             )
         value, enabled_ns, running_ns = _READ_STRUCT.unpack(data)
@@ -154,11 +187,12 @@ class RealBackend:
 
     def _ioctl(self, handle: int, request: int) -> None:
         libc = _get_libc()
-        if libc.ioctl(handle, request, 0) < 0:
+        while libc.ioctl(handle, request, 0) < 0:
             err = ctypes.get_errno()
-            raise PerfError(
-                f"ioctl {request:#x} on fd {handle} failed: {os.strerror(err)}"
-            )
+            if err == errno.EINTR:
+                # Restart interrupted ioctls ourselves; ctypes does not.
+                continue
+            raise _errno_error(err, f"ioctl {request:#x} on fd {handle}")
 
     def enable(self, handle: int) -> None:
         """ioctl PERF_EVENT_IOC_ENABLE."""
@@ -173,9 +207,20 @@ class RealBackend:
         self._ioctl(handle, abi.IOCTL_RESET)
 
     def close(self, handle: int) -> None:
-        """Close the counter fd."""
+        """Close the counter fd.
+
+        On Linux the fd is released even when ``close(2)`` returns EINTR,
+        so an interrupted close is swallowed — retrying it could close an
+        unrelated, freshly reused descriptor.
+        """
         self._open_fds.discard(handle)
-        os.close(handle)
+        try:
+            os.close(handle)
+        except OSError as exc:
+            if exc.errno != errno.EINTR:
+                raise _errno_error(
+                    exc.errno or errno.EIO, f"close of counter fd {handle}"
+                ) from exc
 
     def close_all(self) -> None:
         """Release every fd this backend still holds (cleanup helper)."""

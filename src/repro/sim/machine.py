@@ -210,6 +210,31 @@ class SimMachine:
             raise SimulationError(f"cannot schedule at {when} < now {self.now}")
         heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
 
+    def spawn_at(
+        self, when: float, command: str, workload: Workload, **kwargs
+    ) -> None:
+        """Schedule a :meth:`spawn` at virtual time ``when``.
+
+        Convenience for churn scripts (chaos sweeps, Fig. 10-style job
+        arrivals): the spawn happens inside the tick loop, exactly like a
+        user starting a job mid-run.
+        """
+        self.at(when, lambda: self.spawn(command, workload, **kwargs))
+
+    def kill_at(self, when: float, pid: int) -> None:
+        """Schedule a :meth:`kill` of ``pid`` at virtual time ``when``.
+
+        A pid that is already gone by then is ignored — the churn script's
+        victim may have exited on its own, as on a real machine.
+        """
+
+        def _kill() -> None:
+            proc = self.processes.get(pid)
+            if proc is not None and proc.alive:
+                self.kill(pid)
+
+        self.at(when, _kill)
+
     # ------------------------------------------------------------------
     # Time advance
     # ------------------------------------------------------------------

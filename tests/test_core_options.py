@@ -29,6 +29,23 @@ class TestValidation:
         with pytest.raises(ConfigError):
             Options(max_tasks=0)
 
+    def test_chaos_defaults_off(self):
+        o = Options()
+        assert o.chaos is None
+        assert o.retry_limit == 2
+        assert o.retry_backoff == 0.0
+
+    def test_bad_retry_limit(self):
+        with pytest.raises(ConfigError):
+            Options(retry_limit=-1)
+
+    def test_zero_retry_limit_allowed(self):
+        assert Options(retry_limit=0).retry_limit == 0
+
+    def test_bad_retry_backoff(self):
+        with pytest.raises(ConfigError):
+            Options(retry_backoff=-0.1)
+
 
 class TestWants:
     def test_default_watches_everything(self):

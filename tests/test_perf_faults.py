@@ -1,0 +1,186 @@
+"""The fault-injection plan: seeded, deterministic, per-task independent."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    CorruptReadError,
+    FdLimitError,
+    NoSuchTaskError,
+    PerfBusyError,
+    PerfInterruptedError,
+    TransientPerfError,
+)
+from repro.perf.faults import (
+    ERROR_CLASSES,
+    OPS,
+    FaultPlan,
+    FaultSpec,
+    default_specs,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("frobnicate", "eintr", 0.1)
+
+    def test_unknown_error_class_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("open", "ebadf", 0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("open", "eintr", -0.1)
+        with pytest.raises(ConfigError):
+            FaultSpec("open", "eintr", 1.1)
+
+    def test_at_calls_one_based(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("open", "eintr", at_calls=frozenset({0}))
+
+    def test_wildcard_matches_every_op(self):
+        spec = FaultSpec("*", "eintr", 0.5)
+        assert all(spec.matches_op(op) for op in OPS)
+
+
+class TestDecide:
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(1, [FaultSpec("read", "eintr", 0.0)])
+        assert all(plan.decide("read", 10) is None for _ in range(200))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(1, [FaultSpec("read", "eintr", 1.0)])
+        assert all(plan.decide("read", 10) == "eintr" for _ in range(50))
+
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.from_seed(42)
+        b = FaultPlan.from_seed(42)
+        seq_a = [a.decide("read", 5) for _ in range(300)]
+        seq_b = [b.decide("read", 5) for _ in range(300)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(1, [FaultSpec("read", "eintr", 0.5)])
+        b = FaultPlan(2, [FaultSpec("read", "eintr", 0.5)])
+        seq_a = [a.decide("read", 5) for _ in range(100)]
+        seq_b = [b.decide("read", 5) for _ in range(100)]
+        assert seq_a != seq_b
+
+    def test_per_tid_schedule_independent_of_interleaving(self):
+        """Task 7's schedule must not shift when task 9's calls interleave.
+
+        This is the property that lets chaos tests compare untouched
+        tasks bitwise against a fault-free run.
+        """
+        specs = [FaultSpec("read", "eintr", 0.3)]
+        alone = FaultPlan(7, specs)
+        seq_alone = [alone.decide("read", 7) for _ in range(100)]
+        mixed = FaultPlan(7, specs)
+        seq_mixed = []
+        for i in range(100):
+            mixed.decide("read", 9)  # interleaved stranger
+            seq_mixed.append(mixed.decide("read", 7))
+            if i % 3 == 0:
+                mixed.decide("read", 11)
+        assert seq_alone == seq_mixed
+
+    def test_at_calls_fires_on_exact_global_index(self):
+        plan = FaultPlan(
+            0, [FaultSpec("open", "emfile", at_calls=frozenset({2, 4}))]
+        )
+        got = [plan.decide("open", tid) for tid in (1, 2, 3, 4)]
+        assert got == [None, "emfile", None, "emfile"]
+
+    def test_rates_partition_interval(self):
+        plan = FaultPlan(
+            3,
+            [
+                FaultSpec("read", "eintr", 0.4),
+                FaultSpec("read", "starve", 0.4),
+            ],
+        )
+        seen = {plan.decide("read", 1) for _ in range(500)}
+        assert seen == {None, "eintr", "starve"}
+
+    def test_overcommitted_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                0,
+                [
+                    FaultSpec("read", "eintr", 0.7),
+                    FaultSpec("read", "eagain", 0.7),
+                ],
+            )
+
+    def test_stats_track_calls_and_injections(self):
+        plan = FaultPlan(1, [FaultSpec("read", "eintr", 1.0)])
+        for _ in range(3):
+            plan.decide("read", 5)
+        plan.decide("open", 6)
+        assert plan.stats.calls == {"read": 3, "open": 1}
+        assert plan.stats.injected == {("read", "eintr"): 3}
+        assert plan.stats.touched_tids == {5}
+        assert plan.stats.total_injected() == 3
+
+    def test_call_count_and_add(self):
+        plan = FaultPlan(1)
+        plan.decide("read", 1)
+        plan.decide("read", 1)
+        assert plan.call_count("read") == 2
+        plan.add(FaultSpec("read", "eintr", at_calls=frozenset({3})))
+        assert plan.decide("read", 1) == "eintr"
+
+    def test_fork_replays_identically(self):
+        plan = FaultPlan.from_seed(99)
+        seq = [plan.decide("read", 4) for _ in range(200)]
+        replay = plan.fork()
+        assert [replay.decide("read", 4) for _ in range(200)] == seq
+
+
+class TestRaiseFor:
+    @pytest.mark.parametrize(
+        "error,exc",
+        [
+            ("esrch", NoSuchTaskError),
+            ("emfile", FdLimitError),
+            ("eintr", PerfInterruptedError),
+            ("eagain", PerfBusyError),
+            ("corrupt", CorruptReadError),
+        ],
+    )
+    def test_raising_classes_raise(self, error, exc):
+        plan = FaultPlan(0, [FaultSpec("read", error, 1.0)])
+        with pytest.raises(exc):
+            plan.raise_for("read", 1)
+
+    def test_starve_returns_instead_of_raising(self):
+        plan = FaultPlan(0, [FaultSpec("read", "starve", 1.0)])
+        assert plan.raise_for("read", 1) == "starve"
+
+    def test_clean_call_returns_none(self):
+        plan = FaultPlan(0)
+        assert plan.raise_for("read", 1) is None
+
+    def test_transient_classes_are_retryable(self):
+        assert issubclass(PerfInterruptedError, TransientPerfError)
+        assert issubclass(PerfBusyError, TransientPerfError)
+        assert issubclass(CorruptReadError, TransientPerfError)
+        assert not issubclass(NoSuchTaskError, TransientPerfError)
+        assert not issubclass(FdLimitError, TransientPerfError)
+
+
+class TestDefaultSpecs:
+    def test_every_error_class_represented(self):
+        classes = {s.error for s in default_specs()}
+        assert classes == set(ERROR_CLASSES)
+
+    def test_intensity_scales_rates(self):
+        mild = default_specs(0.5)
+        wild = default_specs(2.0)
+        assert all(w.rate == pytest.approx(m.rate * 4) for m, w in
+                   zip(mild, wild))
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigError):
+            default_specs(-1.0)
