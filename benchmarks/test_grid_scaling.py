@@ -1,0 +1,193 @@
+"""Grid engine scaling: dispatch epochs + shards vs the per-tick loop.
+
+The paper's §3.4 deployment watches a ~100-node SGE fleet; simulating one
+at per-tick granularity makes wall-clock linear in fleet size. This
+benchmark drives a datacenter-shaped mix — long-lived services filling
+most slots, a finite batch job per node, and a queued backlog that
+dispatches as slots free — through every engine and records the sweep in
+``BENCH_grid.json``:
+
+* ``legacy`` — the pre-epoch sequential loop (baseline),
+* ``serial`` — in-process engine, epoch batching only (workers=1),
+* ``sharded-2`` / ``sharded-4`` — persistent worker shards.
+
+Engines must agree bitwise — job fingerprints and per-node counter tables
+are asserted equal on every run, smoke or full (this is the CI guard that
+sharded == serial). Timing targets only apply to the full run:
+epoch batching alone >= 1.5x, and sharded-4 >= 3x on the 16-node fleet.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep for CI and skips the speedup
+assertions (shared runners make ratios unreliable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _harness import OUT_DIR
+
+from repro.sim.arch import NEHALEM
+from repro.sim.grid import Grid, NodeSpec
+from repro.sim.workloads import datacenter
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+NODE_COUNTS = (4,) if SMOKE else (4, 16)
+SPAN_SECONDS = 45.0 if SMOKE else 480.0
+REPEATS = 1 if SMOKE else 3
+SERIAL_MIN_SPEEDUP = 1.5
+SHARDED4_MIN_SPEEDUP = 3.0
+
+ENGINES = (
+    ("legacy", "legacy", 1),
+    ("serial", "serial", 1),
+    ("sharded-2", "sharded", 2),
+    ("sharded-4", "sharded", 4),
+)
+
+
+def fleet(n_nodes: int) -> list[NodeSpec]:
+    """A mixed fleet of small nodes (4 PUs each keeps the sweep fast)."""
+    specs = []
+    for i in range(n_nodes):
+        if i % 2 == 0:
+            specs.append(
+                NodeSpec(name=f"bench{i:02d}", sockets=1, cores_per_socket=2)
+            )
+        else:
+            specs.append(
+                NodeSpec(name=f"bench{i:02d}", arch=NEHALEM, sockets=1,
+                         cores_per_socket=2, memory_bytes=16 * 1024**3)
+            )
+    return specs
+
+
+def populate(grid: Grid, n_nodes: int) -> None:
+    """A datacenter-shaped mix sized to the fleet.
+
+    Per node slot: three long-lived services and one finite, noise-free
+    batch job (deterministic jobs get the exec-inclusive exit bound, so
+    epoch boundaries land near the real exits), plus a queued backlog of
+    half a job per node. Slots free mid-run and the dispatcher re-fills
+    them, so epoch boundaries genuinely matter."""
+    for i in range(4 * n_nodes):
+        if i % 4 == 3:
+            workload = datacenter.compute_job(
+                f"job{i:03d}",
+                1.0,
+                duration_hint=30.0 + 15.0 * (i % 5),
+                noise=0.0,
+            )
+        else:
+            workload = datacenter.compute_job(f"job{i:03d}", 0.9 + 0.1 * (i % 4))
+        grid.submit(
+            f"job{i:03d}",
+            workload,
+            user=f"user{i % 3}",
+            queue=("short-2g-asap", "day-2g-overnight")[i % 2],
+        )
+    for i in range(n_nodes // 2):
+        grid.submit(
+            f"backlog{i:02d}",
+            datacenter.compute_job(
+                f"backlog{i:02d}", 1.1, duration_hint=40.0, noise=0.0
+            ),
+            queue="short-2g-asap",
+        )
+
+
+def fingerprint(grid: Grid):
+    return [
+        (j.job_id, j.node, j.started_at, j.finished_at, j.killed, j.pid,
+         j.state)
+        for j in grid.jobs()
+    ]
+
+
+def run_engine(label: str, engine: str, workers: int, n_nodes: int):
+    """Best-of-N wall time plus the observables for the equality check."""
+    best = float("inf")
+    observed = None
+    epochs = 0
+    for _ in range(REPEATS):
+        with Grid(fleet(n_nodes), tick=1.0, seed=42, workers=workers,
+                  engine=engine) as grid:
+            populate(grid, n_nodes)
+            t0 = time.perf_counter()
+            grid.run_for(SPAN_SECONDS)
+            best = min(best, time.perf_counter() - t0)
+            observed = (
+                fingerprint(grid),
+                {s.name: grid.snapshot(s.name) for s in grid.specs},
+            )
+            epochs = grid.stats["epochs"]
+    return best, observed, epochs
+
+
+def test_grid_scaling():
+    sweeps = []
+    speedups: dict[int, dict[str, float]] = {}
+    for n_nodes in NODE_COUNTS:
+        results = {}
+        for label, engine, workers in ENGINES:
+            seconds, observed, epochs = run_engine(
+                label, engine, workers, n_nodes
+            )
+            results[label] = (seconds, observed, epochs)
+        baseline = results["legacy"][1]
+        for label, (_, observed, _) in results.items():
+            assert observed == baseline, (
+                f"{label} diverged from legacy on {n_nodes} nodes"
+            )
+        legacy_seconds = results["legacy"][0]
+        speedups[n_nodes] = {}
+        entry = {"nodes": n_nodes, "engines": {}}
+        for label, (seconds, _, epochs) in results.items():
+            speedup = legacy_seconds / seconds
+            speedups[n_nodes][label] = speedup
+            entry["engines"][label] = {
+                "seconds": round(seconds, 6),
+                "speedup_vs_legacy": round(speedup, 3),
+                "epochs": epochs,
+            }
+        sweeps.append(entry)
+        print(
+            f"\n{n_nodes:3d} nodes: " + "  ".join(
+                f"{label}={results[label][0]:.3f}s"
+                f" ({speedups[n_nodes][label]:.2f}x)"
+                for label, _, _ in ENGINES
+            )
+        )
+
+    payload = {
+        "scenario": {
+            "span_seconds": SPAN_SECONDS,
+            "tick": 1.0,
+            "seed": 42,
+            "jobs_per_node": 4,
+            "backlog_jobs_per_node": 0.5,
+            "node_counts": list(NODE_COUNTS),
+            "repeats": REPEATS,
+            "smoke": SMOKE,
+        },
+        "targets": {
+            "serial_min_speedup": SERIAL_MIN_SPEEDUP,
+            "sharded4_min_speedup": SHARDED4_MIN_SPEEDUP,
+        },
+        "sweeps": sweeps,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_grid.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if not SMOKE:
+        serial = speedups[16]["serial"]
+        sharded4 = speedups[16]["sharded-4"]
+        assert serial >= SERIAL_MIN_SPEEDUP, (
+            f"epoch batching alone is only {serial:.2f}x on 16 nodes"
+        )
+        assert sharded4 >= SHARDED4_MIN_SPEEDUP, (
+            f"sharded-4 is only {sharded4:.2f}x on 16 nodes"
+        )

@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-refresh wall-time breakdown "
                              "(advance/read/eval/render) to stderr")
+    parser.add_argument("--grid-workers", type=int, default=None, metavar="N",
+                        help="simulate the whole SGE datacenter grid "
+                             "instead of one node, sharding the fleet over "
+                             "N worker processes (1 = in-process serial "
+                             "engine; results are identical at any N; "
+                             "requires --sim)")
     parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
                         help="inject a seeded schedule of kernel faults "
                              "(ESRCH/EMFILE/EINTR/EAGAIN, corrupt reads, "
@@ -58,6 +64,52 @@ def build_parser() -> argparse.ArgumentParser:
                              "column; the same seed replays the same "
                              "failures byte-for-byte (requires --sim)")
     return parser
+
+
+def _run_grid(options: Options) -> int:
+    """The --grid-workers path: drive the §3.4 SGE grid for the requested
+    span and print a dispatch summary (engine timings go to stderr with
+    --profile). Results are identical at any worker count."""
+    from repro.sim.grid import Grid
+
+    span = options.delay * (options.iterations or 10)
+    with Grid(
+        tick=1.0,
+        seed=1,
+        workers=options.grid_workers,
+        profile=options.profile,
+    ) as grid:
+        jobs = datacenter.populate_grid(grid)
+        grid.run_for(span)
+        engine = grid.engine.name
+        print(
+            f"grid: {len(grid.specs)} nodes, engine={engine} "
+            f"workers={options.grid_workers}, ran {span:g}s "
+            f"in {grid.stats['epochs']} epochs"
+        )
+        for job in jobs:
+            when = (
+                f"finished={job.finished_at:g}" if job.finished_at is not None
+                else f"state={job.state}"
+            )
+            print(
+                f"  job {job.job_id:3d} {job.name:12s} "
+                f"queue={job.queue:20s} node={job.node or '-':10s} {when}"
+            )
+        print("utilisation:")
+        for node, load in sorted(grid.utilisation().items()):
+            print(f"  {node:10s} {load:6.1%}")
+        if options.profile:
+            stats = grid.stats
+            print(
+                f"grid-profile: total epochs={stats['epochs']} "
+                f"ticks={stats['ticks']} msgs={stats['messages']} "
+                f"shard_wall={stats['shard_wall'] * 1000:.1f}ms "
+                f"rate_cache={stats['rate_cache_hits']}"
+                f"/{stats['rate_cache_misses']}",
+                file=sys.stderr,
+            )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +126,13 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.grid_workers is not None and not args.sim:
+        print(
+            "tiptop: --grid-workers runs the simulated datacenter grid "
+            "and requires --sim",
+            file=sys.stderr,
+        )
+        return 2
     try:
         options = Options(
             delay=args.delay,
@@ -85,7 +144,10 @@ def main(argv: list[str] | None = None) -> int:
             screen=args.screen,
             profile=args.profile,
             chaos=args.chaos,
+            grid_workers=args.grid_workers or 1,
         )
+        if args.grid_workers is not None:
+            return _run_grid(options)
         if args.screen_file:
             from repro.core.config_file import find_screen, load_screens
 

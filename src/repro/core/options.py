@@ -46,6 +46,10 @@ class Options:
         retry_backoff: base seconds slept between retries (doubles per
             attempt). 0 keeps retries immediate — the right choice for
             simulated hosts, where sleeping wall time means nothing.
+        grid_workers: shard the simulated datacenter fleet over this many
+            persistent worker processes (``--grid-workers``; 1 = the
+            in-process serial engine). Only meaningful with ``--sim``
+            grid runs — results are identical at any worker count.
     """
 
     delay: float = 2.0
@@ -63,6 +67,7 @@ class Options:
     chaos: int | None = None
     retry_limit: int = 2
     retry_backoff: float = 0.0
+    grid_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.delay <= 0:
@@ -80,6 +85,10 @@ class Options:
         if self.retry_backoff < 0:
             raise ConfigError(
                 f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.grid_workers < 1:
+            raise ConfigError(
+                f"grid_workers must be >= 1, got {self.grid_workers}"
             )
 
     def wants(self, *, pid: int, uid: int, comm: str) -> bool:

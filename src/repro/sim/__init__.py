@@ -14,7 +14,14 @@ tool layer is oblivious to which kernel it is talking to.
 
 from repro.sim.arch import ArchModel, CORE2, NEHALEM, PPC970, WESTMERE_E5640
 from repro.sim.events import Event
-from repro.sim.grid import Grid, Job, NodeSpec, QueueSpec
+from repro.sim.grid import (
+    Grid,
+    Job,
+    NodeSpec,
+    QueueSpec,
+    default_fleet,
+    sge_queues,
+)
 from repro.sim.isa import InstructionClass, InstructionMix, OperandProfile
 from repro.sim.machine import SimMachine
 from repro.sim.microkernels import Instr, MicroKernel, Op
@@ -44,4 +51,6 @@ __all__ = [
     "TaskState",
     "WESTMERE_E5640",
     "Workload",
+    "default_fleet",
+    "sge_queues",
 ]

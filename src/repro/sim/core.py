@@ -19,6 +19,7 @@ over a scheduled slice.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
@@ -276,10 +277,25 @@ class RateCache:
             issue_share=issue_share,
         )
         if len(self._store) >= self.max_entries:
-            self._store.clear()
+            self._evict()
         keepalive = (arch, phase, tuple(spec for spec, _ in level_capacities))
         self._store[key] = (result, keepalive)
         return result
+
+    def _evict(self) -> None:
+        """Drop the oldest half of the store (insertion-order FIFO).
+
+        A wholesale ``clear()`` makes any working set just over
+        ``max_entries`` thrash to a 0% hit rate: the steady-state orbit of
+        co-schedules is re-inserted and re-cleared every pass. Halving
+        keeps the *recent* half — which contains the live orbit, since
+        dict order is insertion order — so steady state stays hot.
+        """
+        for key in list(itertools.islice(self._store, len(self._store) // 2)):
+            del self._store[key]
+
+    def __len__(self) -> int:
+        return len(self._store)
 
     def clear(self) -> None:
         """Drop all entries (correctness-neutral)."""

@@ -17,17 +17,31 @@ nodes sharing one virtual clock, FIFO queues with priorities, per-node
 logical-core and memory admission limits, wall-clock kill, and node
 dedication. Tiptop attaches to any node via ``SimHost(grid.node(i))`` —
 which is how Figures 1 and 10 were captured in production.
+
+Execution is delegated to an engine from :mod:`repro.sim.parallel`. Nodes
+only couple through the dispatcher, and the dispatcher only has work when
+a job arrives or a slot frees, so the grid advances the whole fleet in
+**dispatch epochs**: the span to the next wallclock-kill boundary or the
+earliest *possible* job exit (a sound lower bound from the CPI model) runs
+in one batched :meth:`SimMachine.run_ticks` call per node — or one message
+round-trip per worker shard with ``workers=N``. Job states, finish times
+and per-node counter tables are identical across engines.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+import sys
+import time
 from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel, WESTMERE_E5640
 from repro.sim.machine import SimMachine
+from repro.sim.parallel import SpawnCmd, create_engine, workload_exit_lb
 from repro.sim.process import SimProcess
 from repro.sim.workload import Workload
 
@@ -97,6 +111,12 @@ class NodeSpec:
     memory_bytes: int = 24 * 1024**3
     dedicated_queue: str | None = None
 
+    @property
+    def n_pus(self) -> int:
+        """Logical cores, derivable without building the machine (the
+        sharded engine's nodes live in worker processes)."""
+        return self.sockets * self.cores_per_socket * self.arch.smt_per_core
+
 
 @dataclass
 class Job:
@@ -110,7 +130,10 @@ class Job:
         queue: target queue name.
         memory_bytes: declared memory need (admission only).
         submitted_at: submission time.
-        process: the spawned process once dispatched.
+        process: the spawned process, when it lives in this process
+            (legacy/serial engines; None under the sharded engine, whose
+            processes live in workers — use ``pid``).
+        pid: pid on the target node once dispatched.
         node: the node name it landed on.
         started_at / finished_at: dispatch / completion times.
         killed: True when the wall-clock limit fired.
@@ -124,6 +147,7 @@ class Job:
     memory_bytes: int
     submitted_at: float
     process: SimProcess | None = None
+    pid: int | None = None
     node: str | None = None
     started_at: float | None = None
     finished_at: float | None = None
@@ -132,11 +156,13 @@ class Job:
     @property
     def state(self) -> str:
         """pending / running / done."""
-        if self.process is None:
+        if self.started_at is None:
             return "pending"
-        if self.finished_at is None and self.process.alive:
-            return "running"
-        return "done"
+        if self.finished_at is not None:
+            return "done"
+        if self.process is not None and not self.process.alive:
+            return "done"
+        return "running"
 
 
 class Grid:
@@ -147,6 +173,14 @@ class Grid:
         queues: queue layout (defaults to the sixteen SGE queues).
         tick: node scheduler tick.
         seed: base seed (each node gets seed+index).
+        workers: 1 (default) runs every node in-process through the
+            epoch-batched serial engine; N > 1 shards the fleet over N
+            persistent worker processes.
+        engine: explicit engine override ("legacy", "serial", "sharded");
+            None derives it from ``workers``. "legacy" is the pre-epoch
+            per-tick loop, kept as the reference and benchmark baseline.
+        profile: print per-epoch engine timings, message counts and
+            RateCache statistics to stderr.
     """
 
     def __init__(
@@ -156,6 +190,9 @@ class Grid:
         *,
         tick: float = 1.0,
         seed: int = 1,
+        workers: int = 1,
+        engine: str | None = None,
+        profile: bool = False,
     ) -> None:
         self.queues = {
             q.name: q for q in (sge_queues() if queues is None else queues)
@@ -165,24 +202,53 @@ class Grid:
         specs = node_specs if node_specs is not None else default_fleet()
         if not specs:
             raise SimulationError("a grid needs at least one node")
+        if workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
         self.specs = specs
-        self.nodes: dict[str, SimMachine] = {}
-        for index, spec in enumerate(specs):
-            self.nodes[spec.name] = SimMachine(
-                spec.arch,
-                sockets=spec.sockets,
-                cores_per_socket=spec.cores_per_socket,
-                memory_bytes=spec.memory_bytes,
-                tick=tick,
-                seed=seed + index,
-            )
+        self._spec_by_name = {spec.name: spec for spec in specs}
+        if len(self._spec_by_name) != len(specs):
+            raise SimulationError("node names must be unique")
+        if engine is None:
+            engine = "serial" if workers == 1 else "sharded"
+        self.engine = create_engine(engine, specs, tick, seed, workers)
+        self._legacy = self.engine.name == "legacy"
         self._pending: dict[str, deque[Job]] = {
             name: deque() for name in self.queues
         }
         self._jobs: list[Job] = []
+        self._by_id: dict[int, Job] = {}
         self._ids = itertools.count(1)
         self.now = 0.0
         self.tick = tick
+        self.seed = seed
+        self.profile = profile
+        # Epoch bookkeeping, all in *machine* time on the job's node:
+        # where each node's clock stood after the last engine round-trip,
+        # when each running job's wallclock kill comes due, and before
+        # when each running job provably cannot exit.
+        self._node_now: dict[str, float] = {spec.name: 0.0 for spec in specs}
+        self._kill_due: dict[int, float] = {}
+        self._exit_after: dict[int, float] = {}
+        self._pending_cmds: list[SpawnCmd] = []
+        self.stats: dict[str, Any] = {
+            "epochs": 0,
+            "ticks": 0,
+            "messages": 0,
+            "shard_wall": 0.0,
+            "rate_cache_hits": 0,
+            "rate_cache_misses": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down worker processes (no-op for in-process engines)."""
+        self.engine.close()
+
+    def __enter__(self) -> "Grid":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- submission ----------------------------------------------------------
     def submit(
@@ -221,12 +287,12 @@ class Grid:
         )
         self._pending[queue].append(job)
         self._jobs.append(job)
+        self._by_id[job.job_id] = job
         return job
 
     # -- admission -----------------------------------------------------------
     def _node_load(self, node_name: str) -> tuple[int, int]:
         """(running jobs, committed memory) on one node."""
-        machine = self.nodes[node_name]
         running = [
             j for j in self._jobs
             if j.node == node_name and j.state == "running"
@@ -241,13 +307,12 @@ class Grid:
                 continue
             if not queue.dedicated_only and spec.dedicated_queue is not None:
                 continue
-            machine = self.nodes[spec.name]
             running, committed = self._node_load(spec.name)
-            if running >= machine.topology.n_pus:
+            if running >= spec.n_pus:
                 continue  # the rule of thumb: jobs <= logical cores
             if committed + job.memory_bytes > spec.memory_bytes:
                 continue  # keep memory below physical
-            load = running / machine.topology.n_pus
+            load = running / spec.n_pus
             if best is None or load < best[0]:
                 best = (load, spec.name)
         return best[1] if best else None
@@ -264,14 +329,43 @@ class Grid:
                 if node_name is None:
                     break  # jobs are spawned in order within each queue
                 pending.popleft()
-                machine = self.nodes[node_name]
-                job.process = machine.spawn(
-                    job.name, job.workload, user=job.user
-                )
                 job.node = node_name
                 job.started_at = self.now
-                if queue.max_wallclock != float("inf"):
-                    self._arm_wallclock_kill(job, queue.max_wallclock)
+                if self._legacy:
+                    machine = self.nodes[node_name]
+                    job.process = machine.spawn(
+                        job.name, job.workload, user=job.user
+                    )
+                    job.pid = job.process.pid
+                    if queue.max_wallclock != float("inf"):
+                        self._arm_wallclock_kill(job, queue.max_wallclock)
+                    continue
+                limit = (
+                    queue.max_wallclock
+                    if queue.max_wallclock != float("inf")
+                    else None
+                )
+                self._pending_cmds.append(
+                    SpawnCmd(
+                        job_id=job.job_id,
+                        node=node_name,
+                        command=job.name,
+                        user=job.user,
+                        workload=job.workload,
+                        wallclock_limit=limit,
+                    )
+                )
+                # Epoch-boundary inputs, known at dispatch: the shard arms
+                # the kill at machine.now + limit — the same float
+                # expression computed here — and a fresh job cannot exit
+                # before its whole workload's penalty-CPI floor elapses.
+                node_now = self._node_now[node_name]
+                if limit is not None:
+                    self._kill_due[job.job_id] = node_now + limit
+                spec = self._spec_by_name[node_name]
+                lb = workload_exit_lb(spec.arch, job.workload)
+                if lb is not None:
+                    self._exit_after[job.job_id] = node_now + lb
 
     def _arm_wallclock_kill(self, job: Job, limit: float) -> None:
         machine = self.nodes[job.node]  # type: ignore[index]
@@ -286,16 +380,149 @@ class Grid:
     # -- time ------------------------------------------------------------------
     def run_for(self, seconds: float) -> None:
         """Advance every node in lockstep, dispatching as slots free up."""
-        remaining = seconds
-        while remaining > 1e-12:
-            step = min(self.tick, remaining)
+        if self._legacy:
+            remaining = seconds
+            while remaining > 1e-12:
+                step = min(self.tick, remaining)
+                self._dispatch()
+                for machine in self.nodes.values():
+                    machine.run_for(step)
+                self.now += step
+                remaining -= step
+                self._reap()
             self._dispatch()
-            for machine in self.nodes.values():
-                machine.run_for(step)
-            self.now += step
-            remaining -= step
-            self._reap()
+            return
+
+        # Same step ladder as the legacy loop: whole ticks by repeated
+        # subtraction, then at most one fractional step.
+        self._sync_node_now()
+        remaining = seconds
+        n_ticks = 0
+        while remaining > 1e-12 and remaining >= self.tick:
+            n_ticks += 1
+            remaining -= self.tick
+        frac = remaining if remaining > 1e-12 else 0.0
+        while n_ticks > 0:
+            self._dispatch()
+            n = self._epoch_ticks(n_ticks)
+            self._run_epoch(n, 0.0)
+            n_ticks -= n
+        if frac > 0.0:
+            self._dispatch()
+            self._run_epoch(0, frac)
         self._dispatch()
+        if self._pending_cmds:
+            # The trailing dispatch spawns immediately under the legacy
+            # engine; flush with a zero-length epoch so end-of-run node
+            # state is identical across engines.
+            self._run_epoch(0, 0.0)
+
+    def _sync_node_now(self) -> None:
+        """Refresh machine clocks from in-process nodes (a tiptop attached
+        via ``node()`` may have advanced one between runs)."""
+        for name, machine in self.engine.nodes.items():
+            self._node_now[name] = machine.now
+
+    def _epoch_ticks(self, remaining: int) -> int:
+        """Whole ticks the fleet may advance before the dispatcher could
+        possibly have work.
+
+        With an empty backlog, dispatch can have nothing to do until the
+        run ends. Otherwise a slot can only free when a running job dies —
+        at its wallclock-kill boundary (known exactly) or its natural exit
+        (bounded below by the model's penalty-CPI floor) — so the epoch
+        runs to the earliest such boundary. Over-conservative is harmless
+        (the boundary dispatch is a no-op); the bound never overshoots.
+        """
+        if not any(self._pending.values()):
+            return remaining
+        bound = remaining
+        for job in self._jobs:
+            if job.state != "running":
+                continue
+            node_now = self._node_now[job.node]  # type: ignore[index]
+            for due in (
+                self._kill_due.get(job.job_id),
+                self._exit_after.get(job.job_id),
+            ):
+                if due is None:
+                    continue
+                ticks = math.ceil((due - node_now) / self.tick - 1e-9)
+                bound = min(bound, max(1, ticks))
+        return max(1, min(bound, remaining))
+
+    def _run_epoch(self, n_ticks: int, frac: float) -> None:
+        """One engine round-trip: ship queued spawns, advance every shard
+        by ``n_ticks`` whole ticks (plus ``frac``), merge the reports."""
+        commands, self._pending_cmds = self._pending_cmds, []
+        msgs_before = getattr(self.engine, "messages", 0)
+        t0 = time.perf_counter()
+        reports = self.engine.advance(commands, n_ticks, frac)
+        wall = time.perf_counter() - t0
+        # The grid clock advances by the same repeated-addition ladder as
+        # the legacy loop; boundary values are kept so finish times can be
+        # backfilled bitwise-identically to the per-tick reaper.
+        boundaries: list[float] = []
+        for _ in range(n_ticks):
+            self.now += self.tick
+            boundaries.append(self.now)
+        if frac > 1e-12:
+            self.now += frac
+
+        start_now: dict[str, float] = {}
+        deaths: dict[int, float] = {}
+        killed: set[int] = set()
+        shard_walls: list[float] = []
+        hits = misses = 0
+        for rep in reports:
+            start_now.update(rep["start_now"])
+            self._node_now.update(rep["end_now"])
+            for job_id, pid in rep["spawned"].items():
+                job = self._by_id[job_id]
+                job.pid = pid
+                proc = self.engine.process_of(job_id)
+                if proc is not None:
+                    job.process = proc
+            killed.update(rep["killed"])
+            deaths.update(rep["deaths"])
+            self._exit_after.update(rep["bounds"])
+            shard_walls.append(rep["wall"])
+            hits += rep["cache_hits"]
+            misses += rep["cache_misses"]
+        for job_id in killed:
+            self._by_id[job_id].killed = True
+        for job_id, observed in deaths.items():
+            job = self._by_id[job_id]
+            # The machine stamped the first tick boundary at which the
+            # death was observable; map it onto the grid's boundary ladder
+            # (the k-th boundary of this epoch) to land on the exact float
+            # the per-tick reaper would have written.
+            k = round((observed - start_now[job.node]) / self.tick)
+            if 1 <= k <= n_ticks:
+                job.finished_at = boundaries[k - 1]
+            elif n_ticks >= 1 and k < 1:
+                job.finished_at = boundaries[0]
+            else:
+                job.finished_at = self.now
+            self._kill_due.pop(job_id, None)
+            self._exit_after.pop(job_id, None)
+
+        msgs = getattr(self.engine, "messages", 0) - msgs_before
+        self.stats["epochs"] += 1
+        self.stats["ticks"] += n_ticks
+        self.stats["messages"] += msgs
+        self.stats["shard_wall"] += sum(shard_walls)
+        self.stats["rate_cache_hits"] = hits
+        self.stats["rate_cache_misses"] = misses
+        if self.profile:
+            walls = ",".join(f"{w * 1000:.2f}" for w in shard_walls)
+            print(
+                f"grid-profile: epoch={self.stats['epochs']}"
+                f" ticks={n_ticks} frac={frac:g} spawns={len(commands)}"
+                f" deaths={len(deaths)} wall_ms=[{walls}] msgs={msgs}"
+                f" rate_cache={hits}/{misses}",
+                file=sys.stderr,
+            )
 
     def _reap(self) -> None:
         for job in self._jobs:
@@ -307,16 +534,34 @@ class Grid:
                 job.finished_at = self.now
 
     # -- introspection -----------------------------------------------------------
+    @property
+    def nodes(self) -> dict[str, SimMachine]:
+        """In-process machines by name (empty under the sharded engine)."""
+        return self.engine.nodes
+
     def node(self, name: str) -> SimMachine:
         """A node's machine (attach tiptop via ``SimHost``).
 
         Raises:
-            SimulationError: unknown node.
+            SimulationError: unknown node, or a sharded grid (machines
+                live in worker processes; use ``workers=1`` to attach).
         """
-        try:
-            return self.nodes[name]
-        except KeyError as exc:
-            raise SimulationError(f"no node {name!r}") from exc
+        if name not in self._spec_by_name:
+            raise SimulationError(f"no node {name!r}")
+        machine = self.engine.nodes.get(name)
+        if machine is None:
+            raise SimulationError(
+                f"node {name!r} lives in a worker process under the "
+                "sharded engine; build the grid with workers=1 to attach"
+            )
+        return machine
+
+    def snapshot(self, name: str) -> dict[str, Any]:
+        """Exact observable state of one node (works on every engine —
+        the sharded engine fetches it from the owning worker)."""
+        if name not in self._spec_by_name:
+            raise SimulationError(f"no node {name!r}")
+        return self.engine.snapshot(name)
 
     def jobs(self, state: str | None = None) -> list[Job]:
         """All jobs, optionally filtered by state."""
@@ -329,7 +574,7 @@ class Grid:
         out = {}
         for spec in self.specs:
             running, _ = self._node_load(spec.name)
-            out[spec.name] = running / self.nodes[spec.name].topology.n_pus
+            out[spec.name] = running / spec.n_pus
         return out
 
 

@@ -57,6 +57,10 @@ class SimMachine:
             tiptop samples every few seconds, so 0.1–1 s ticks lose nothing.
         seed: master seed for all per-process noise.
         memory_bandwidth: peak DRAM bandwidth in bytes/s.
+        rate_cache: optional shared :class:`RateCache`. Machines in one
+            grid shard pass a common cache so identical (arch, phase,
+            capacity) rate computations are deduplicated fleet-wide; the
+            memo is exact, so sharing never changes results.
     """
 
     def __init__(
@@ -69,6 +73,7 @@ class SimMachine:
         tick: float = 0.1,
         seed: int = 42,
         memory_bandwidth: float = 25e9,
+        rate_cache: RateCache | None = None,
     ) -> None:
         if tick <= 0:
             raise SimulationError(f"tick must be positive, got {tick}")
@@ -101,8 +106,13 @@ class SimMachine:
         # keys whole co-schedules by (pu, phase, previous-rates) identity.
         # Entries pin the objects behind the ids they key on, so eviction
         # is the only way an id leaves the cache.
-        self._rate_cache = RateCache()
+        self._rate_cache = RateCache() if rate_cache is None else rate_cache
         self._contention_cache: dict[tuple, tuple] = {}
+        #: pid -> first tick boundary at/after which the process was seen
+        #: dead. This is exactly when an external per-tick reaper (the
+        #: grid's) would observe the death, recorded here so epoch-batched
+        #: engines can reconstruct finish times without stepping per tick.
+        self.death_observed: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Process management
@@ -169,6 +179,9 @@ class SimMachine:
         for t in proc.threads:
             t.mark_dead()
             self.scheduler.forget(t)
+        # Kills land at timer boundaries (or between runs), where ``now``
+        # already is a tick boundary — that is when a reaper first sees it.
+        self.death_observed.setdefault(pid, self.now)
 
     def process(self, pid: int) -> SimProcess:
         """Look up a process by pid.
@@ -518,7 +531,14 @@ class SimMachine:
             for thread in threads
         )
         if len(self._contention_cache) >= self._CONTENTION_CACHE_MAX:
-            self._contention_cache.clear()
+            # Oldest-half FIFO, same rationale as RateCache._evict: keep
+            # the recent (live-orbit) half instead of thrashing to cold.
+            for stale in list(
+                itertools.islice(
+                    self._contention_cache, self._CONTENTION_CACHE_MAX // 2
+                )
+            ):
+                del self._contention_cache[stale]
         self._contention_cache[key] = (results, keepalive)
         return rates
 
@@ -601,7 +621,7 @@ class SimMachine:
         if contended is not None:
             self._last_rates[thread.tid] = contended
         if done:
-            self._reap(thread, 0.0)
+            self._reap(thread, dt)
 
     def _reap(self, thread: SimThread, dt: float) -> None:
         if thread.state is TaskState.DEAD:
@@ -609,3 +629,8 @@ class SimMachine:
         thread.mark_dead()
         self.scheduler.forget(thread)
         self._last_rates.pop(thread.tid, None)
+        proc = thread.process
+        if not proc.alive:
+            # ``now`` is still pre-increment inside a slice: the death is
+            # first observable at the end of this tick.
+            self.death_observed.setdefault(proc.pid, self.now + dt)

@@ -1,0 +1,495 @@
+"""Shard-aware grid execution engines (scaling §3.4's fleet).
+
+The paper's production deployment is ~100 SGE nodes; simulating such a
+fleet one scalar tick at a time makes wall-clock grow linearly in fleet
+size. Nodes, however, are *shared-nothing between dispatch decisions*: a
+:class:`~repro.sim.grid.Grid` only couples its machines through the
+dispatcher, and the dispatcher only has something to do when a job arrives
+or a slot frees. That property is what batch schedulers exploit to fan
+work out across hosts, and what this module exploits to advance nodes
+concurrently between **dispatch epochs**.
+
+Three engines implement the same contract:
+
+* ``legacy`` — the original per-tick loop (dispatch, advance every node by
+  one scalar tick, reap). Kept as the reference semantics and the
+  benchmark baseline.
+* ``serial`` — one in-process :class:`Shard` holding every node, advanced
+  a whole epoch at a time through the batched
+  :meth:`~repro.sim.machine.SimMachine.run_ticks` memo path with a shard-
+  shared :class:`~repro.sim.core.RateCache`. The default and the CI path.
+* ``sharded`` — persistent worker processes, each owning a disjoint
+  :class:`Shard`. Machines are constructed *inside* the worker from
+  (spec, seed) and never cross the process boundary; per epoch exactly one
+  compact message round-trip happens per worker (spawn commands in,
+  job-exit/bound/cache snapshots out).
+
+Determinism. A machine's evolution is a pure function of its spec, seed,
+tick, and the timed sequence of spawns/kills applied to it. All three
+engines apply the same commands at the same virtual boundaries and advance
+by the same whole-tick counts, so job states, finish times and per-node
+counter tables are bitwise identical (``run_ticks`` is proven bitwise
+equal to the scalar path by ``tests/test_run_ticks_equivalence.py``).
+
+The epoch boundary rule. An epoch may extend to the earliest virtual time
+at which the dispatcher could possibly have work: the next wallclock-kill
+boundary, or the earliest *possible* natural job exit. The latter uses a
+sound lower bound: per-tick retirement is at most
+``freq * tick / floor_cpi`` where the floor CPI is the solo
+memory+branch+assist cost — components the additive CPI model only ever
+*raises* under contention (capacities shrink, DRAM latency inflates) —
+plus, for noise-free phases only, the solo execution component (issue
+sharing can only raise it, and with ``noise == 0`` the lognormal
+multiplier is exactly 1). Hence a job with ``R`` instructions left cannot
+exit before ``R * floor_cpi / freq`` seconds have passed, and the
+dispatcher provably misses no slot-free boundary. With nothing pending,
+the whole remaining run is one epoch.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.sim.core import RateCache, solo_rates
+from repro.sim.machine import SimMachine
+
+if TYPE_CHECKING:
+    from repro.sim.grid import Grid, NodeSpec
+    from repro.sim.process import SimProcess
+    from repro.sim.workload import Workload
+
+ENGINE_NAMES = ("legacy", "serial", "sharded")
+
+
+@dataclass(frozen=True)
+class SpawnCmd:
+    """One dispatch decision, shippable to whichever shard owns the node.
+
+    Attributes:
+        job_id: grid job id (the cross-process handle).
+        node: target node name.
+        command: process command name.
+        user: owner.
+        workload: what the job runs (pickled to workers).
+        wallclock_limit: seconds until the queue's kill fires (None = no
+            limit). The shard arms the kill timer relative to the node's
+            clock at spawn, exactly like the serial dispatcher.
+    """
+
+    job_id: int
+    node: str
+    command: str
+    user: str
+    workload: "Workload"
+    wallclock_limit: float | None
+
+
+# -- exit lower bounds --------------------------------------------------------
+
+#: (id(arch), id(phase)) -> (floor CPI, keepalive) exact memo; the solo
+#: floor CPI is a pure function of the two objects.
+_FLOOR_CPI: dict[tuple[int, int], tuple[float, tuple]] = {}
+
+
+def _floor_cpi(arch, phase) -> float:
+    """A sound floor on ``phase``'s per-instruction cycle cost on ``arch``
+    in *any* machine state.
+
+    The penalty components (memory+branch+assist) are always a floor:
+    contention only shrinks cache capacities and inflates DRAM latency,
+    raising the memory component, and branch/assist are contention-free.
+    The execution component is priced at zero for noisy phases (the
+    lognormal jitter multiplies it and is unbounded below), but for
+    deterministic phases (noise == 0) the multiplier is exactly 1 and
+    issue sharing can only *raise* exec CPI — so the full solo CPI is the
+    floor, making exit bounds near-exact for noise-free jobs.
+    """
+    key = (id(arch), id(phase))
+    hit = _FLOOR_CPI.get(key)
+    if hit is not None:
+        return hit[0]
+    rates = solo_rates(arch, phase)
+    value = rates.cpi_memory + rates.cpi_branch + rates.cpi_assist
+    if phase.noise == 0:
+        value += rates.cpi_exec
+    _FLOOR_CPI[key] = (value, (arch, phase))
+    return value
+
+
+def workload_exit_lb(arch, workload: "Workload", retired: float = 0.0) -> float | None:
+    """Seconds before which a task ``retired`` instructions into
+    ``workload`` cannot possibly exit on ``arch`` (None = never exits)."""
+    total = workload.total_instructions
+    if math.isinf(total):
+        return None
+    remaining = max(0.0, total - retired)
+    floor_cpi = min(_floor_cpi(arch, p) for p in workload.phases)
+    return remaining * floor_cpi / arch.freq_hz
+
+
+def proc_exit_lb(machine: SimMachine, proc: "SimProcess") -> float | None:
+    """Earliest-possible-exit bound for a whole process (None = endless).
+
+    A process dies when its *last* thread does, so the bound is the max
+    over live threads of each thread's remaining-work bound.
+    """
+    worst = 0.0
+    for thread in proc.threads:
+        if not thread.alive:
+            continue
+        lb = workload_exit_lb(machine.arch, proc.workload, thread.retired)
+        if lb is None:
+            return None
+        worst = max(worst, lb)
+    return worst
+
+
+# -- snapshots ----------------------------------------------------------------
+
+def node_snapshot(machine: SimMachine) -> dict[str, Any]:
+    """Every grid-observable of one node, exactly (for equivalence tests
+    and the sharded engine's snapshot message)."""
+    procs = {}
+    for pid, proc in machine.processes.items():
+        procs[pid] = (
+            proc.command,
+            proc.user,
+            proc.alive,
+            tuple(
+                (t.tid, t.retired, t.cycles, t.cpu_time, t.state.value)
+                for t in proc.threads
+            ),
+        )
+    counters = {
+        cid: (
+            c.value,
+            c.time_enabled,
+            c.time_running,
+            c.samples,
+            c._carry,
+            c.enabled,
+        )
+        for cid, c in machine.counters._by_id.items()
+    }
+    return {
+        "now": machine.now,
+        "procs": procs,
+        "counters": counters,
+        "deaths": dict(machine.death_observed),
+    }
+
+
+# -- the shard ----------------------------------------------------------------
+
+class Shard:
+    """A disjoint set of grid nodes plus their job bookkeeping.
+
+    The same class backs both the in-process serial engine and each worker
+    process, which is what guarantees the two execute identical code on
+    identical state.
+    """
+
+    def __init__(self, entries: list[tuple["NodeSpec", int]], tick: float) -> None:
+        self.rate_cache = RateCache()
+        self.machines: dict[str, SimMachine] = {}
+        for spec, seed in entries:
+            self.machines[spec.name] = SimMachine(
+                spec.arch,
+                sockets=spec.sockets,
+                cores_per_socket=spec.cores_per_socket,
+                memory_bytes=spec.memory_bytes,
+                tick=tick,
+                seed=seed,
+                rate_cache=self.rate_cache,
+            )
+        #: job_id -> (node name, pid) for jobs this shard still tracks.
+        self._jobs: dict[int, tuple[str, int]] = {}
+        self._procs: dict[int, "SimProcess"] = {}
+        self._killed: set[int] = set()
+
+    def process_of(self, job_id: int) -> "SimProcess | None":
+        """In-process handle of a job's process (serial engine only)."""
+        return self._procs.get(job_id)
+
+    def _apply(self, commands: list[SpawnCmd]) -> dict[int, int]:
+        spawned: dict[int, int] = {}
+        for cmd in commands:
+            machine = self.machines[cmd.node]
+            proc = machine.spawn(cmd.command, cmd.workload, user=cmd.user)
+            self._jobs[cmd.job_id] = (cmd.node, proc.pid)
+            self._procs[cmd.job_id] = proc
+            spawned[cmd.job_id] = proc.pid
+            if cmd.wallclock_limit is not None:
+                self._arm_kill(machine, cmd.job_id, proc, cmd.wallclock_limit)
+        return spawned
+
+    def _arm_kill(
+        self,
+        machine: SimMachine,
+        job_id: int,
+        proc: "SimProcess",
+        limit: float,
+    ) -> None:
+        def kill() -> None:
+            if proc.alive:
+                machine.kill(proc.pid)
+                self._killed.add(job_id)
+
+        machine.at(machine.now + limit, kill)
+
+    def advance(
+        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+    ) -> dict[str, Any]:
+        """Apply this epoch's spawns, advance every node, report back.
+
+        The reply is the engine protocol's only payload: new pids, exits
+        (with the exact machine time the serial reaper would have observed
+        them), wallclock kills that fired, refreshed exit lower bounds for
+        still-running finite jobs, and cache statistics.
+        """
+        start_now = {name: m.now for name, m in self.machines.items()}
+        t0 = time.perf_counter()
+        spawned = self._apply(commands)
+        for machine in self.machines.values():
+            if n_ticks:
+                machine.run_ticks(n_ticks)
+            if frac > 1e-12:
+                machine.run_for(frac)
+        wall = time.perf_counter() - t0
+
+        deaths: dict[int, float] = {}
+        killed: list[int] = []
+        bounds: dict[int, float] = {}
+        done: list[int] = []
+        for job_id, (node, pid) in self._jobs.items():
+            proc = self._procs[job_id]
+            machine = self.machines[node]
+            if not proc.alive:
+                deaths[job_id] = machine.death_observed.get(pid, machine.now)
+                if job_id in self._killed:
+                    killed.append(job_id)
+                done.append(job_id)
+            else:
+                lb = proc_exit_lb(machine, proc)
+                if lb is not None:
+                    # Absolute machine time before which this job cannot
+                    # have exited — the grid's next epoch boundary input.
+                    bounds[job_id] = machine.now + lb
+        for job_id in done:
+            del self._jobs[job_id]
+            self._killed.discard(job_id)
+        return {
+            "spawned": spawned,
+            "deaths": deaths,
+            "killed": killed,
+            "bounds": bounds,
+            "start_now": start_now,
+            "end_now": {name: m.now for name, m in self.machines.items()},
+            "wall": wall,
+            "cache_hits": self.rate_cache.hits,
+            "cache_misses": self.rate_cache.misses,
+        }
+
+    def snapshot(self, node: str) -> dict[str, Any]:
+        return node_snapshot(self.machines[node])
+
+
+# -- engines ------------------------------------------------------------------
+
+class LegacyTickEngine:
+    """The pre-epoch reference: in-process machines, no batching.
+
+    :meth:`Grid.run_for` special-cases this engine and runs the original
+    dispatch/advance/reap loop over ``nodes`` — it exists so benchmarks
+    and equivalence tests can measure the restructure against the exact
+    old semantics.
+    """
+
+    name = "legacy"
+
+    def __init__(self, specs: list["NodeSpec"], tick: float, seed: int) -> None:
+        self.nodes: dict[str, SimMachine] = {}
+        for index, spec in enumerate(specs):
+            self.nodes[spec.name] = SimMachine(
+                spec.arch,
+                sockets=spec.sockets,
+                cores_per_socket=spec.cores_per_socket,
+                memory_bytes=spec.memory_bytes,
+                tick=tick,
+                seed=seed + index,
+            )
+
+    def snapshot(self, node: str) -> dict[str, Any]:
+        return node_snapshot(self.nodes[node])
+
+    def close(self) -> None:
+        pass
+
+
+class SerialEpochEngine:
+    """All nodes in one in-process shard, advanced epoch-at-a-time."""
+
+    name = "serial"
+
+    def __init__(self, specs: list["NodeSpec"], tick: float, seed: int) -> None:
+        self.shard = Shard(
+            [(spec, seed + index) for index, spec in enumerate(specs)], tick
+        )
+        self.nodes = self.shard.machines
+
+    def advance(
+        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+    ) -> list[dict[str, Any]]:
+        return [self.shard.advance(commands, n_ticks, frac)]
+
+    def process_of(self, job_id: int) -> "SimProcess | None":
+        return self.shard.process_of(job_id)
+
+    def snapshot(self, node: str) -> dict[str, Any]:
+        return self.shard.snapshot(node)
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, entries: list[tuple["NodeSpec", int]], tick: float) -> None:
+    """Worker process loop: build the shard locally, serve epoch messages."""
+    shard = Shard(entries, tick)
+    # Ready handshake: machines are now built, mirroring the in-process
+    # engines whose construction happens inside Grid().
+    conn.send(("ok", "ready"))
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        tag = msg[0]
+        if tag == "close":
+            break
+        try:
+            if tag == "advance":
+                _, commands, n_ticks, frac = msg
+                conn.send(("ok", shard.advance(commands, n_ticks, frac)))
+            elif tag == "snapshot":
+                conn.send(("ok", shard.snapshot(msg[1])))
+            else:
+                conn.send(("error", f"unknown message {tag!r}"))
+        except Exception as exc:  # surface worker failures to the grid
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class ShardedEngine:
+    """Persistent worker processes, one disjoint shard of nodes each.
+
+    Node ``i`` of the fleet goes to worker ``i % workers`` — a fixed,
+    deterministic assignment, so pid sequences and RNG streams per node
+    are independent of the worker count. Machines never cross the process
+    boundary; each epoch costs one message round-trip per worker.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        specs: list["NodeSpec"],
+        tick: float,
+        seed: int,
+        workers: int,
+    ) -> None:
+        if workers < 1:
+            raise SimulationError(f"sharded engine needs >= 1 worker, got {workers}")
+        self.workers = min(workers, len(specs))
+        #: Sharded nodes live in worker processes; direct access would
+        #: break the shared-nothing contract, so the mapping stays empty.
+        self.nodes: dict[str, SimMachine] = {}
+        self._node_worker: dict[str, int] = {}
+        self.messages = 0
+        ctx = multiprocessing.get_context()
+        self._conns = []
+        self._procs = []
+        for w in range(self.workers):
+            entries = []
+            for index, spec in enumerate(specs):
+                if index % self.workers == w:
+                    entries.append((spec, seed + index))
+                    self._node_worker[spec.name] = w
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child, entries, tick), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        for conn in self._conns:
+            self._recv(conn)  # ready handshake: shard machines are built
+
+    def _recv(self, conn) -> Any:
+        tag, payload = conn.recv()
+        if tag != "ok":
+            raise SimulationError(f"grid worker failed: {payload}")
+        return payload
+
+    def advance(
+        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+    ) -> list[dict[str, Any]]:
+        by_worker: dict[int, list[SpawnCmd]] = {}
+        for cmd in commands:
+            by_worker.setdefault(self._node_worker[cmd.node], []).append(cmd)
+        # Send to every worker first so shards advance concurrently, then
+        # collect: one round-trip per worker per epoch.
+        for w, conn in enumerate(self._conns):
+            conn.send(("advance", by_worker.get(w, []), n_ticks, frac))
+            self.messages += 1
+        return [self._recv(conn) for conn in self._conns]
+
+    def process_of(self, job_id: int) -> "SimProcess | None":
+        return None
+
+    def snapshot(self, node: str) -> dict[str, Any]:
+        try:
+            conn = self._conns[self._node_worker[node]]
+        except KeyError as exc:
+            raise SimulationError(f"no node {node!r}") from exc
+        conn.send(("snapshot", node))
+        self.messages += 1
+        return self._recv(conn)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+
+def create_engine(
+    engine: str,
+    specs: list["NodeSpec"],
+    tick: float,
+    seed: int,
+    workers: int,
+):
+    """Engine factory used by :class:`~repro.sim.grid.Grid`."""
+    if engine == "legacy":
+        return LegacyTickEngine(specs, tick, seed)
+    if engine == "serial":
+        return SerialEpochEngine(specs, tick, seed)
+    if engine == "sharded":
+        return ShardedEngine(specs, tick, seed, workers)
+    raise SimulationError(
+        f"unknown grid engine {engine!r} (have: {', '.join(ENGINE_NAMES)})"
+    )

@@ -191,3 +191,41 @@ def populate_fig10(
 
     machine.at(burst_start, burst)
     return jobs
+
+
+def populate_grid(grid, *, n_jobs: int = 12) -> list:
+    """Submit a Fig. 10-flavoured batch mix to a :class:`~repro.sim.grid.Grid`.
+
+    Finite compute jobs spread over the short/day queues (a mix of
+    cache-friendly and cache-hungry behaviours, like the §3.4 fleet's
+    churn), plus one endless service on the dedicated eternal queue.
+    Deterministic: the same call produces the same submission sequence.
+
+    Returns:
+        The submitted :class:`~repro.sim.grid.Job` objects, in order.
+    """
+    submitted = []
+    for i in range(n_jobs):
+        queue = "short-2g-asap" if i % 3 else "day-2g-overnight"
+        wl = compute_job(
+            f"batch-{i:02d}",
+            0.9 + 0.05 * (i % 4),
+            memory=_LLC_HUNGRY if i % 4 == 0 else _CACHE_FRIENDLY,
+            duration_hint=20.0 + 5.0 * i,
+        )
+        submitted.append(
+            grid.submit(
+                f"batch-{i:02d}", wl, user=f"user{i % 3 + 1}", queue=queue
+            )
+        )
+    service = compute_job("eternal-svc", 1.20, memory=_LLC_SENSITIVE)
+    submitted.append(
+        grid.submit(
+            "eternal-svc",
+            service,
+            user="ops",
+            queue="eternal-8g-overnight",
+            memory_bytes=4 * 1024**3,
+        )
+    )
+    return submitted

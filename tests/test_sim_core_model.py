@@ -160,3 +160,71 @@ class TestCalibration:
         ppc = solo_rates(PPC970, p).ipc
         assert core2 < 0.9
         assert ppc < core2
+
+
+class TestRateCacheEviction:
+    """A full store must shed its *oldest* half, not thrash to empty."""
+
+    def _fill(self, cache, n, start=0):
+        phases = []
+        for i in range(start, start + n):
+            p = _phase(name=f"p{i}")
+            phases.append(p)
+            cache.rates(NEHALEM, p, [(s, float(s.size)) for s in NEHALEM.cache_levels])
+        return phases
+
+    def test_insert_at_capacity_evicts_oldest_half(self):
+        from repro.sim.core import RateCache
+
+        cache = RateCache(max_entries=8)
+        phases = self._fill(cache, 8)
+        assert len(cache) == 8
+        extra = self._fill(cache, 1, start=100)
+        # Oldest 4 gone, newest 4 survived, plus the trigger entry.
+        assert len(cache) == 5
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        hits_before = cache.hits
+        for p in phases[4:] + extra:
+            cache.rates(NEHALEM, p, caps)
+        assert cache.hits == hits_before + 5
+        misses_before = cache.misses
+        for p in phases[:4]:
+            cache.rates(NEHALEM, p, caps)
+        assert cache.misses == misses_before + 4
+
+    def test_drifting_working_set_stays_warm(self):
+        """The grid's co-schedule population drifts as jobs come and go
+        (a sliding window over phase keys). Wholesale clear() repeatedly
+        dropped the still-live window (~68% hit rate on this script);
+        keeping the recent half keeps it warm."""
+        from repro.sim.core import RateCache
+
+        cache = RateCache(max_entries=8)
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        phases = [_phase(name=f"w{i}") for i in range(64)]
+        accesses = 0
+        for start in range(60):
+            for p in phases[start:start + 5]:
+                cache.rates(NEHALEM, p, caps)
+                accesses += 1
+        assert cache.hits / accesses > 0.75
+
+    def test_hit_returns_identical_object_after_eviction_cycles(self):
+        from repro.sim.core import RateCache
+
+        cache = RateCache(max_entries=4)
+        p = _phase(name="keep")
+        caps = [(s, float(s.size)) for s in NEHALEM.cache_levels]
+        first = cache.rates(NEHALEM, p, caps)
+        self._fill(cache, 16, start=50)  # churn through several evictions
+        again = cache.rates(NEHALEM, p, caps)
+        # Entry was evicted and recomputed: equal rates, fresh object.
+        assert again == first
+
+    def test_clear_still_empties(self):
+        from repro.sim.core import RateCache
+
+        cache = RateCache(max_entries=8)
+        self._fill(cache, 5)
+        cache.clear()
+        assert len(cache) == 0
