@@ -63,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "multiplex starvation) and show a HEALTH "
                              "column; the same seed replays the same "
                              "failures byte-for-byte (requires --sim)")
+    parser.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-execute a conformance repro artifact "
+                             "(verify/repro-<hash>.json) through the "
+                             "oracle registry and exit (see "
+                             "python -m repro.verify)")
     return parser
 
 
@@ -119,6 +124,10 @@ def main(argv: list[str] | None = None) -> int:
         for screen in builtin_screens():
             print(f"{screen.name:10s} {screen.description}")
         return 0
+    if args.replay is not None:
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(["--replay", args.replay])
     if args.chaos is not None and not args.sim:
         print(
             "tiptop: --chaos injects faults into the simulated kernel "

@@ -13,8 +13,10 @@ key        effect
 ``d N``    set the refresh delay to N seconds
 ``H``      toggle per-thread / per-process counting
 ``i``      toggle hiding of idle tasks (below 5 %CPU)
+``o``      cycle the sort key through the sortable columns
 ``s NAME`` switch to screen NAME (counters are re-attached)
 ``u UID``  watch only this uid (``u`` alone clears the filter)
+``w N``    clip frames to N columns (``w`` alone resets)
 ``h``      show a help frame
 =========  =====================================================
 
@@ -28,6 +30,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import replace
 
 from repro.core import formatter
+from repro.core.columns import ColumnKind
 from repro.core.options import Options
 from repro.core.sampler import Sampler
 from repro.core.screen import Screen, builtin_screens, get_screen
@@ -35,6 +38,18 @@ from repro.errors import ConfigError, ReproError
 
 #: Idle threshold applied when 'i' hides idle tasks.
 IDLE_HIDE_THRESHOLD = 5.0
+
+#: Column kinds the 'o' command can sort by (numeric per-row values).
+SORTABLE_KINDS = frozenset({
+    ColumnKind.PID,
+    ColumnKind.CPU_PCT,
+    ColumnKind.TIME,
+    ColumnKind.PROCESSOR,
+    ColumnKind.EXPR,
+})
+
+#: Narrowest width 'w' accepts: anything smaller cannot fit a header.
+MIN_WIDTH = 10
 
 
 def help_frame() -> str:
@@ -45,8 +60,10 @@ def help_frame() -> str:
         "  d N      set refresh delay to N seconds",
         "  H        toggle per-thread counting",
         "  i        toggle hiding idle tasks",
+        "  o        cycle the sort column",
         "  s NAME   switch screen",
         "  u [UID]  filter by uid (no argument clears)",
+        "  w [N]    clip frames to N columns (no argument resets)",
         "  h        this help",
         "screens: " + ", ".join(s.name for s in builtin_screens()),
     ]
@@ -88,6 +105,7 @@ class InteractiveSession:
             self._screens[s.name] = s
         self._hide_idle = False
         self._quit = False
+        self._width: int | None = None
         self.frames: list[str] = []
         self._sampler = self._make_sampler()
 
@@ -98,6 +116,17 @@ class InteractiveSession:
         """Rebuild the sampler after a screen/option change."""
         self._sampler.close()
         self._sampler = self._make_sampler()
+
+    def _sort_keys(self) -> list[str]:
+        """Headers of the current screen's sortable columns, in order."""
+        return [
+            c.header for c in self.screen.columns if c.kind in SORTABLE_KINDS
+        ]
+
+    def _clip(self, text: str) -> str:
+        if self._width is None:
+            return text
+        return "\n".join(line[: self._width] for line in text.splitlines())
 
     # -- command handling --------------------------------------------------
     def handle(self, command: str) -> None:
@@ -127,6 +156,19 @@ class InteractiveSession:
             self._reattach()
         elif key == "i":
             self._hide_idle = not self._hide_idle
+        elif key == "o":
+            keys = self._sort_keys()
+            if keys:
+                try:
+                    i = keys.index(self.options.sort_by)
+                except ValueError:
+                    i = -1
+                self.options = replace(
+                    self.options, sort_by=keys[(i + 1) % len(keys)]
+                )
+                # Sorting is read at sample time, so no reattach: just
+                # hand the sampler the new options.
+                self._sampler.options = self.options
         elif key == "s":
             if arg not in self._screens:
                 raise ConfigError(
@@ -143,6 +185,19 @@ class InteractiveSession:
                     raise ConfigError(f"u needs a uid, got {arg!r}") from exc
             self.options = replace(self.options, watch_uid=uid)
             self._reattach()
+        elif key == "w":
+            if not arg:
+                self._width = None
+            else:
+                try:
+                    width = int(arg)
+                except ValueError as exc:
+                    raise ConfigError(f"w needs a width, got {arg!r}") from exc
+                if width < MIN_WIDTH:
+                    raise ConfigError(
+                        f"width must be >= {MIN_WIDTH}, got {width}"
+                    )
+                self._width = width
         elif key == "h":
             self._paint(help_frame())
             self.frames.append(help_frame())
@@ -171,8 +226,10 @@ class InteractiveSession:
             self.host.sleep(self.options.delay)
             snapshot = self._sampler.sample()
             threshold = IDLE_HIDE_THRESHOLD if self._hide_idle else 0.0
-            frame = formatter.render_frame(
-                self.screen, snapshot, idle_threshold=threshold
+            frame = self._clip(
+                formatter.render_frame(
+                    self.screen, snapshot, idle_threshold=threshold
+                )
             )
             self._paint(frame)
             self.frames.append(frame)

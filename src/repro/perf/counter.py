@@ -208,17 +208,27 @@ class CounterGroup:
         Uses the backend's batched ``read_many`` when it offers one (the
         sim backend does), reading the whole group in a single call; the
         per-event delta math is the same either way.
+
+        Both paths are two-phase: every counter is read *before* any
+        delta baseline moves. A read that fails mid-group (EINTR on
+        counter k of n) therefore leaves all n baselines untouched, and a
+        retry of the whole group reproduces exactly what a batched read
+        would have returned — previously the sequential path folded
+        baselines as it went, so counters before the faulting one
+        silently lost their interval on retry.
         """
         if self.counters:
             read_many = getattr(self.counters[0].backend, "read_many", None)
             if read_many is not None:
                 handles = [c._require_handle() for c in self.counters]
                 readings = read_many(handles)
-                return {
-                    c.event.name: c._delta_from(r)
-                    for c, r in zip(self.counters, readings)
-                }
-        return {c.event.name: c.delta() for c in self.counters}
+            else:
+                readings = [c.read() for c in self.counters]
+            return {
+                c.event.name: c._delta_from(r)
+                for c, r in zip(self.counters, readings)
+            }
+        return {}
 
     def enable(self) -> None:
         """Arm every counter."""

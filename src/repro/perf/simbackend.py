@@ -257,3 +257,25 @@ class SimBackend:
     def open_handle_count(self) -> int:
         """Number of live handles (for leak tests)."""
         return len(self._handles)
+
+    def live_handles(self) -> list[dict]:
+        """Kernel-side state of every open handle (conformance hook).
+
+        Fault-free introspection for the invariant oracles: per handle,
+        the target tid and each underlying kernel counter's simulated
+        event plus its current ``reading()`` triple and enable bit. Reads
+        here do not consult the fault plan and move no delta baselines.
+        """
+        out = []
+        for h in self._handles.values():
+            out.append(
+                {
+                    "handle": h.handle_id,
+                    "tid": h.tid,
+                    "counters": tuple(
+                        (kc.event, *kc.reading(), kc.enabled)
+                        for kc in h.kernel_counters
+                    ),
+                }
+            )
+        return out

@@ -563,6 +563,40 @@ class Grid:
             raise SimulationError(f"no node {name!r}")
         return self.engine.snapshot(name)
 
+    def conformance_digest(self) -> dict[str, Any]:
+        """Every cross-engine observable of the whole grid, exactly.
+
+        The engines-agree oracle demands this value be identical across
+        legacy/serial/sharded runs of one scenario: job lifecycles with
+        their exact dispatch/finish floats, every node's full snapshot
+        (clocks, processes, counter tables), and the utilisation map.
+        """
+        return {
+            "now": self.now,
+            "jobs": [
+                {
+                    "job_id": j.job_id,
+                    "name": j.name,
+                    "user": j.user,
+                    "queue": j.queue,
+                    "memory_bytes": j.memory_bytes,
+                    "submitted_at": j.submitted_at,
+                    "node": j.node,
+                    "pid": j.pid,
+                    "state": j.state,
+                    "started_at": j.started_at,
+                    "finished_at": j.finished_at,
+                    "killed": j.killed,
+                }
+                for j in self._jobs
+            ],
+            "nodes": {
+                spec.name: self.engine.snapshot(spec.name)
+                for spec in self.specs
+            },
+            "utilisation": self.utilisation(),
+        }
+
     def jobs(self, state: str | None = None) -> list[Job]:
         """All jobs, optionally filtered by state."""
         if state is None:

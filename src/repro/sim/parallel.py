@@ -180,6 +180,7 @@ def node_snapshot(machine: SimMachine) -> dict[str, Any]:
         "now": machine.now,
         "procs": procs,
         "counters": counters,
+        "open_counters": machine.counters.open_count(),
         "deaths": dict(machine.death_observed),
     }
 

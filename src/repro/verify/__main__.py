@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.verify``."""
+
+import sys
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,325 @@
+"""Execute one :class:`~repro.verify.scenario.Scenario` every way that
+the oracles compare.
+
+A **tool** scenario runs the sampler against one simulated node four
+times, each run rebuilding machine, backend and fault plan from the
+scenario alone (no state crosses runs):
+
+* ``base``   — scalar clock advance (``run_for``), batched counter reads.
+* ``ticks``  — batched advance (``run_ticks``); must be bitwise equal.
+* ``sequential`` — per-handle reads (the backend's ``read_many`` is
+  hidden); must agree with the batched read path.
+* ``replay`` — a second base run; must be byte-identical (determinism).
+
+A **grid** scenario runs the dispatcher once per engine in
+``scenario.engines`` plus one replay of the first engine, capturing
+:meth:`~repro.sim.grid.Grid.conformance_digest` from each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.columns import HEALTH_COLUMN, ColumnKind
+from repro.core.frame import SnapshotFrame
+from repro.core.options import Options
+from repro.core.recorder import Recorder
+from repro.core.sampler import Sampler
+from repro.core.screen import Screen, get_screen
+from repro.perf.faults import FaultPlan, FaultSpec, default_specs
+from repro.perf.simbackend import SimBackend
+from repro.procfs.simproc import SimProcReader
+from repro.sim.arch import get_arch
+from repro.sim.grid import Grid, NodeSpec, QueueSpec
+from repro.sim.machine import SimMachine
+from repro.sim.parallel import node_snapshot
+from repro.sim.workloads.synthetic import SyntheticSpec, build
+from repro.verify.scenario import GiB, JobPlan, Scenario, TaskPlan
+
+
+class _SequentialBackend:
+    """Backend proxy hiding ``read_many``: forces the per-handle path."""
+
+    def __init__(self, inner: SimBackend) -> None:
+        self._inner = inner
+
+    def __getattr__(self, name: str) -> Any:
+        if name == "read_many":
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+
+@dataclass
+class ToolRun:
+    """Everything one tool run exposes to the oracles."""
+
+    csv: str
+    frames: list[SnapshotFrame]
+    health: list[dict[int, str]]
+    snapshot: dict[str, Any]
+    kernel: list[dict]
+    n_events: int
+    pmu_width: int
+    n_pus: int
+    total_threads: int
+    opened_total: int
+    closed_total: int
+    leaked_handles: int
+    leaked_counters: int
+    read_retries: int
+    read_skips: int
+
+    @property
+    def multiplexed(self) -> bool:
+        """Whether the PMU was too narrow for the screen's event set."""
+        return self.n_events > self.pmu_width
+
+
+@dataclass
+class Execution:
+    """One scenario, executed every way the oracles compare."""
+
+    scenario: Scenario
+    base: ToolRun | None = None
+    ticks: ToolRun | None = None
+    sequential: ToolRun | None = None
+    replay: ToolRun | None = None
+    grid: dict[str, dict[str, Any]] = field(default_factory=dict)
+    grid_replay: dict[str, Any] | None = None
+
+
+# -- tool runs ----------------------------------------------------------------
+
+def _build_machine(scenario: Scenario) -> SimMachine:
+    arch = get_arch(scenario.arch)
+    if scenario.pmu_width is not None:
+        arch = replace(arch, pmu_width=scenario.pmu_width)
+    return SimMachine(
+        arch,
+        sockets=scenario.sockets,
+        cores_per_socket=scenario.cores_per_socket,
+        tick=scenario.tick,
+        seed=scenario.seed,
+    )
+
+
+def _workload(plan: TaskPlan | JobPlan, arch, seed: int):
+    spec = SyntheticSpec(
+        name=plan.name,
+        archetype=plan.archetype,
+        target_ipc=plan.target_ipc,
+        duration=plan.duration,
+        duty_cycle=getattr(plan, "duty_cycle", 1.0),
+        nthreads=getattr(plan, "nthreads", 1),
+    )
+    return build(spec, arch, seed=seed)
+
+
+def _plan_spawns(scenario: Scenario, machine: SimMachine) -> dict[str, int]:
+    """Spawn/arm every task; return the predicted pid of each task.
+
+    Pids are deterministic: the machine hands them out in spawn order and
+    each spawn consumes ``nthreads`` ids, so kill timers for tasks that
+    spawn later can be armed up front against the predicted pid — exactly
+    like a churn script that knows its own arrival order.
+    """
+    base_arch = get_arch(scenario.arch)
+    immediate = [t for t in scenario.tasks if t.spawn_at <= 0.0]
+    deferred = sorted(
+        (t for t in scenario.tasks if t.spawn_at > 0.0),
+        key=lambda t: (t.spawn_at, scenario.tasks.index(t)),
+    )
+    pids: dict[str, int] = {}
+    next_pid = 1000
+    for task in immediate + deferred:
+        pids[task.name] = next_pid
+        next_pid += task.nthreads
+    for task in immediate:
+        machine.spawn(
+            task.name,
+            _workload(task, base_arch, scenario.seed),
+            user=task.name,
+            uid=task.uid,
+            nthreads=task.nthreads,
+            duty_cycle=task.duty_cycle,
+        )
+    for task in deferred:
+        machine.spawn_at(
+            task.spawn_at,
+            task.name,
+            _workload(task, base_arch, scenario.seed),
+            user=task.name,
+            uid=task.uid,
+            nthreads=task.nthreads,
+            duty_cycle=task.duty_cycle,
+        )
+    for task in scenario.tasks:
+        if task.kill_at is not None:
+            machine.kill_at(task.kill_at, pids[task.name])
+    return pids
+
+
+def _fault_plan(scenario: Scenario) -> FaultPlan | None:
+    specs: tuple[FaultSpec, ...] = ()
+    if scenario.chaos_seed is not None:
+        specs = default_specs(scenario.chaos_intensity)
+    specs += tuple(
+        FaultSpec(
+            op=f.op,
+            error=f.error,
+            rate=f.rate,
+            at_calls=frozenset(f.at_calls) if f.at_calls is not None else None,
+        )
+        for f in scenario.faults
+    )
+    if not specs:
+        return None
+    seed = scenario.chaos_seed if scenario.chaos_seed is not None else scenario.seed
+    return FaultPlan(seed, specs)
+
+
+def _screen_for(scenario: Scenario, chaotic: bool) -> Screen:
+    screen = get_screen(scenario.screen)
+    if chaotic and not any(
+        c.kind is ColumnKind.HEALTH for c in screen.columns
+    ):
+        screen = screen.with_columns(HEALTH_COLUMN)
+    return screen
+
+
+def run_tool(
+    scenario: Scenario,
+    *,
+    advance: str = "scalar",
+    sequential: bool = False,
+) -> ToolRun:
+    """One full sampling run of a tool scenario (see module docstring).
+
+    Args:
+        advance: "scalar" steps the clock with ``run_for``; "ticks" uses
+            the batched ``run_ticks`` path (the scenario guarantees the
+            delay is a whole number of ticks).
+        sequential: hide the backend's ``read_many`` so every counter is
+            read through the per-handle path.
+    """
+    machine = _build_machine(scenario)
+    _plan_spawns(scenario, machine)
+    plan = _fault_plan(scenario)
+    backend = SimBackend(machine, scenario.monitor_uid, faults=plan)
+    reader = SimProcReader(machine)
+    screen = _screen_for(scenario, plan is not None)
+    options = Options(
+        delay=scenario.delay,
+        iterations=scenario.iterations,
+        per_thread=scenario.per_thread,
+    )
+    sampler = Sampler(
+        _SequentialBackend(backend) if sequential else backend,
+        reader,
+        screen,
+        options,
+    )
+    recorder = Recorder()
+    frames: list[SnapshotFrame] = []
+    health: list[dict[int, str]] = []
+    ticks_per_delay = round(scenario.delay / scenario.tick)
+    sampler.sample_frame()  # baseline: attach, zero-length interval
+    for _ in range(scenario.iterations):
+        if advance == "ticks":
+            machine.run_ticks(ticks_per_delay)
+        else:
+            machine.run_for(scenario.delay)
+        frame = sampler.sample_frame()
+        frames.append(frame)
+        recorder.record_frame(frame)
+        labels = frame.labels.get(HEALTH_COLUMN.header, ())
+        health.append(dict(zip(frame.tids.tolist(), labels)))
+    kernel = backend.live_handles()
+    snapshot = node_snapshot(machine)
+    sampler.close()
+    return ToolRun(
+        csv=recorder.to_csv(),
+        frames=frames,
+        health=health,
+        snapshot=snapshot,
+        kernel=kernel,
+        n_events=len(screen.required_events()),
+        pmu_width=machine.arch.pmu_width,
+        n_pus=len(machine.topology.pus),
+        total_threads=sum(t.nthreads for t in scenario.tasks),
+        opened_total=backend.opened_total,
+        closed_total=backend.closed_total,
+        leaked_handles=backend.open_handle_count(),
+        leaked_counters=machine.counters.open_count(),
+        read_retries=sampler.read_retries,
+        read_skips=sampler.read_skips,
+    )
+
+
+# -- grid runs ----------------------------------------------------------------
+
+def run_grid(scenario: Scenario, engine: str) -> dict[str, Any]:
+    """Drive one grid scenario through ``engine``; return its digest."""
+    arch = get_arch(scenario.arch)
+    specs = [
+        NodeSpec(
+            name=f"n{i:02d}",
+            arch=arch,
+            sockets=scenario.sockets,
+            cores_per_socket=scenario.cores_per_socket,
+            memory_bytes=16 * GiB,
+        )
+        for i in range(scenario.n_nodes)
+    ]
+    queues = [
+        QueueSpec(
+            name=q.name,
+            max_wallclock=q.max_wallclock,
+            memory_limit=q.memory_limit,
+            priority=q.priority,
+        )
+        for q in scenario.queues
+    ]
+    ordered = sorted(
+        scenario.jobs, key=lambda j: (j.submit_at, scenario.jobs.index(j))
+    )
+    with Grid(
+        specs,
+        queues,
+        tick=scenario.tick,
+        seed=scenario.seed,
+        workers=scenario.workers,
+        engine=engine,
+    ) as grid:
+        for job in ordered:
+            if job.submit_at > grid.now + 1e-12:
+                grid.run_for(job.submit_at - grid.now)
+            grid.submit(
+                job.name,
+                _workload(job, arch, scenario.seed),
+                user="verify",
+                queue=job.queue,
+                memory_bytes=job.memory_bytes,
+            )
+        if scenario.span > grid.now + 1e-12:
+            grid.run_for(scenario.span - grid.now)
+        return grid.conformance_digest()
+
+
+# -- the full execution -------------------------------------------------------
+
+def execute(scenario: Scenario) -> Execution:
+    """Run ``scenario`` through every implementation pair the oracles
+    compare (four tool runs, or one grid run per engine plus a replay)."""
+    ex = Execution(scenario=scenario)
+    if scenario.kind == "tool":
+        ex.base = run_tool(scenario)
+        ex.ticks = run_tool(scenario, advance="ticks")
+        ex.sequential = run_tool(scenario, sequential=True)
+        ex.replay = run_tool(scenario)
+    else:
+        for engine in scenario.engines:
+            ex.grid[engine] = run_grid(scenario, engine)
+        ex.grid_replay = run_grid(scenario, scenario.engines[0])
+    return ex

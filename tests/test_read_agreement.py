@@ -1,0 +1,109 @@
+"""Batched vs per-handle counter reads must agree under faults.
+
+Regression for a real divergence: the per-handle fallback in
+``CounterGroup.read_deltas`` used to fold each counter's delta baseline
+as it read. An EINTR injected mid-group (counter k of n) then left the
+first k-1 baselines already advanced, so the sampler's retry re-read
+identical values and silently reported zero deltas for those counters —
+while the batched ``read_many`` path (which reads everything before any
+baseline moves) reported the full interval. Both paths are two-phase
+now; the conformance harness's read-agreement oracle locks the contract.
+"""
+
+import pytest
+
+from repro.errors import PerfInterruptedError
+from repro.perf.counter import CounterGroup
+from repro.perf.events import resolve_event
+from repro.perf.faults import FaultPlan, FaultSpec
+from repro.perf.simbackend import SimBackend
+from repro.verify.runner import _SequentialBackend, run_tool
+from repro.verify.scenario import FaultClause, Scenario, TaskPlan
+
+EVENTS = ("cycles", "instructions", "cache-misses")
+
+
+def _machine_with_task(coarse_machine, endless_workload):
+    proc = coarse_machine.spawn("busy", endless_workload)
+    return coarse_machine, proc.pid
+
+
+def _group(backend, tid):
+    return CounterGroup(backend, [resolve_event(n) for n in EVENTS], tid)
+
+
+def _eintr_plan():
+    """EINTR on the 5th read: the middle counter of the second batch
+    (the baseline consumed reads 1-3). Plans hold per-op call indices,
+    so every run under comparison needs its own fresh instance."""
+    return FaultPlan(1, (FaultSpec("read", "eintr", at_calls=frozenset({5})),))
+
+
+class TestCounterGroupAgreement:
+    def _deltas_after_fault(self, machine, endless_workload, *, sequential):
+        machine, pid = _machine_with_task(machine, endless_workload)
+        backend = SimBackend(machine, 0, faults=_eintr_plan())
+        if sequential:
+            backend = _SequentialBackend(backend)
+        with _group(backend, pid) as group:
+            group.read_deltas()  # baseline: reads 1-3
+            machine.run_for(2.0)
+            with pytest.raises(PerfInterruptedError):
+                group.read_deltas()  # reads 4-5: aborts mid-group
+            return group.read_deltas()  # the retry: reads 6-8
+
+    def test_sequential_retry_keeps_full_interval(
+        self, coarse_machine, endless_workload
+    ):
+        deltas = self._deltas_after_fault(
+            coarse_machine, endless_workload, sequential=True
+        )
+        # The old lazy fallback returned 0.0 here for the counter read
+        # before the fault (its baseline had already moved).
+        assert all(deltas[name] > 0 for name in ("cycles", "instructions"))
+
+    def test_paths_agree_exactly(self, endless_workload):
+        from repro.sim import NEHALEM, SimMachine
+
+        results = []
+        for sequential in (False, True):
+            machine = SimMachine(
+                NEHALEM, sockets=1, cores_per_socket=4, tick=0.5, seed=11
+            )
+            results.append(
+                self._deltas_after_fault(
+                    machine, endless_workload, sequential=sequential
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestScenarioLevelAgreement:
+    @pytest.fixture
+    def scenario(self):
+        return Scenario(
+            kind="tool",
+            seed=9,
+            tick=0.25,
+            delay=1.0,
+            iterations=3,
+            tasks=(
+                TaskPlan(
+                    name="busy", archetype="compute", target_ipc=1.8,
+                    duration=float("inf"),
+                ),
+            ),
+            faults=(FaultClause(op="read", error="eintr", at_calls=(5,)),),
+        )
+
+    def test_fault_actually_fires(self, scenario):
+        run = run_tool(scenario)
+        assert run.read_retries > 0
+
+    def test_oracle_is_green(self, scenario):
+        from repro.verify import check_scenario
+
+        violations = check_scenario(scenario)
+        assert violations == [], "\n".join(
+            f"[{v.oracle}] {v.message}" for v in violations
+        )
