@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "N worker processes (1 = in-process serial "
                              "engine; results are identical at any N; "
                              "requires --sim)")
+    parser.add_argument("--grid-chaos", type=int, default=None, metavar="SEED",
+                        help="inject a seeded schedule of grid-worker faults "
+                             "(crashes, hangs, garbled replies) under the "
+                             "supervised engine; the same seed replays the "
+                             "same failures and recoveries byte-for-byte "
+                             "(requires --sim and --grid-workers)")
     parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
                         help="inject a seeded schedule of kernel faults "
                              "(ESRCH/EMFILE/EINTR/EAGAIN, corrupt reads, "
@@ -78,11 +84,20 @@ def _run_grid(options: Options) -> int:
     from repro.sim.grid import Grid
 
     span = options.delay * (options.iterations or 10)
+    supervision = None
+    if options.grid_chaos is not None:
+        from repro.sim.supervisor import Supervision
+
+        # Chaos runs recover many times; a tight deadline and no backoff
+        # sleep keep the run fast while staying byte-identical.
+        supervision = Supervision(deadline=2.0, backoff_base=0.0)
     with Grid(
         tick=1.0,
         seed=1,
         workers=options.grid_workers,
         profile=options.profile,
+        grid_chaos=options.grid_chaos,
+        supervision=supervision,
     ) as grid:
         jobs = datacenter.populate_grid(grid)
         grid.run_for(span)
@@ -104,6 +119,20 @@ def _run_grid(options: Options) -> int:
         print("utilisation:")
         for node, load in sorted(grid.utilisation().items()):
             print(f"  {node:10s} {load:6.1%}")
+        if options.grid_chaos is not None:
+            stats = grid.stats
+            print(
+                f"supervisor: failures={stats['worker_failures']} "
+                f"restarts={stats['restarts']} "
+                f"replayed={stats['replayed_epochs']} "
+                f"adopted={stats['adopted_shards']} "
+                f"degraded={'yes' if stats['degraded'] else 'no'}"
+            )
+            for event in grid.supervisor_events:
+                fields = " ".join(
+                    f"{k}={event[k]}" for k in sorted(event) if k != "event"
+                )
+                print(f"  {event['event']:8s} {fields}")
         if options.profile:
             stats = grid.stats
             print(
@@ -142,6 +171,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.grid_chaos is not None and (
+        not args.sim or args.grid_workers is None
+    ):
+        print(
+            "tiptop: --grid-chaos injects worker faults into the "
+            "simulated grid and requires --sim and --grid-workers",
+            file=sys.stderr,
+        )
+        return 2
     try:
         options = Options(
             delay=args.delay,
@@ -154,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
             profile=args.profile,
             chaos=args.chaos,
             grid_workers=args.grid_workers or 1,
+            grid_chaos=args.grid_chaos,
         )
         if args.grid_workers is not None:
             return _run_grid(options)

@@ -50,6 +50,12 @@ class Options:
             persistent worker processes (``--grid-workers``; 1 = the
             in-process serial engine). Only meaningful with ``--sim``
             grid runs — results are identical at any worker count.
+        grid_chaos: worker-fault injection seed (``--grid-chaos SEED``).
+            None disables injection; any int seeds a replayable
+            :class:`~repro.sim.supervisor.GridFaultPlan` (worker
+            crashes, hangs, garbled replies) executed under the
+            supervised grid engine — the same seed replays the same
+            failures and recoveries byte-identically.
     """
 
     delay: float = 2.0
@@ -68,6 +74,7 @@ class Options:
     retry_limit: int = 2
     retry_backoff: float = 0.0
     grid_workers: int = 1
+    grid_chaos: int | None = None
 
     def __post_init__(self) -> None:
         if self.delay <= 0:

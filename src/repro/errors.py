@@ -103,3 +103,33 @@ class SimulationError(ReproError):
 
 class WorkloadError(SimulationError):
     """Invalid workload or phase description."""
+
+
+class WorkerFailure(SimulationError):
+    """A grid worker process failed its round-trip contract.
+
+    Raised by the sharded engines when a worker crashes (pipe closed,
+    process exited), misses its epoch deadline (hang), or replies with a
+    message that does not parse as an epoch report (garbled). The
+    supervised engine catches this internally and recovers; the
+    unsupervised :class:`~repro.sim.parallel.ShardedEngine` lets it
+    propagate instead of leaking a raw ``EOFError``/``BrokenPipeError``.
+
+    Attributes:
+        worker: index of the failing worker.
+        kind: one of ``"crash"``, ``"hang"``, ``"garbled"``.
+        exitcode: the worker's exit code, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int,
+        kind: str,
+        exitcode: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.kind = kind
+        self.exitcode = exitcode

@@ -36,7 +36,7 @@ import sys
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel, WESTMERE_E5640
@@ -44,6 +44,9 @@ from repro.sim.machine import SimMachine
 from repro.sim.parallel import SpawnCmd, create_engine, workload_exit_lb
 from repro.sim.process import SimProcess
 from repro.sim.workload import Workload
+
+if TYPE_CHECKING:
+    from repro.sim.supervisor import GridFaultPlan, Supervision
 
 
 @dataclass(frozen=True)
@@ -175,12 +178,22 @@ class Grid:
         seed: base seed (each node gets seed+index).
         workers: 1 (default) runs every node in-process through the
             epoch-batched serial engine; N > 1 shards the fleet over N
-            persistent worker processes.
-        engine: explicit engine override ("legacy", "serial", "sharded");
-            None derives it from ``workers``. "legacy" is the pre-epoch
+            persistent worker processes under supervision.
+        engine: explicit engine override ("legacy", "serial", "sharded",
+            "supervised"); None derives it from ``workers`` — "serial"
+            for 1, "supervised" otherwise (worker processes are only
+            trusted behind the supervision tree; "sharded" remains as
+            the unsupervised baseline). "legacy" is the pre-epoch
             per-tick loop, kept as the reference and benchmark baseline.
         profile: print per-epoch engine timings, message counts and
-            RateCache statistics to stderr.
+            RateCache statistics to stderr (plus restart/replay/degrade
+            counters under the supervised engine).
+        grid_chaos: seeded worker-fault injection — an int seed (stock
+            fault mix) or a prebuilt
+            :class:`~repro.sim.supervisor.GridFaultPlan`. Requires (and
+            defaults the engine to) "supervised".
+        supervision: :class:`~repro.sim.supervisor.Supervision` policy
+            override for the supervised engine.
     """
 
     def __init__(
@@ -193,6 +206,8 @@ class Grid:
         workers: int = 1,
         engine: str | None = None,
         profile: bool = False,
+        grid_chaos: "int | GridFaultPlan | None" = None,
+        supervision: "Supervision | None" = None,
     ) -> None:
         self.queues = {
             q.name: q for q in (sge_queues() if queues is None else queues)
@@ -208,9 +223,20 @@ class Grid:
         self._spec_by_name = {spec.name: spec for spec in specs}
         if len(self._spec_by_name) != len(specs):
             raise SimulationError("node names must be unique")
+        chaos = grid_chaos
+        if isinstance(chaos, int):
+            from repro.sim.supervisor import GridFaultPlan
+
+            chaos = GridFaultPlan.from_seed(chaos)
         if engine is None:
-            engine = "serial" if workers == 1 else "sharded"
-        self.engine = create_engine(engine, specs, tick, seed, workers)
+            supervised = (
+                workers > 1 or chaos is not None or supervision is not None
+            )
+            engine = "supervised" if supervised else "serial"
+        self.engine = create_engine(
+            engine, specs, tick, seed, workers,
+            chaos=chaos, supervision=supervision,
+        )
         self._legacy = self.engine.name == "legacy"
         self._pending: dict[str, deque[Job]] = {
             name: deque() for name in self.queues
@@ -238,6 +264,14 @@ class Grid:
             "rate_cache_hits": 0,
             "rate_cache_misses": 0,
         }
+        if self.engine.name == "supervised":
+            self.stats.update(
+                restarts=0,
+                replayed_epochs=0,
+                adopted_shards=0,
+                worker_failures=0,
+                degraded=False,
+            )
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -514,13 +548,29 @@ class Grid:
         self.stats["shard_wall"] += sum(shard_walls)
         self.stats["rate_cache_hits"] = hits
         self.stats["rate_cache_misses"] = misses
+        supervised = self.engine.name == "supervised"
+        if supervised:
+            sup = self.engine.stats
+            self.stats["restarts"] = sup["restarts"]
+            self.stats["replayed_epochs"] = sup["replayed_epochs"]
+            self.stats["adopted_shards"] = sup["adopted_shards"]
+            self.stats["worker_failures"] = sum(sup["failures"].values())
+            self.stats["degraded"] = sup["degraded"]
         if self.profile:
             walls = ",".join(f"{w * 1000:.2f}" for w in shard_walls)
+            extra = ""
+            if supervised:
+                extra = (
+                    f" restarts={self.stats['restarts']}"
+                    f" replayed={self.stats['replayed_epochs']}"
+                    f" adopted={self.stats['adopted_shards']}"
+                    f" degraded={int(self.stats['degraded'])}"
+                )
             print(
                 f"grid-profile: epoch={self.stats['epochs']}"
                 f" ticks={n_ticks} frac={frac:g} spawns={len(commands)}"
                 f" deaths={len(deaths)} wall_ms=[{walls}] msgs={msgs}"
-                f" rate_cache={hits}/{misses}",
+                f" rate_cache={hits}/{misses}" + extra,
                 file=sys.stderr,
             )
 
@@ -596,6 +646,13 @@ class Grid:
             },
             "utilisation": self.utilisation(),
         }
+
+    @property
+    def supervisor_events(self) -> list[dict[str, Any]]:
+        """The supervised engine's deterministic recovery log (empty for
+        the other engines): failures observed, restarts with replay
+        depth, adoptions, and the degrade transition, in order."""
+        return list(getattr(self.engine, "events", []))
 
     def jobs(self, state: str | None = None) -> list[Job]:
         """All jobs, optionally filtered by state."""

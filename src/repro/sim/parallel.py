@@ -54,16 +54,17 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerFailure
 from repro.sim.core import RateCache, solo_rates
 from repro.sim.machine import SimMachine
 
 if TYPE_CHECKING:
     from repro.sim.grid import Grid, NodeSpec
     from repro.sim.process import SimProcess
+    from repro.sim.supervisor import GridFaultPlan, Supervision
     from repro.sim.workload import Workload
 
-ENGINE_NAMES = ("legacy", "serial", "sharded")
+ENGINE_NAMES = ("legacy", "serial", "sharded", "supervised")
 
 
 @dataclass(frozen=True)
@@ -396,6 +397,10 @@ class ShardedEngine:
 
     name = "sharded"
 
+    #: Seconds a worker may take to answer one round-trip (epoch advance,
+    #: snapshot, or the ready handshake) before it is declared hung.
+    deadline = 60.0
+
     def __init__(
         self,
         specs: list["NodeSpec"],
@@ -428,14 +433,69 @@ class ShardedEngine:
             child.close()
             self._conns.append(parent)
             self._procs.append(proc)
-        for conn in self._conns:
-            self._recv(conn)  # ready handshake: shard machines are built
+        for w, conn in enumerate(self._conns):
+            self._recv(w, conn)  # ready handshake: shard machines are built
 
-    def _recv(self, conn) -> Any:
-        tag, payload = conn.recv()
+    def _recv(self, worker: int, conn) -> Any:
+        """One guarded round-trip reply: deadline, liveness, shape.
+
+        A dead pipe or a worker that stopped answering surfaces as a typed
+        :class:`~repro.errors.WorkerFailure` (never a raw ``EOFError`` or
+        an unbounded block). This engine does not recover — that is the
+        supervised engine's job — but it fails loudly and precisely.
+        """
+        proc = self._procs[worker]
+        remaining = self.deadline
+        while not conn.poll(min(0.05, remaining)):
+            remaining -= 0.05
+            if not proc.is_alive():
+                # Drain anything the worker flushed before dying.
+                if conn.poll(0):
+                    break
+                raise WorkerFailure(
+                    f"grid worker {worker} died (exitcode {proc.exitcode})",
+                    worker=worker,
+                    kind="crash",
+                    exitcode=proc.exitcode,
+                )
+            if remaining <= 0:
+                raise WorkerFailure(
+                    f"grid worker {worker} missed its {self.deadline}s deadline",
+                    worker=worker,
+                    kind="hang",
+                )
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerFailure(
+                f"grid worker {worker} closed its pipe mid-reply",
+                worker=worker,
+                kind="crash",
+                exitcode=proc.exitcode,
+            ) from exc
+        if not (isinstance(msg, tuple) and len(msg) == 2):
+            raise WorkerFailure(
+                f"grid worker {worker} sent a malformed reply: {msg!r}",
+                worker=worker,
+                kind="garbled",
+            )
+        tag, payload = msg
         if tag != "ok":
             raise SimulationError(f"grid worker failed: {payload}")
         return payload
+
+    def _send(self, worker: int, msg: tuple) -> None:
+        try:
+            self._conns[worker].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            proc = self._procs[worker]
+            raise WorkerFailure(
+                f"grid worker {worker} is gone (exitcode {proc.exitcode})",
+                worker=worker,
+                kind="crash",
+                exitcode=proc.exitcode,
+            ) from exc
+        self.messages += 1
 
     def advance(
         self, commands: list[SpawnCmd], n_ticks: int, frac: float
@@ -445,34 +505,39 @@ class ShardedEngine:
             by_worker.setdefault(self._node_worker[cmd.node], []).append(cmd)
         # Send to every worker first so shards advance concurrently, then
         # collect: one round-trip per worker per epoch.
-        for w, conn in enumerate(self._conns):
-            conn.send(("advance", by_worker.get(w, []), n_ticks, frac))
-            self.messages += 1
-        return [self._recv(conn) for conn in self._conns]
+        for w in range(len(self._conns)):
+            self._send(w, ("advance", by_worker.get(w, []), n_ticks, frac))
+        return [self._recv(w, conn) for w, conn in enumerate(self._conns)]
 
     def process_of(self, job_id: int) -> "SimProcess | None":
         return None
 
     def snapshot(self, node: str) -> dict[str, Any]:
         try:
-            conn = self._conns[self._node_worker[node]]
+            worker = self._node_worker[node]
         except KeyError as exc:
             raise SimulationError(f"no node {node!r}") from exc
-        conn.send(("snapshot", node))
-        self.messages += 1
-        return self._recv(conn)
+        self._send(worker, ("snapshot", node))
+        return self._recv(worker, self._conns[worker])
 
     def close(self) -> None:
         for conn in self._conns:
             try:
                 conn.send(("close",))
-                conn.close()
             except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
                 pass
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join()
         self._conns = []
         self._procs = []
 
@@ -483,14 +548,31 @@ def create_engine(
     tick: float,
     seed: int,
     workers: int,
+    *,
+    chaos: "GridFaultPlan | None" = None,
+    supervision: "Supervision | None" = None,
 ):
     """Engine factory used by :class:`~repro.sim.grid.Grid`."""
+    if chaos is not None and engine != "supervised":
+        raise SimulationError(
+            f"grid chaos requires the supervised engine, not {engine!r}"
+        )
+    if supervision is not None and engine != "supervised":
+        raise SimulationError(
+            f"supervision config requires the supervised engine, not {engine!r}"
+        )
     if engine == "legacy":
         return LegacyTickEngine(specs, tick, seed)
     if engine == "serial":
         return SerialEpochEngine(specs, tick, seed)
     if engine == "sharded":
         return ShardedEngine(specs, tick, seed, workers)
+    if engine == "supervised":
+        from repro.sim.supervisor import SupervisedShardedEngine
+
+        return SupervisedShardedEngine(
+            specs, tick, seed, workers, chaos=chaos, config=supervision
+        )
     raise SimulationError(
         f"unknown grid engine {engine!r} (have: {', '.join(ENGINE_NAMES)})"
     )

@@ -1,0 +1,691 @@
+"""Supervision for the sharded grid engine: deadlines, restarts, replay.
+
+The :class:`~repro.sim.parallel.ShardedEngine` trusts its workers
+completely — a hung worker blocks ``advance`` forever and a crashed one
+aborts the run. This module wraps the same worker protocol in a
+supervision tree so that coarse monitoring infrastructure *degrades,
+never deadlocks* (the paper's operational premise, applied to the grid
+layer the ROADMAP's heavy-traffic north-star rides on):
+
+1. **Detect** — every worker round-trip gets an epoch deadline
+   (poll-with-timeout recv) and a liveness check (exitcode / pipe
+   state). Crashes, hangs and garbled replies surface as a typed
+   :class:`~repro.errors.WorkerFailure` instead of raw pipe errors.
+2. **Restart + replay** — the supervisor journals each epoch's
+   ``(commands, n_ticks, frac)`` per shard. A dead worker is restarted
+   with bounded exponential backoff and its shard resurrected
+   deterministically: rebuilt from ``spec + seed`` and the journal
+   replayed. Machine evolution is a pure function of spec, seed, tick
+   and the timed command sequence, so resurrection is bitwise-equivalent
+   to a never-crashed run (asserted via ``Grid.conformance_digest``).
+3. **Adopt** — a shard that keeps killing its worker on the *same*
+   epoch (a poison epoch) is adopted by an in-process
+   :class:`~repro.sim.parallel.Shard` owned by the supervisor; the run
+   continues with serial semantics for that shard only.
+4. **Degrade** — when the global restart budget is exhausted the whole
+   engine degrades to serial semantics (every shard adopted) instead of
+   failing the run.
+
+Chaos. :class:`GridFaultPlan` mirrors PR 2's ``repro.perf.faults``: a
+seeded, stateless, picklable plan executed *inside* the worker loop.
+``decide(worker, epoch, incarnation)`` hashes its arguments (crc32, like
+``FaultPlan``) so the schedule is a pure function of the seed —
+``--grid-chaos SEED`` replays byte-identically. Rate faults draw a fresh
+variate per incarnation, so a restarted worker normally survives the
+retry (transient faults); ``at_epochs`` faults marked ``persistent``
+refire on every incarnation, which is exactly the poison-epoch path.
+
+Determinism of the event log. Supervisor events carry only values that
+are pure functions of (scenario, seed, chaos plan): worker index, epoch
+number, failure kind, incarnation, replayed-epoch counts, configured
+backoff. Wall-clock times and OS exit codes are kept out so two runs of
+the same chaos seed produce identical logs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError, SimulationError, WorkerFailure
+from repro.sim.parallel import Shard, SpawnCmd
+
+if TYPE_CHECKING:
+    from repro.sim.grid import NodeSpec
+
+#: Fault kinds a worker can be ordered to exhibit.
+GRID_FAULT_KINDS = ("crash", "hang", "garble")
+
+#: Exit code of a chaos-crashed worker (deterministic, unlike a signal).
+CRASH_EXIT = 17
+
+
+@dataclass(frozen=True)
+class GridFaultSpec:
+    """One chaos behaviour for grid workers.
+
+    Attributes:
+        kind: ``"crash"`` (worker exits before advancing), ``"hang"``
+            (worker ignores SIGTERM and stops replying), or ``"garble"``
+            (worker replies with a malformed report without advancing).
+            Every kind fires *before* the shard advances, so a faulted
+            epoch is never half-applied and journal replay is exact.
+        rate: probability per (worker, epoch, incarnation) draw.
+        at_epochs: exact epoch indices to fire at (overrides ``rate``).
+        worker: restrict to one worker index (None = all workers).
+        persistent: ``at_epochs`` faults refire on every incarnation
+            (the poison-epoch path); rate faults always redraw.
+    """
+
+    kind: str
+    rate: float = 0.0
+    at_epochs: frozenset[int] | None = None
+    worker: int | None = None
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRID_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown grid fault kind {self.kind!r} "
+                f"(have: {', '.join(GRID_FAULT_KINDS)})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.at_epochs is not None:
+            object.__setattr__(self, "at_epochs", frozenset(self.at_epochs))
+            if any(e < 0 for e in self.at_epochs):
+                raise ConfigError("at_epochs indices must be >= 0")
+        if self.worker is not None and self.worker < 0:
+            raise ConfigError("worker index must be >= 0")
+
+
+def default_grid_specs(intensity: float = 1.0) -> tuple[GridFaultSpec, ...]:
+    """The stock chaos mix: mostly crashes, some garbled replies, rare
+    hangs (hangs cost a full deadline each, so they stay cheapest)."""
+    if intensity < 0:
+        raise ConfigError(f"chaos intensity must be >= 0, got {intensity}")
+    cap = 1.0 / len(GRID_FAULT_KINDS)
+    return (
+        GridFaultSpec("crash", rate=min(0.05 * intensity, cap)),
+        GridFaultSpec("hang", rate=min(0.02 * intensity, cap)),
+        GridFaultSpec("garble", rate=min(0.03 * intensity, cap)),
+    )
+
+
+@dataclass(frozen=True)
+class GridFaultPlan:
+    """A seeded, stateless schedule of worker faults.
+
+    Like :class:`repro.perf.faults.FaultPlan`, decisions hash
+    ``(seed, worker, epoch, incarnation)`` through crc32 into a uniform
+    variate, so the schedule is platform-stable, picklable into workers,
+    and independent per worker — faults on one shard never shift
+    another's schedule.
+    """
+
+    seed: int
+    specs: tuple[GridFaultSpec, ...]
+
+    @classmethod
+    def from_seed(cls, seed: int, intensity: float = 1.0) -> "GridFaultPlan":
+        return cls(seed=seed, specs=default_grid_specs(intensity))
+
+    def _unit(self, worker: int, epoch: int, incarnation: int) -> float:
+        key = f"{self.seed}:{worker}:{epoch}:{incarnation}"
+        return zlib.crc32(key.encode()) / 2**32
+
+    def decide(self, worker: int, epoch: int, incarnation: int) -> str | None:
+        """The fault (if any) this worker exhibits on this epoch advance.
+
+        ``incarnation`` counts restarts of the worker: exact-epoch faults
+        fire on the first incarnation only unless ``persistent``; rate
+        faults draw fresh per incarnation so retries normally succeed.
+        """
+        for spec in self.specs:
+            if spec.at_epochs is None:
+                continue
+            if spec.worker is not None and spec.worker != worker:
+                continue
+            if epoch in spec.at_epochs and (spec.persistent or incarnation == 0):
+                return spec.kind
+        u = self._unit(worker, epoch, incarnation)
+        edge = 0.0
+        for spec in self.specs:
+            if spec.at_epochs is not None:
+                continue
+            if spec.worker is not None and spec.worker != worker:
+                continue
+            edge += spec.rate
+            if u < edge:
+                return spec.kind
+        return None
+
+
+@dataclass(frozen=True)
+class Supervision:
+    """Supervisor policy knobs.
+
+    Attributes:
+        deadline: seconds a worker may take to answer one round-trip
+            before it is declared hung.
+        restart_budget: total restarts across all workers before the
+            engine degrades to serial semantics.
+        poison_limit: consecutive failures on one epoch before the shard
+            is adopted in-process instead of restarted again.
+        backoff_base: first restart's backoff sleep; doubles per
+            consecutive failure on the same epoch.
+        backoff_cap: upper bound on any single backoff sleep.
+    """
+
+    deadline: float = 30.0
+    restart_budget: int = 8
+    poison_limit: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ConfigError(f"deadline must be > 0, got {self.deadline}")
+        if self.restart_budget < 0:
+            raise ConfigError("restart_budget must be >= 0")
+        if self.poison_limit < 1:
+            raise ConfigError("poison_limit must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError("backoff values must be >= 0")
+
+
+def _hang() -> None:  # pragma: no cover - runs in a worker process
+    """Simulate a wedged worker: ignore SIGTERM, stop replying."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(3600)
+
+
+def _worker_main(
+    conn,
+    entries: list[tuple["NodeSpec", int]],
+    tick: float,
+    journal: list[tuple[list[SpawnCmd], int, float]],
+    chaos: GridFaultPlan | None,
+    worker_id: int,
+    incarnation: int,
+) -> None:  # pragma: no cover - runs in a worker process
+    """Supervised worker loop: rebuild, replay, then serve epochs.
+
+    Identical protocol to the unsupervised worker, plus (a) silent
+    journal replay before the ready handshake — resurrection — and
+    (b) chaos execution at the top of each *live* advance. The epoch
+    counter starts past the replayed entries so chaos decisions line up
+    with the supervisor's global epoch numbering, and replay itself is
+    never faulted (those epochs already happened).
+    """
+    shard = Shard(entries, tick)
+    for commands, n_ticks, frac in journal:
+        shard.advance(commands, n_ticks, frac)
+    epoch = len(journal)
+    conn.send(("ok", "ready"))
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        tag = msg[0]
+        if tag == "close":
+            break
+        try:
+            if tag == "advance":
+                _, commands, n_ticks, frac = msg
+                fault = (
+                    chaos.decide(worker_id, epoch, incarnation)
+                    if chaos is not None
+                    else None
+                )
+                if fault == "crash":
+                    os._exit(CRASH_EXIT)
+                if fault == "hang":
+                    _hang()
+                if fault == "garble":
+                    conn.send(("ok", {"garbled": epoch}))
+                    epoch += 1
+                    continue
+                epoch += 1
+                conn.send(("ok", shard.advance(commands, n_ticks, frac)))
+            elif tag == "snapshot":
+                conn.send(("ok", shard.snapshot(msg[1])))
+            else:
+                conn.send(("error", f"unknown message {tag!r}"))
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+#: Keys every well-formed epoch report carries (garble detection).
+_REPORT_KEYS = frozenset(
+    {
+        "spawned",
+        "deaths",
+        "killed",
+        "bounds",
+        "start_now",
+        "end_now",
+        "wall",
+        "cache_hits",
+        "cache_misses",
+    }
+)
+
+
+@dataclass
+class _WorkerState:
+    """Supervisor-side bookkeeping for one worker slot."""
+
+    index: int
+    entries: list[tuple["NodeSpec", int]]
+    conn: Any = None
+    proc: Any = None
+    incarnation: int = 0
+    #: Every epoch ever dispatched to this shard, in order.
+    journal: list[tuple[list[SpawnCmd], int, float]] = field(default_factory=list)
+    #: In-process shard once adopted (poison epoch or degrade).
+    shard: Shard | None = None
+    sent: bool = False
+
+
+class SupervisedShardedEngine:
+    """The sharded engine under a supervision tree.
+
+    Same node-to-worker assignment and per-epoch message protocol as
+    :class:`~repro.sim.parallel.ShardedEngine` — and therefore the same
+    bitwise results — but every round-trip is deadline-checked and every
+    failure walks the detect → restart/replay → adopt → degrade ladder.
+    ``Grid.run_for`` never deadlocks and never aborts on a worker death.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        specs: list["NodeSpec"],
+        tick: float,
+        seed: int,
+        workers: int,
+        *,
+        chaos: GridFaultPlan | None = None,
+        config: Supervision | None = None,
+    ) -> None:
+        if workers < 1:
+            raise SimulationError(
+                f"supervised engine needs >= 1 worker, got {workers}"
+            )
+        self.workers = min(workers, len(specs))
+        self.config = config if config is not None else Supervision()
+        self.chaos = chaos
+        self.tick = tick
+        #: Shared-nothing like the sharded engine: no in-process machines
+        #: are exposed, even for adopted shards (the public surface must
+        #: not depend on the failure history).
+        self.nodes: dict[str, Any] = {}
+        self._node_worker: dict[str, int] = {}
+        self.messages = 0
+        #: Deterministic recovery log (no wall-times, no OS exit codes).
+        self.events: list[dict[str, Any]] = []
+        self.stats: dict[str, Any] = {
+            "restarts": 0,
+            "replayed_epochs": 0,
+            "adopted_shards": 0,
+            "degraded": False,
+            "failures": {"crash": 0, "hang": 0, "garbled": 0},
+        }
+        self.degraded = False
+        self._ctx = multiprocessing.get_context()
+        self._states: list[_WorkerState] = []
+        for w in range(self.workers):
+            entries = []
+            for index, spec in enumerate(specs):
+                if index % self.workers == w:
+                    entries.append((spec, seed + index))
+                    self._node_worker[spec.name] = w
+            self._states.append(_WorkerState(index=w, entries=entries))
+        for state in self._states:
+            self._spawn(state, replay=[])
+        for state in self._states:
+            try:
+                self._await_ready(state, replayed=0)
+            except WorkerFailure as fail:
+                # Startup failure (not chaos-injected — chaos only fires
+                # on advance): recover immediately, no report pending.
+                self._recover(state, fail, need_report=False)
+
+    # -- worker lifecycle ---------------------------------------------------
+    def _spawn(self, state: _WorkerState, replay: list) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child,
+                state.entries,
+                self.tick,
+                replay,
+                self.chaos,
+                state.index,
+                state.incarnation,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        state.conn = parent
+        state.proc = proc
+
+    def _reap(self, state: _WorkerState) -> None:
+        """Tear one worker down for good: close the pipe, then the
+        terminate → kill ladder (a hung worker ignores SIGTERM)."""
+        if state.conn is not None:
+            try:
+                state.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            state.conn = None
+        proc = state.proc
+        if proc is not None:
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join()
+            state.proc = None
+
+    def _await_ready(self, state: _WorkerState, replayed: int) -> None:
+        # Replay costs real simulation work; scale the handshake deadline
+        # with the journal length so resurrection is never misread as a
+        # hang.
+        timeout = max(self.config.deadline, 1.0) * (1 + replayed)
+        payload = self._recv(state, timeout)
+        if payload != "ready":
+            raise WorkerFailure(
+                f"grid worker {state.index} sent a bad ready handshake: "
+                f"{payload!r}",
+                worker=state.index,
+                kind="garbled",
+            )
+
+    # -- guarded round-trips ------------------------------------------------
+    def _send(self, state: _WorkerState, msg: tuple) -> None:
+        try:
+            state.conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerFailure(
+                f"grid worker {state.index} is gone",
+                worker=state.index,
+                kind="crash",
+                exitcode=state.proc.exitcode if state.proc else None,
+            ) from exc
+        self.messages += 1
+
+    def _recv(self, state: _WorkerState, timeout: float) -> Any:
+        """One reply under a deadline, with liveness and shape checks."""
+        conn, proc = state.conn, state.proc
+        remaining = timeout
+        while not conn.poll(min(0.05, max(remaining, 0.0))):
+            remaining -= 0.05
+            if proc is not None and not proc.is_alive():
+                if conn.poll(0):
+                    break  # drain what it flushed before dying
+                raise WorkerFailure(
+                    f"grid worker {state.index} died",
+                    worker=state.index,
+                    kind="crash",
+                    exitcode=proc.exitcode,
+                )
+            if remaining <= 0:
+                raise WorkerFailure(
+                    f"grid worker {state.index} missed its {timeout:g}s "
+                    "deadline",
+                    worker=state.index,
+                    kind="hang",
+                )
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerFailure(
+                f"grid worker {state.index} closed its pipe mid-reply",
+                worker=state.index,
+                kind="crash",
+                exitcode=proc.exitcode if proc else None,
+            ) from exc
+        if not (isinstance(msg, tuple) and len(msg) == 2):
+            raise WorkerFailure(
+                f"grid worker {state.index} sent a malformed reply: {msg!r}",
+                worker=state.index,
+                kind="garbled",
+            )
+        tag, payload = msg
+        if tag == "error":
+            # A worker-side programming error, not a process failure:
+            # surface it, don't "recover" it.
+            raise SimulationError(f"grid worker failed: {payload}")
+        if tag != "ok":
+            raise WorkerFailure(
+                f"grid worker {state.index} sent unknown tag {tag!r}",
+                worker=state.index,
+                kind="garbled",
+            )
+        return payload
+
+    def _recv_report(self, state: _WorkerState) -> dict[str, Any]:
+        payload = self._recv(state, self.config.deadline)
+        if not (isinstance(payload, dict) and _REPORT_KEYS <= payload.keys()):
+            raise WorkerFailure(
+                f"grid worker {state.index} sent a garbled epoch report",
+                worker=state.index,
+                kind="garbled",
+            )
+        return payload
+
+    # -- the recovery ladder ------------------------------------------------
+    def _note_failure(self, fail: WorkerFailure, epoch: int) -> None:
+        self.stats["failures"][fail.kind] += 1
+        self.events.append(
+            {"event": fail.kind, "worker": fail.worker, "epoch": epoch}
+        )
+
+    def _degrade(self, worker: int, epoch: int) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.stats["degraded"] = True
+            self.events.append(
+                {"event": "degrade", "worker": worker, "epoch": epoch}
+            )
+
+    def _adopt(
+        self, state: _WorkerState, need_report: bool, reason: str
+    ) -> dict[str, Any] | None:
+        """Resurrect the shard in-process and retire its worker slot.
+
+        Rebuilds from (spec, seed) and replays the journal — every epoch
+        if the journal is fully collected, all but the last when the
+        failing epoch's report is still owed (it is then advanced live
+        and its report returned).
+        """
+        self._reap(state)
+        shard = Shard(state.entries, self.tick)
+        replay = state.journal[:-1] if need_report else state.journal
+        for commands, n_ticks, frac in replay:
+            shard.advance(commands, n_ticks, frac)
+        state.shard = shard
+        self.stats["replayed_epochs"] += len(replay)
+        self.stats["adopted_shards"] += 1
+        self.events.append(
+            {
+                "event": "adopt",
+                "worker": state.index,
+                "epoch": len(replay),
+                "reason": reason,
+                "replayed": len(replay),
+            }
+        )
+        if need_report:
+            commands, n_ticks, frac = state.journal[-1]
+            return shard.advance(commands, n_ticks, frac)
+        return None
+
+    def _recover(
+        self, state: _WorkerState, fail: WorkerFailure, need_report: bool
+    ) -> dict[str, Any] | None:
+        """Walk the ladder for one failed round-trip.
+
+        Restart with journal replay under exponential backoff; adopt the
+        shard in-process after ``poison_limit`` consecutive failures on
+        this same epoch; degrade the whole engine once the global restart
+        budget is spent. Always returns a usable epoch report when one is
+        owed — this method cannot fail the run.
+        """
+        epoch = len(state.journal) - 1 if need_report else len(state.journal)
+        attempts = 0
+        while True:
+            attempts += 1
+            self._note_failure(fail, epoch)
+            self._reap(state)
+            if attempts >= self.config.poison_limit:
+                self.events.append(
+                    {
+                        "event": "poison",
+                        "worker": state.index,
+                        "epoch": epoch,
+                        "attempts": attempts,
+                    }
+                )
+                return self._adopt(state, need_report, reason="poison")
+            if self.stats["restarts"] >= self.config.restart_budget:
+                self._degrade(state.index, epoch)
+                return self._adopt(state, need_report, reason="degrade")
+            backoff = min(
+                self.config.backoff_base * (2 ** (attempts - 1)),
+                self.config.backoff_cap,
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            self.stats["restarts"] += 1
+            state.incarnation += 1
+            replay = state.journal[:-1] if need_report else list(state.journal)
+            self.stats["replayed_epochs"] += len(replay)
+            self.events.append(
+                {
+                    "event": "restart",
+                    "worker": state.index,
+                    "epoch": epoch,
+                    "incarnation": state.incarnation,
+                    "replayed": len(replay),
+                    "backoff": backoff,
+                }
+            )
+            try:
+                self._spawn(state, replay=replay)
+                self._await_ready(state, replayed=len(replay))
+                if not need_report:
+                    return None
+                commands, n_ticks, frac = state.journal[-1]
+                self._send(state, ("advance", commands, n_ticks, frac))
+                return self._recv_report(state)
+            except WorkerFailure as next_fail:
+                fail = next_fail
+
+    # -- engine protocol ----------------------------------------------------
+    def advance(
+        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+    ) -> list[dict[str, Any]]:
+        if self.degraded:
+            # Serial semantics: every shard in-process from here on.
+            for state in self._states:
+                if state.shard is None:
+                    self._adopt(state, need_report=False, reason="degrade")
+        by_worker: dict[int, list[SpawnCmd]] = {}
+        for cmd in commands:
+            by_worker.setdefault(self._node_worker[cmd.node], []).append(cmd)
+        for state in self._states:
+            state.journal.append((by_worker.get(state.index, []), n_ticks, frac))
+        # Send to every live worker first so shards advance concurrently.
+        send_failures: dict[int, WorkerFailure] = {}
+        for state in self._states:
+            if state.shard is not None:
+                continue
+            try:
+                self._send(state, ("advance",) + state.journal[-1])
+                state.sent = True
+            except WorkerFailure as fail:
+                state.sent = False
+                send_failures[state.index] = fail
+        # Collect — adopted shards advance here, between the send and the
+        # recv phases, so their work overlaps the workers' like a shard's
+        # would. Reports have disjoint job/node keys; order is immaterial
+        # to the grid's merge.
+        reports: list[dict[str, Any]] = []
+        for state in self._states:
+            if state.shard is not None:
+                cmds, nt, fr = state.journal[-1]
+                reports.append(state.shard.advance(cmds, nt, fr))
+                continue
+            if not state.sent:
+                reports.append(
+                    self._recover(
+                        state, send_failures[state.index], need_report=True
+                    )
+                )
+                continue
+            try:
+                reports.append(self._recv_report(state))
+            except WorkerFailure as fail:
+                reports.append(self._recover(state, fail, need_report=True))
+        return reports
+
+    def process_of(self, job_id: int) -> None:
+        return None
+
+    def snapshot(self, node: str) -> dict[str, Any]:
+        worker = self._node_worker.get(node)
+        if worker is None:
+            raise SimulationError(f"no node {node!r}")
+        state = self._states[worker]
+        if state.shard is not None:
+            return state.shard.snapshot(node)
+        try:
+            self._send(state, ("snapshot", node))
+            return self._recv(state, self.config.deadline)
+        except WorkerFailure as fail:
+            # The journal is fully collected between epochs, so adoption
+            # resurrects the exact current state; serve from it.
+            self._note_failure(fail, epoch=len(state.journal))
+            self._adopt(state, need_report=False, reason="snapshot")
+            return state.shard.snapshot(node)
+
+    # -- introspection / lifecycle ------------------------------------------
+    @property
+    def _procs(self) -> list:
+        """Live worker process handles (leak tests poke at these)."""
+        return [s.proc for s in self._states if s.proc is not None]
+
+    def live_workers(self) -> int:
+        """Worker slots still served by a live process (not adopted)."""
+        return sum(
+            1
+            for s in self._states
+            if s.shard is None and s.proc is not None and s.proc.is_alive()
+        )
+
+    def close(self) -> None:
+        for state in self._states:
+            if state.conn is not None:
+                try:
+                    state.conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for state in self._states:
+            proc = state.proc
+            if proc is not None:
+                proc.join(timeout=2.0)
+            self._reap(state)

@@ -159,7 +159,7 @@ def _replay_determinism(ex: Execution) -> list[Violation]:
             "replay-determinism", "run1", ex.base, "run2", ex.replay
         )
     if ex.grid and ex.grid_replay is not None:
-        first = ex.scenario.engines[0]
+        first = ex.grid_replay_engine or ex.scenario.engines[0]
         for diff in deep_diff(ex.grid[first], ex.grid_replay):
             out.append(
                 Violation(
@@ -168,6 +168,19 @@ def _replay_determinism(ex: Execution) -> list[Violation]:
                     f"{first!r}: {diff}",
                 )
             )
+        if ex.grid_replay_meta is not None and first in ex.grid_meta:
+            # Recovery must replay byte-identically too: same failures,
+            # same restarts, same adoptions, in the same order.
+            for diff in deep_diff(
+                ex.grid_meta[first]["events"], ex.grid_replay_meta["events"]
+            ):
+                out.append(
+                    Violation(
+                        "replay-determinism",
+                        f"supervisor event log differs between runs of "
+                        f"engine {first!r}: {diff}",
+                    )
+                )
     return out
 
 
@@ -533,6 +546,75 @@ def _job_lifecycle(ex: Execution) -> list[Violation]:
                         f"its limit {limit} elapsed",
                     )
                 )
+    return out
+
+
+@oracle("crash-recovery")
+def _crash_recovery(ex: Execution) -> list[Violation]:
+    """A chaos-ridden supervised run agrees bitwise with a clean engine,
+    and every observed worker failure left a recovery trace.
+
+    This is the supervision tree's contract: SIGKILLed, hung or garbling
+    workers never change *what* the grid computes — restart+replay (or
+    adoption, or degrading to serial) resurrects the exact shard state —
+    and the event log records how the run survived.
+    """
+    if not ex.scenario.grid_chaotic or "supervised" not in ex.grid:
+        return []
+    out: list[Violation] = []
+    clean = [e for e in ex.grid if e != "supervised"]
+    if clean:
+        reference = clean[0]
+        for diff in deep_diff(ex.grid[reference], ex.grid["supervised"]):
+            out.append(
+                Violation(
+                    "crash-recovery",
+                    f"supervised run under chaos diverges from clean "
+                    f"{reference!r}: {diff}",
+                )
+            )
+    meta = ex.grid_meta.get("supervised")
+    if meta is not None:
+        failures = sum(meta["stats"].get("failures", {}).values())
+        recoveries = {"restart", "adopt", "degrade"}
+        recovered = sum(
+            1 for e in meta["events"] if e.get("event") in recoveries
+        )
+        if failures and not recovered:
+            out.append(
+                Violation(
+                    "crash-recovery",
+                    f"{failures} worker failures observed but the event "
+                    "log records no restart/adopt/degrade",
+                )
+            )
+    return out
+
+
+@oracle("worker-leaks")
+def _worker_leaks(ex: Execution) -> list[Violation]:
+    """No grid run leaves worker processes alive after close — chaos,
+    hangs and degraded runs included."""
+    out: list[Violation] = []
+    for engine, meta in ex.grid_meta.items():
+        if meta.get("leaked_workers"):
+            out.append(
+                Violation(
+                    "worker-leaks",
+                    f"engine {engine!r}: {meta['leaked_workers']} worker "
+                    "processes alive after close",
+                )
+            )
+    if ex.grid_replay_meta is not None and ex.grid_replay_meta.get(
+        "leaked_workers"
+    ):
+        out.append(
+            Violation(
+                "worker-leaks",
+                f"replay run: {ex.grid_replay_meta['leaked_workers']} "
+                "worker processes alive after close",
+            )
+        )
     return out
 
 

@@ -12,8 +12,11 @@ scenario alone (no state crosses runs):
 * ``replay`` — a second base run; must be byte-identical (determinism).
 
 A **grid** scenario runs the dispatcher once per engine in
-``scenario.engines`` plus one replay of the first engine, capturing
-:meth:`~repro.sim.grid.Grid.conformance_digest` from each.
+``scenario.engines`` plus one replay — of the chaotic supervised run
+when the scenario injects worker faults, of the first engine otherwise —
+capturing :meth:`~repro.sim.grid.Grid.conformance_digest` and the
+supervision observables (recovery event log, supervisor stats, worker
+leak count) from each.
 """
 
 from __future__ import annotations
@@ -34,6 +37,12 @@ from repro.sim.arch import get_arch
 from repro.sim.grid import Grid, NodeSpec, QueueSpec
 from repro.sim.machine import SimMachine
 from repro.sim.parallel import node_snapshot
+from repro.sim.supervisor import (
+    GridFaultPlan,
+    GridFaultSpec,
+    Supervision,
+    default_grid_specs,
+)
 from repro.sim.workloads.synthetic import SyntheticSpec, build
 from repro.verify.scenario import GiB, JobPlan, Scenario, TaskPlan
 
@@ -87,6 +96,13 @@ class Execution:
     replay: ToolRun | None = None
     grid: dict[str, dict[str, Any]] = field(default_factory=dict)
     grid_replay: dict[str, Any] | None = None
+    #: Per-engine supervision observables: the deterministic recovery
+    #: event log, supervisor stats, and worker-process leak count.
+    grid_meta: dict[str, dict[str, Any]] = field(default_factory=dict)
+    grid_replay_meta: dict[str, Any] | None = None
+    #: Which engine the grid replay re-ran (the chaotic supervised run
+    #: when there is one, so recovery itself is proven deterministic).
+    grid_replay_engine: str | None = None
 
 
 # -- tool runs ----------------------------------------------------------------
@@ -259,8 +275,45 @@ def run_tool(
 
 # -- grid runs ----------------------------------------------------------------
 
-def run_grid(scenario: Scenario, engine: str) -> dict[str, Any]:
-    """Drive one grid scenario through ``engine``; return its digest."""
+def _grid_chaos_plan(scenario: Scenario) -> GridFaultPlan | None:
+    """The scenario's worker-fault plan (mirrors :func:`_fault_plan`)."""
+    specs: tuple[GridFaultSpec, ...] = ()
+    if scenario.grid_chaos_seed is not None:
+        specs = default_grid_specs(scenario.grid_chaos_intensity)
+    specs += tuple(
+        GridFaultSpec(
+            kind=f.kind,
+            rate=f.rate,
+            at_epochs=(
+                frozenset(f.at_epochs) if f.at_epochs is not None else None
+            ),
+            worker=f.worker,
+            persistent=f.persistent,
+        )
+        for f in scenario.grid_faults
+    )
+    if not specs:
+        return None
+    seed = (
+        scenario.grid_chaos_seed
+        if scenario.grid_chaos_seed is not None
+        else scenario.seed
+    )
+    return GridFaultPlan(seed, specs)
+
+
+def run_grid(
+    scenario: Scenario, engine: str
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Drive one grid scenario through ``engine``.
+
+    Returns ``(digest, meta)``: the grid's conformance digest plus the
+    supervision observables of the run — the deterministic recovery
+    event log, supervisor stats, and how many worker processes were
+    still alive after ``close()`` (leak freedom). Chaos, when the
+    scenario configures it, is applied to the supervised engine only;
+    every other engine runs clean and serves as the recovery reference.
+    """
     arch = get_arch(scenario.arch)
     specs = [
         NodeSpec(
@@ -284,14 +337,27 @@ def run_grid(scenario: Scenario, engine: str) -> dict[str, Any]:
     ordered = sorted(
         scenario.jobs, key=lambda j: (j.submit_at, scenario.jobs.index(j))
     )
-    with Grid(
+    chaos = supervision = None
+    if engine == "supervised":
+        chaos = _grid_chaos_plan(scenario)
+        # No backoff sleep: recovery wall time stays bounded in fuzz
+        # runs, and determinism never depends on sleeping anyway.
+        supervision = Supervision(
+            deadline=scenario.epoch_deadline,
+            restart_budget=scenario.restart_budget,
+            backoff_base=0.0,
+        )
+    grid = Grid(
         specs,
         queues,
         tick=scenario.tick,
         seed=scenario.seed,
         workers=scenario.workers,
         engine=engine,
-    ) as grid:
+        grid_chaos=chaos,
+        supervision=supervision,
+    )
+    try:
         for job in ordered:
             if job.submit_at > grid.now + 1e-12:
                 grid.run_for(job.submit_at - grid.now)
@@ -304,7 +370,25 @@ def run_grid(scenario: Scenario, engine: str) -> dict[str, Any]:
             )
         if scenario.span > grid.now + 1e-12:
             grid.run_for(scenario.span - grid.now)
-        return grid.conformance_digest()
+        digest = grid.conformance_digest()
+    finally:
+        procs = list(getattr(grid.engine, "_procs", []))
+        grid.close()
+    sup_stats = getattr(grid.engine, "stats", {})
+    meta = {
+        "engine": engine,
+        "events": grid.supervisor_events,
+        "stats": {
+            **{
+                k: sup_stats.get(k, 0)
+                for k in ("restarts", "replayed_epochs", "adopted_shards")
+            },
+            "degraded": bool(sup_stats.get("degraded", False)),
+            "failures": dict(sup_stats.get("failures", {})),
+        },
+        "leaked_workers": sum(1 for p in procs if p.is_alive()),
+    }
+    return digest, meta
 
 
 # -- the full execution -------------------------------------------------------
@@ -320,6 +404,12 @@ def execute(scenario: Scenario) -> Execution:
         ex.replay = run_tool(scenario)
     else:
         for engine in scenario.engines:
-            ex.grid[engine] = run_grid(scenario, engine)
-        ex.grid_replay = run_grid(scenario, scenario.engines[0])
+            ex.grid[engine], ex.grid_meta[engine] = run_grid(scenario, engine)
+        # Replay the chaotic supervised run when there is one: recovery
+        # (not just clean execution) must be byte-deterministic.
+        replay_engine = scenario.engines[0]
+        if scenario.grid_chaotic and "supervised" in scenario.engines:
+            replay_engine = "supervised"
+        ex.grid_replay_engine = replay_engine
+        ex.grid_replay, ex.grid_replay_meta = run_grid(scenario, replay_engine)
     return ex

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.perf.faults import ERROR_CLASSES, OPS
+from repro.sim.supervisor import GRID_FAULT_KINDS
 from repro.sim.workloads.synthetic import ARCHETYPES, _ipc_range
 
 #: Schema tag written into serialised scenarios and artifacts.
@@ -103,6 +104,24 @@ class FaultClause:
 
 
 @dataclass(frozen=True)
+class GridFaultClause:
+    """One explicit grid-worker fault rule (mirrors
+    :class:`~repro.sim.supervisor.GridFaultSpec`, JSON-serialisable)."""
+
+    kind: str
+    rate: float = 0.0
+    at_epochs: tuple[int, ...] | None = None
+    worker: int | None = None
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRID_FAULT_KINDS:
+            raise ConfigError(f"unknown grid fault kind {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"grid fault rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
 class QueuePlan:
     """One grid queue (subset of :class:`~repro.sim.grid.QueueSpec`)."""
 
@@ -162,6 +181,12 @@ class Scenario:
     span: float = 16.0
     queues: tuple[QueuePlan, ...] = ()
     jobs: tuple[JobPlan, ...] = ()
+    # grid worker chaos (applies to the "supervised" engine run only)
+    grid_chaos_seed: int | None = None
+    grid_chaos_intensity: float = 1.0
+    grid_faults: tuple[GridFaultClause, ...] = ()
+    epoch_deadline: float = 2.0
+    restart_budget: int = 8
 
     def __post_init__(self) -> None:
         if self.kind not in ("tool", "grid"):
@@ -177,8 +202,14 @@ class Scenario:
 
     @property
     def chaotic(self) -> bool:
-        """Whether any fault injection is configured."""
+        """Whether any kernel-level fault injection is configured."""
         return self.chaos_seed is not None or bool(self.faults)
+
+    @property
+    def grid_chaotic(self) -> bool:
+        """Whether grid-worker fault injection is configured (executed
+        by the supervised engine's workers only)."""
+        return self.grid_chaos_seed is not None or bool(self.grid_faults)
 
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> dict:
@@ -211,6 +242,20 @@ class Scenario:
         d["queues"] = tuple(QueuePlan(**q) for q in d.get("queues", ()))
         d["jobs"] = tuple(JobPlan(**j) for j in d.get("jobs", ()))
         d["engines"] = tuple(d.get("engines", ("legacy", "serial")))
+        d["grid_faults"] = tuple(
+            GridFaultClause(
+                kind=f["kind"],
+                rate=f.get("rate", 0.0),
+                at_epochs=(
+                    tuple(f["at_epochs"])
+                    if f.get("at_epochs") is not None
+                    else None
+                ),
+                worker=f.get("worker"),
+                persistent=f.get("persistent", False),
+            )
+            for f in d.get("grid_faults", ())
+        )
         return cls(**d)
 
     def to_json(self) -> str:
@@ -362,6 +407,31 @@ def _gen_grid(rng: np.random.Generator, seed: int) -> Scenario:
                 memory_bytes=int(rng.choice([1, 1, 1, 6])) * GiB,
             )
         )
+    # Supervised-engine coverage: sometimes run the supervision tree
+    # clean (pure equivalence), sometimes under worker chaos — seeded
+    # rate faults, or a targeted fault clause aimed at one (worker,
+    # epoch) so the poison/adopt and degrade ladders get exercised.
+    grid_chaos_seed = None
+    grid_chaos_intensity = 1.0
+    grid_faults: tuple[GridFaultClause, ...] = ()
+    restart_budget = 8
+    if rng.random() < 0.4:
+        engines.append("supervised")
+        mode = rng.random()
+        if mode < 0.45:
+            grid_chaos_seed = int(rng.integers(0, 2**31))
+            grid_chaos_intensity = float(rng.choice([2.0, 4.0, 8.0]))
+        elif mode < 0.85:
+            grid_faults = (
+                GridFaultClause(
+                    kind=str(rng.choice(["crash", "crash", "garble"])),
+                    at_epochs=(int(rng.integers(0, 3)),),
+                    worker=int(rng.integers(0, 2)),
+                    persistent=bool(rng.random() < 0.3),
+                ),
+            )
+        if (grid_chaos_seed is not None or grid_faults) and rng.random() < 0.2:
+            restart_budget = int(rng.integers(0, 2))  # force the degrade path
     return Scenario(
         kind="grid",
         seed=seed,
@@ -375,6 +445,11 @@ def _gen_grid(rng: np.random.Generator, seed: int) -> Scenario:
         engines=tuple(engines),
         queues=queues,
         jobs=tuple(jobs),
+        grid_chaos_seed=grid_chaos_seed,
+        grid_chaos_intensity=grid_chaos_intensity,
+        grid_faults=grid_faults,
+        epoch_deadline=1.0,
+        restart_budget=restart_budget,
     )
 
 

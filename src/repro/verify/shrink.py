@@ -64,7 +64,22 @@ def _candidates(s: Scenario) -> Iterator[Scenario]:
         yield replace(s, per_thread=False)
     if s.monitor_uid != 0:
         yield replace(s, monitor_uid=0)
-    # Grid-side simplifications.
+    # Grid-side simplifications: strip worker chaos first (most failures
+    # under chaos are recovery bugs, but if the failure survives without
+    # chaos it is a much simpler engine bug), then drop engines.
+    if s.grid_chaos_seed is not None:
+        yield replace(s, grid_chaos_seed=None)
+    if s.grid_faults:
+        for i in range(len(s.grid_faults)):
+            yield replace(
+                s, grid_faults=s.grid_faults[:i] + s.grid_faults[i + 1 :]
+            )
+    if s.restart_budget < 8 and s.grid_chaotic:
+        yield replace(s, restart_budget=8)
+    if "supervised" in s.engines and len(s.engines) > 1 and not s.grid_chaotic:
+        yield replace(
+            s, engines=tuple(e for e in s.engines if e != "supervised")
+        )
     if "sharded" in s.engines and len(s.engines) > 1:
         yield replace(s, engines=tuple(e for e in s.engines if e != "sharded"))
     if s.workers > 1:

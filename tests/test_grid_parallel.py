@@ -24,7 +24,7 @@ from repro.sim.parallel import (
 )
 from repro.sim.workloads import datacenter
 
-ENGINES = [("legacy", 1), ("serial", 1), ("sharded", 2)]
+ENGINES = [("legacy", 1), ("serial", 1), ("sharded", 2), ("supervised", 2)]
 
 
 def _job(seconds=60.0, ipc=1.2, name="job"):
@@ -116,6 +116,7 @@ class TestEngineEquivalence:
                 results[engine] = _observables(grid)
         assert results["legacy"] == results["serial"]
         assert results["serial"] == results["sharded"]
+        assert results["sharded"] == results["supervised"]
 
     def test_worker_count_does_not_change_results(self):
         results = []
@@ -138,7 +139,10 @@ class TestEngineEquivalence:
                 grid.run_for(0.5)
                 grid.run_for(7.25)
                 results[engine] = _observables(grid)
-        assert results["legacy"] == results["serial"] == results["sharded"]
+        assert (
+            results["legacy"] == results["serial"]
+            == results["sharded"] == results["supervised"]
+        )
 
 
 class TestEpochSemantics:
@@ -348,7 +352,7 @@ class TestShardedEngineSurface:
             Grid(_small_fleet(), _small_queues(), engine="warp")
         with pytest.raises(SimulationError):
             Grid(_small_fleet(), _small_queues(), workers=0)
-        assert set(ENGINE_NAMES) == {"legacy", "serial", "sharded"}
+        assert set(ENGINE_NAMES) == {"legacy", "serial", "sharded", "supervised"}
 
     def test_more_workers_than_nodes_is_clamped(self):
         with Grid([NodeSpec(name="n", sockets=1, cores_per_socket=1)],
