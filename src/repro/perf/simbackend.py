@@ -165,17 +165,15 @@ class SimBackend:
         return handle
 
     def _read_handle(self, h: _Handle) -> Reading:
-        """One clean (fault-free) read of a handle's kernel counters."""
-        value = 0
-        enabled = 0.0
-        running = 0.0
-        for kc in h.kernel_counters:
-            v, te, tr = kc.reading()
-            value += v
-            if te > enabled:
-                enabled = te
-            if tr > running:
-                running = tr
+        """One clean (fault-free) read of a handle's kernel counters.
+
+        Served incrementally from the counter table's accumulator columns
+        (:meth:`CounterTable.read_group`) — the read never recomputes or
+        walks simulation state, whichever advance path produced it.
+        """
+        value, enabled, running = self.machine.counters.read_group(
+            h.kernel_counters
+        )
         reading = Reading(value, enabled, running)
         h.last_reading = reading
         return reading

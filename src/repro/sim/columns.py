@@ -1,0 +1,394 @@
+"""Columnar (structure-of-arrays) storage and tick kernel for the machine.
+
+Two pieces live here:
+
+* :class:`CounterColumns` — the authoritative storage for every open
+  kernel counter's hot state (accumulated value, ``time_enabled``,
+  ``time_running``, enabled bit) as preallocated numpy columns. A
+  :class:`~repro.sim.counters.KernelCounter` is a thin handle into one
+  slot; ``read()`` paths serve straight from the accumulator columns.
+* :class:`ColumnKernel` — the batched tick engine behind
+  :meth:`SimMachine.run_ticks`. It mirrors the per-thread scheduling
+  state (tid, vruntime, runnable, duty, idle-sync arrears) into parallel
+  arrays so one fused pass per tick replaces the scalar path's sorted()
+  call, runnable list comprehension, and per-counter dict walks.
+
+Bitwise-equivalence contract: the kernel must reproduce the scalar
+``_step`` path exactly, float by float and RNG draw by RNG draw. The
+vector code therefore only uses elementwise float64 operations (IEEE-754
+correctly rounded, hence identical to the scalar Python arithmetic it
+replaces), never reductions (which reassociate), and keeps every RNG
+draw — per-process CPI noise, duty-cycle gates, sampling loss — on the
+scalar code path in the scalar order. Any task shape the vector path
+cannot reproduce exactly (sampling counters, multiplexed or partially
+disabled counter sets) falls back to the scalar routines on the same
+objects, so correctness never depends on the fast path's coverage.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.events import EVENT_CODE, N_EVENT_CODES, Event
+from repro.sim.process import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (machine -> columns)
+    from repro.sim.machine import SimMachine
+    from repro.sim.process import SimThread
+
+
+class CounterColumns:
+    """Structure-of-arrays storage for kernel counter hot state.
+
+    Slots are allocated/freed as counters open and close; the arrays grow
+    geometrically and never shrink. ``version`` increments on any change
+    to the slot population or enabled bits, invalidating the per-tid slot
+    caches kept by :class:`~repro.sim.counters.CounterTable`.
+    """
+
+    __slots__ = (
+        "capacity",
+        "value",
+        "time_enabled",
+        "time_running",
+        "enabled",
+        "in_use",
+        "version",
+        "_free",
+    )
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.value = np.zeros(capacity)
+        self.time_enabled = np.zeros(capacity)
+        self.time_running = np.zeros(capacity)
+        self.enabled = np.zeros(capacity, dtype=bool)
+        self.in_use = np.zeros(capacity, dtype=bool)
+        self.version = 0
+        # Stack of free slots; popping yields ascending slot numbers.
+        self._free = list(range(capacity - 1, -1, -1))
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        for name in ("value", "time_enabled", "time_running"):
+            arr = np.zeros(new)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        for name in ("enabled", "in_use"):
+            arr = np.zeros(new, dtype=bool)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        self._free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new
+
+    def alloc(self) -> int:
+        """Claim a zeroed slot (enabled, as freshly opened counters are)."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self.value[slot] = 0.0
+        self.time_enabled[slot] = 0.0
+        self.time_running[slot] = 0.0
+        self.enabled[slot] = True
+        self.in_use[slot] = True
+        self.version += 1
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Release a slot for reuse."""
+        if not self.in_use[slot]:
+            raise SimulationError(f"slot {slot} is not allocated")
+        self.in_use[slot] = False
+        self.enabled[slot] = False
+        self._free.append(slot)
+        self.version += 1
+
+    def live_slots(self) -> int:
+        """Number of allocated slots (for stats and leak tests)."""
+        return int(self.in_use.sum())
+
+
+#: Dense code of ``Event.CYCLES`` — the one delta the scalar path computes
+#: with the per-tick noised CPI rather than the published per-instruction
+#: rate, so the kernel overwrites this vector lane after accumulating.
+_CYCLES_CODE = EVENT_CODE[Event.CYCLES]
+
+
+class ColumnKernel:
+    """Batched tick engine: one fused pass advances every scheduled task.
+
+    Mirrors per-thread scheduling state into parallel arrays (slot order =
+    ``machine._threads`` insertion order, which is also the scalar path's
+    iteration order). One instance persists per machine so the per-event
+    scratch vectors are reused across ticks; the arrays themselves are
+    re-ingested at the start of every batch and after each timer boundary
+    (the only points where the thread population can change).
+
+    Equivalence with the scalar path, piece by piece:
+
+    * runnable scan — the scalar list comprehension over
+      ``_threads.values()`` becomes a boolean column maintained at the
+      points where state changes (ingest, slice, reap); duty-cycle RNG
+      draws stay scalar, in slot (= insertion) order, gated on the same
+      runnable test.
+    * dispatch — :meth:`Scheduler.dispatch_columns` ranks candidates with
+      one ``np.lexsort`` over the (vruntime, tid) columns; stable sort over
+      unique tids reproduces ``sorted(key=(vruntime, tid))`` exactly, and
+      placement runs the shared scalar walk.
+    * idle arrears — per-task "ticks already accounted" lives in an int64
+      column; folds happen via :meth:`CounterTable.advance_idle` exactly
+      where the scalar ``sync_tid``/``sync_all`` would fold them.
+    * slice accrual — for tasks whose counter set is *simple* (all enabled,
+      none sampling, fits the PMU) the per-segment event deltas accumulate
+      in a dense float64 vector via elementwise ops (bitwise equal to the
+      scalar dict walk) and land on the counter columns with one fancy-
+      indexed add; anything else falls back to ``SimMachine._run_slice``
+      on the same objects.
+    """
+
+    __slots__ = (
+        "machine",
+        "threads",
+        "tids",
+        "vruntime",
+        "runnable",
+        "alive",
+        "synced",
+        "slot_of",
+        "duty_slots",
+        "size",
+        "fast_slices",
+        "fallback_slices",
+        "_tid_list",
+        "_dvec",
+        "_seg",
+    )
+
+    def __init__(self, machine: SimMachine) -> None:
+        self.machine = machine
+        self.threads: list[SimThread] = []
+        self._tid_list: list[int] = []
+        self.tids = np.empty(0, dtype=np.int64)
+        self.vruntime = np.empty(0)
+        self.runnable = np.empty(0, dtype=bool)
+        self.alive = np.empty(0, dtype=bool)
+        self.synced = np.empty(0, dtype=np.int64)
+        self.slot_of: dict[int, int] = {}
+        self.duty_slots: list[int] = []
+        self.size = 0
+        self.fast_slices = 0
+        self.fallback_slices = 0
+        self._dvec = np.zeros(N_EVENT_CODES)
+        self._seg = np.empty(N_EVENT_CODES)
+
+    # -- column maintenance -------------------------------------------------
+    def _ingest(self, default_synced: int) -> None:
+        """(Re)build the columns from the machine's thread population.
+
+        ``default_synced`` is the arrears baseline for threads not seen
+        before: 0 at batch start, the current tick index for threads spawned
+        by a timer callback (matching the scalar path's
+        ``synced.setdefault(tid, t)`` after firing).
+        """
+        m = self.machine
+        carried: dict[int, int] = {}
+        if self.size:
+            carried = dict(zip(self._tid_list, self.synced.tolist()))
+        threads = list(m._threads.values())
+        n = len(threads)
+        tid_list = [t.tid for t in threads]
+        self.threads = threads
+        self._tid_list = tid_list
+        self.tids = np.array(tid_list, dtype=np.int64)
+        self.vruntime = np.array([t.vruntime for t in threads])
+        self.runnable = np.fromiter(
+            (t.state is TaskState.RUNNABLE for t in threads), dtype=bool, count=n
+        )
+        self.alive = np.fromiter(
+            (t.state is not TaskState.DEAD for t in threads), dtype=bool, count=n
+        )
+        self.synced = np.fromiter(
+            (carried.get(tid, default_synced) for tid in tid_list),
+            dtype=np.int64,
+            count=n,
+        )
+        self.slot_of = {tid: i for i, tid in enumerate(tid_list)}
+        self.duty_slots = [
+            i for i, t in enumerate(threads) if t.duty_rng is not None
+        ]
+        self.size = n
+
+    def _sync_all(self, upto: int) -> None:
+        """Fold idle-clock arrears of every live task up to tick ``upto``."""
+        synced = self.synced
+        behind = np.flatnonzero(self.alive & (synced < upto))
+        if behind.size:
+            counters = self.machine.counters
+            dt = self.machine.tick
+            tid_list = self._tid_list
+            for slot in behind:
+                counters.advance_idle(
+                    tid_list[slot], dt, int(upto - synced[slot])
+                )
+            synced[behind] = upto
+
+    # -- the batched tick loop ----------------------------------------------
+    def run(self, n: int) -> None:
+        """Advance ``n`` whole ticks (the body of ``SimMachine.run_ticks``)."""
+        m = self.machine
+        dt = m.tick
+        counters = m.counters
+        scheduler = m.scheduler
+        timers = m._timers
+        # Fresh batch: arrears bookkeeping restarts at zero, like the
+        # scalar path's empty ``synced`` dict.
+        self.size = 0
+        self._ingest(0)
+        for t in range(n):
+            if timers and timers[0][0] <= m.now + 1e-12:
+                # Callbacks may read counters, kill tasks or spawn new
+                # ones: bring every live task's clocks current first.
+                self._sync_all(t)
+                m._fire_timers()
+                self._ingest(t)
+            if self.duty_slots:
+                run_mask = self.runnable.copy()
+                threads = self.threads
+                for slot in self.duty_slots:
+                    if run_mask[slot]:
+                        thread = threads[slot]
+                        if not (
+                            thread.duty_rng.random()
+                            < thread.process.duty_cycle
+                        ):
+                            run_mask[slot] = False
+            else:
+                run_mask = self.runnable
+            candidates = np.flatnonzero(run_mask)
+            dispatch = scheduler.dispatch_columns(
+                self.threads, self.tids, self.vruntime, candidates, dt
+            )
+            assignment = dispatch.assignment
+            if assignment:
+                located = {
+                    thread.tid: thread.current_phase()
+                    for thread in assignment.values()
+                }
+                rates = m._cached_contention(assignment, located)
+                slot_of = self.slot_of
+                synced = self.synced
+                vruntime = self.vruntime
+                for pu_id, thread in assignment.items():
+                    tid = thread.tid
+                    slot = slot_of[tid]
+                    vruntime[slot] = thread.vruntime
+                    owed = t - synced[slot]
+                    if owed > 0:
+                        counters.advance_idle(tid, dt, int(owed))
+                    self._slice(thread, slot, pu_id, rates.get(tid), dt)
+                    synced[slot] = t + 1
+            m.now += dt
+            if timers and timers[0][0] <= m.now + 1e-12:
+                self._sync_all(t + 1)
+                m._fire_timers()
+                self._ingest(t + 1)
+        self._sync_all(n)
+
+    def _slice(
+        self,
+        thread: SimThread,
+        slot: int,
+        pu_id: int,
+        contended,
+        dt: float,
+    ) -> None:
+        """Retire one scheduled slice (vectorised accrual when eligible).
+
+        Replicates ``SimMachine._run_slice`` float-for-float: same segment
+        loop, same RNG draw, same phase-boundary rules. Only the event
+        accumulation differs mechanically — a dense vector instead of a
+        dict — and only for *simple* counter sets; everything else takes
+        the scalar routine on the same objects.
+        """
+        m = self.machine
+        located = thread.current_phase()
+        if located is None:
+            m._reap(thread, dt)
+            self.runnable[slot] = False
+            self.alive[slot] = False
+            return
+        tid = thread.tid
+        cslots, codes, simple = m.counters.tid_slots(tid)
+        if not simple:
+            self.fallback_slices += 1
+            m._run_slice(thread, pu_id, contended, dt, rate_cache=m._rate_cache)
+            state = thread.state
+            self.runnable[slot] = state is TaskState.RUNNABLE
+            self.alive[slot] = state is not TaskState.DEAD
+            return
+        self.fast_slices += 1
+        arch = m.arch
+        rate_cache = m._rate_cache
+        cycle_budget = arch.freq_hz * dt
+        consumed_cycles = 0.0
+        dvec = self._dvec
+        dvec.fill(0.0)
+        seg = self._seg
+        cycles_total = 0.0
+        noise = (
+            math.exp(thread.process.rng.normal(0.0, located[0].noise))
+            if located[0].noise > 0
+            else 1.0
+        )
+        base = contended
+        while cycle_budget > 1e-6 and located is not None:
+            phase, remaining = located
+            if base is not None and base.miss_profile.accesses:
+                rates = base
+            else:
+                caps = [(s, float(s.size)) for s in arch.cache_levels]
+                rates = rate_cache.rates(arch, phase, caps)
+            # Jitter only the execution component; penalty cycles are
+            # physical latencies and stay put.
+            cpi = rates.cpi_exec * noise + (rates.cpi - rates.cpi_exec)
+            instructions = min(cycle_budget / cpi, remaining)
+            cycles = instructions * cpi
+            np.multiply(rates.events_vector(), instructions, out=seg)
+            dvec += seg
+            cycles_total += cycles
+            thread.retired += instructions
+            thread.cycles += cycles
+            consumed_cycles += cycles
+            cycle_budget -= cycles
+            located = thread.current_phase()
+            if located is None:
+                break
+            if remaining <= instructions + 1e-9:
+                base = None
+        scheduled_dt = dt * min(1.0, consumed_cycles / (arch.freq_hz * dt))
+        thread.cpu_time += scheduled_dt
+        done = located is None
+        if cslots.size:
+            cols = m.counters.columns
+            # A thread that finishes mid-tick stops its enabled clock at
+            # death, exactly like the scalar accrue path.
+            cols.time_enabled[cslots] += scheduled_dt if done else dt
+            if scheduled_dt > 0:
+                cols.time_running[cslots] += scheduled_dt
+                # The scalar path accumulates CYCLES from the noised CPI,
+                # not the published rate; swap the lane before landing.
+                dvec[_CYCLES_CODE] = cycles_total
+                cols.value[cslots] += dvec[codes]
+        if contended is not None:
+            m._last_rates[tid] = contended
+        if done:
+            m._reap(thread, dt)
+            self.runnable[slot] = False
+            self.alive[slot] = False

@@ -22,11 +22,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel, CacheLevelSpec
 from repro.sim.branch import mispredicts_per_instruction
 from repro.sim.cache import MissProfile, miss_chain
-from repro.sim.events import Event
+from repro.sim.events import EVENT_CODE, N_EVENT_CODES, Event
 from repro.sim.isa import InstructionClass
 from repro.sim.microcode import assist_outcome
 from repro.sim.workload import Phase
@@ -59,6 +61,22 @@ class SliceRates:
     def ipc(self) -> float:
         """Instructions per cycle implied by these rates."""
         return 1.0 / self.cpi
+
+    def events_vector(self) -> "np.ndarray":
+        """Dense float64 rate vector indexed by :data:`EVENT_CODE`.
+
+        Memoised on the instance: rates are immutable and the columnar
+        kernel multiplies this vector by the retired-instruction count on
+        every scheduled slice, so building it once per distinct rates
+        object keeps the hot loop free of enum hashing.
+        """
+        vec = self.__dict__.get("_events_vec")
+        if vec is None:
+            vec = np.zeros(N_EVENT_CODES)
+            for event, rate in self.events.items():
+                vec[EVENT_CODE[event]] = rate
+            object.__setattr__(self, "_events_vec", vec)
+        return vec
 
 
 def memory_cpi(

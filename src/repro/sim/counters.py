@@ -6,6 +6,14 @@ counter is programmed into the PMU, and tracks ``time_enabled`` /
 ``time_running`` exactly as Linux reports them so that user space can scale
 multiplexed counts (``value * time_enabled / time_running``).
 
+Storage is columnar: the accumulator and both kernel clocks of every open
+counter live in the table's :class:`~repro.sim.columns.CounterColumns`
+arrays, and a :class:`KernelCounter` is a slotted handle whose properties
+index into them. The scalar accrual paths below and the vectorized
+:class:`~repro.sim.columns.ColumnKernel` therefore mutate the *same*
+storage — reads are always served incrementally from the columns, never
+recomputed, regardless of which path advanced the clock.
+
 Multiplexing: when a task has more enabled counters than the PMU width
 (sixteen on the modelled Xeon W3550, §2.6), the kernel rotates a window of
 ``pmu_width`` counters one position per tick — the same round-robin
@@ -22,20 +30,26 @@ counting). The loss process is deterministic per table seed.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import CounterStateError
-from repro.sim.events import Event
+from repro.sim.columns import CounterColumns
+from repro.sim.events import EVENT_CODE, Event
 
 #: Probability that one sampling interrupt is lost (coalescing/throttling).
 SAMPLE_LOSS_PROBABILITY = 0.002
 
 
-@dataclass
 class KernelCounter:
     """Kernel-side state of one opened counter.
+
+    The hot fields (``value``, ``time_enabled``, ``time_running``,
+    ``enabled``) are properties into one slot of the owning table's
+    :class:`~repro.sim.columns.CounterColumns`; everything else lives on
+    the handle itself. Closed counters are detached onto a private
+    single-slot column so their final reading stays stable while the
+    shared slot is recycled.
 
     Attributes:
         counter_id: fd-like handle returned to user space.
@@ -43,30 +57,93 @@ class KernelCounter:
         tid: target thread id.
         owner_uid: uid of the opening user (permission checks happen at
             open time in the backend).
-        enabled: counting is armed.
         closed: handle has been released.
-        value: accumulated event count (in sampling mode: samples x period,
-            i.e. what user space reconstructs from the sample stream).
-        time_enabled: seconds the counter was enabled with a live target.
-        time_running: seconds the event was actually counted (target
-            scheduled and counter resident in the PMU).
         sample_period: None for counting mode; otherwise the PMU interrupt
             period in events.
         samples: sampling-mode interrupts delivered so far.
     """
 
-    counter_id: int
-    event: Event
-    tid: int
-    owner_uid: int
-    enabled: bool = True
-    closed: bool = False
-    value: float = 0.0
-    time_enabled: float = 0.0
-    time_running: float = 0.0
-    sample_period: int | None = None
-    samples: int = 0
-    _carry: float = 0.0
+    __slots__ = (
+        "counter_id",
+        "event",
+        "tid",
+        "owner_uid",
+        "closed",
+        "sample_period",
+        "samples",
+        "_carry",
+        "_cols",
+        "_slot",
+    )
+
+    def __init__(
+        self,
+        counter_id: int,
+        event: Event,
+        tid: int,
+        owner_uid: int,
+        *,
+        sample_period: int | None = None,
+        columns: CounterColumns | None = None,
+        slot: int | None = None,
+    ) -> None:
+        if columns is None:
+            # Standalone counter (tests, ad-hoc use): own a private slot.
+            columns = CounterColumns(capacity=1)
+            slot = columns.alloc()
+        assert slot is not None
+        self.counter_id = counter_id
+        self.event = event
+        self.tid = tid
+        self.owner_uid = owner_uid
+        self.closed = False
+        self.sample_period = sample_period
+        self.samples = 0
+        self._carry = 0.0
+        self._cols = columns
+        self._slot = slot
+
+    # -- column-backed hot state ------------------------------------------
+    @property
+    def value(self) -> float:
+        """Accumulated event count (sampling mode: samples x period)."""
+        return float(self._cols.value[self._slot])
+
+    @value.setter
+    def value(self, v: float) -> None:
+        self._cols.value[self._slot] = v
+
+    @property
+    def time_enabled(self) -> float:
+        """Seconds the counter was enabled with a live target."""
+        return float(self._cols.time_enabled[self._slot])
+
+    @time_enabled.setter
+    def time_enabled(self, v: float) -> None:
+        self._cols.time_enabled[self._slot] = v
+
+    @property
+    def time_running(self) -> float:
+        """Seconds the event was actually counted (target scheduled and
+        counter resident in the PMU)."""
+        return float(self._cols.time_running[self._slot])
+
+    @time_running.setter
+    def time_running(self, v: float) -> None:
+        self._cols.time_running[self._slot] = v
+
+    @property
+    def enabled(self) -> bool:
+        """Counting is armed."""
+        return bool(self._cols.enabled[self._slot])
+
+    @enabled.setter
+    def enabled(self, v: bool) -> None:
+        cols = self._cols
+        if bool(cols.enabled[self._slot]) != bool(v):
+            cols.enabled[self._slot] = bool(v)
+            # Enabled bits participate in the per-tid slot caches.
+            cols.version += 1
 
     @property
     def sampling(self) -> bool:
@@ -74,14 +151,32 @@ class KernelCounter:
         return self.sample_period is not None
 
     def reading(self) -> tuple[int, float, float]:
-        """Snapshot as (value, time_enabled, time_running).
+        """Snapshot as (value, time_enabled, time_running), served from
+        the accumulator columns.
 
         Raises:
             CounterStateError: on a closed counter.
         """
         if self.closed:
             raise CounterStateError(f"counter {self.counter_id} is closed")
-        return int(self.value), self.time_enabled, self.time_running
+        cols, slot = self._cols, self._slot
+        return (
+            int(cols.value[slot]),
+            float(cols.time_enabled[slot]),
+            float(cols.time_running[slot]),
+        )
+
+    def _detach(self) -> None:
+        """Move this counter's state onto a private slot (at close)."""
+        shared, slot = self._cols, self._slot
+        mini = CounterColumns(capacity=1)
+        s = mini.alloc()
+        mini.value[s] = shared.value[slot]
+        mini.time_enabled[s] = shared.time_enabled[slot]
+        mini.time_running[s] = shared.time_running[slot]
+        mini.enabled[s] = shared.enabled[slot]
+        self._cols, self._slot = mini, s
+        shared.free(slot)
 
 
 class CounterTable:
@@ -95,6 +190,7 @@ class CounterTable:
         if pmu_width < 1:
             raise CounterStateError(f"pmu_width must be >= 1, got {pmu_width}")
         self.pmu_width = pmu_width
+        self.columns = CounterColumns()
         self._ids = itertools.count(3)  # skip fds 0-2, like a real process
         self._by_id: dict[int, KernelCounter] = {}
         self._by_tid: dict[int, list[KernelCounter]] = {}
@@ -104,6 +200,10 @@ class CounterTable:
         # Counters attached at the same instant share time_enabled, so one
         # fold serves a whole cohort.
         self._clock_cache: dict[tuple[float, float, int], float] = {}
+        # tid -> (columns.version, slots, codes, simple). ``simple`` means
+        # the vector fast path may accrue this tid: every counter enabled,
+        # none sampling, and the set fits the PMU without multiplexing.
+        self._tid_cache: dict[int, tuple[int, np.ndarray, np.ndarray, bool]] = {}
 
     def open(
         self,
@@ -128,6 +228,8 @@ class CounterTable:
             tid=tid,
             owner_uid=owner_uid,
             sample_period=sample_period,
+            columns=self.columns,
+            slot=self.columns.alloc(),
         )
         self._by_id[counter.counter_id] = counter
         self._by_tid.setdefault(tid, []).append(counter)
@@ -155,10 +257,42 @@ class CounterTable:
         counter.enabled = False
         self._by_tid[counter.tid].remove(counter)
         del self._by_id[counter_id]
+        counter._detach()
 
     def counters_for(self, tid: int) -> list[KernelCounter]:
         """Open counters targeting ``tid`` (may be empty)."""
         return list(self._by_tid.get(tid, ()))
+
+    def tid_slots(self, tid: int) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Column slots, event codes and fast-path eligibility for ``tid``.
+
+        Cached against ``columns.version``, which moves on every open,
+        close, and enable/disable toggle. ``simple`` is True when the
+        vectorized accrual path reproduces the scalar one exactly for this
+        tid: all counters enabled (the active window is the whole set), no
+        sampling counters (whose RNG draws must stay in scalar order), and
+        no multiplexing rotation.
+        """
+        entry = self._tid_cache.get(tid)
+        version = self.columns.version
+        if entry is not None and entry[0] == version:
+            return entry[1], entry[2], entry[3]
+        counters = self._by_tid.get(tid, ())
+        slots = np.fromiter(
+            (c._slot for c in counters), dtype=np.intp, count=len(counters)
+        )
+        codes = np.fromiter(
+            (EVENT_CODE[c.event] for c in counters),
+            dtype=np.intp,
+            count=len(counters),
+        )
+        simple = (
+            len(counters) <= self.pmu_width
+            and all(c.enabled for c in counters)
+            and not any(c.sampling for c in counters)
+        )
+        self._tid_cache[tid] = (version, slots, codes, simple)
+        return slots, codes, simple
 
     def _active_window(self, tid: int) -> set[int]:
         """Handles currently resident in the PMU for ``tid``."""
@@ -229,12 +363,25 @@ class CounterTable:
         counters = self._by_tid.get(tid)
         if not counters:
             return
-        enabled = [c for c in counters if c.enabled]
-        for counter in enabled:
-            counter.time_enabled = self._fold_clock(
-                counter.time_enabled, dt, ticks
-            )
-        if len(enabled) > self.pmu_width:
+        cols = self.columns
+        slots, _codes, _simple = self.tid_slots(tid)
+        enabled_slots = slots[cols.enabled[slots]]
+        if enabled_slots.size:
+            starts = cols.time_enabled[enabled_slots]
+            first = float(starts[0])
+            if np.all(starts == first):
+                # The common cohort: counters attached at the same instant
+                # share a clock, so one fold serves them all.
+                cols.time_enabled[enabled_slots] = self._fold_clock(
+                    first, dt, ticks
+                )
+            else:
+                uniq, inverse = np.unique(starts, return_inverse=True)
+                folded = np.array(
+                    [self._fold_clock(float(u), dt, ticks) for u in uniq]
+                )
+                cols.time_enabled[enabled_slots] = folded[inverse]
+        if enabled_slots.size > self.pmu_width:
             self._rotation[tid] = self._rotation.get(tid, 0) + ticks
 
     def _fold_clock(self, start: float, dt: float, ticks: int) -> float:
@@ -262,6 +409,29 @@ class CounterTable:
             )
             counter.samples += delivered
             counter.value = counter.samples * period
+
+    def read_group(self, counters: list[KernelCounter]) -> tuple[int, float, float]:
+        """Aggregate reading over a handle's kernel counters.
+
+        Values sum; the kernel clocks take the per-counter maximum (the
+        inherit fan-out reads each thread's counter once and user space
+        scales against the widest window). Served from the accumulator
+        columns like :meth:`KernelCounter.reading`.
+
+        Raises:
+            CounterStateError: when any counter is closed.
+        """
+        value = 0
+        enabled = 0.0
+        running = 0.0
+        for counter in counters:
+            v, te, tr = counter.reading()
+            value += v
+            if te > enabled:
+                enabled = te
+            if tr > running:
+                running = tr
+        return value, enabled, running
 
     def open_count(self) -> int:
         """Number of currently open counters (for leak tests)."""

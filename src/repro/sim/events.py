@@ -58,6 +58,15 @@ class Event(enum.Enum):
         return self in _GENERIC_EVENTS
 
 
+#: Dense integer code per event, in enum declaration order. The columnar
+#: kernel indexes its per-slice delta vectors and per-counter event columns
+#: by these codes instead of hashing enum members in inner loops.
+EVENT_CODE: dict[Event, int] = {event: i for i, event in enumerate(Event)}
+
+#: Length of a dense per-event vector (one slot per Event member).
+N_EVENT_CODES: int = len(Event)
+
+
 _GENERIC_EVENTS = frozenset(
     {
         Event.CYCLES,

@@ -647,6 +647,20 @@ class Grid:
             "utilisation": self.utilisation(),
         }
 
+    def kernel_stats(self) -> dict[str, dict[str, int]]:
+        """Columnar-kernel health per in-process node.
+
+        Observability only, never part of :meth:`conformance_digest`:
+        fast-vs-fallback slice counts depend on which advance path ran,
+        which is exactly the engine-specific detail digests must ignore.
+        Sharded grids return an empty map (their machines live in worker
+        processes); serial and legacy engines report every node.
+        """
+        return {
+            name: machine.kernel_stats()
+            for name, machine in self.engine.nodes.items()
+        }
+
     @property
     def supervisor_events(self) -> list[dict[str, Any]]:
         """The supervised engine's deterministic recovery log (empty for

@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel
 from repro.sim.cache import CacheHierarchy, CacheInstance
+from repro.sim.columns import ColumnKernel
 from repro.sim.core import RateCache, SliceRates, compute_rates
 from repro.sim.counters import CounterTable
 from repro.sim.cpu_topology import Topology
@@ -108,6 +109,8 @@ class SimMachine:
         # is the only way an id leaves the cache.
         self._rate_cache = RateCache() if rate_cache is None else rate_cache
         self._contention_cache: dict[tuple, tuple] = {}
+        # Columnar tick engine (lazily built on first run_ticks).
+        self._kernel: ColumnKernel | None = None
         #: pid -> first tick boundary at/after which the process was seen
         #: dead. This is exactly when an external per-tick reaper (the
         #: grid's) would observe the death, recorded here so epoch-batched
@@ -256,9 +259,30 @@ class SimMachine:
         self.run_until(self.now + seconds)
 
     def run_until(self, deadline: float) -> None:
-        """Advance the virtual clock to ``deadline`` in whole ticks."""
-        while self.now < deadline - 1e-12:
-            self._step(min(self.tick, deadline - self.now))
+        """Advance the virtual clock to ``deadline`` in whole ticks.
+
+        Tick accounting is integral: the span is converted to a whole tick
+        count once, every full tick steps by exactly ``self.tick``, and at
+        most one fractional step covers the remainder. The old form — loop
+        while ``now < deadline - 1e-12``, stepping ``min(tick, rest)`` —
+        compared an *absolute* epsilon against a clock whose ulp outgrows
+        it (ulp(3.6e5) is already ~6e-11), so long runs drifted by whole
+        ticks. Counting ticks as integers keeps the step sequence identical
+        to :meth:`run_ticks` at any clock magnitude.
+        """
+        span = deadline - self.now
+        if span <= 0:
+            return
+        quotient = span / self.tick
+        # Absolute + relative slack: a quotient that is integral up to
+        # accumulated float error (a few ulps) must not lose its last tick
+        # to truncation.
+        whole = int(quotient + max(1e-9, quotient * 1e-12))
+        for _ in range(whole):
+            self._step(self.tick)
+        remainder = deadline - self.now
+        if remainder > self.tick * 1e-9:
+            self._step(remainder)
 
     def run_ticks(self, n: int) -> None:
         """Advance exactly ``n`` whole ticks on the batched fast path.
@@ -286,70 +310,38 @@ class SimMachine:
 
         Correctness does not depend on cache hit rates (misses fall back to
         the scalar code paths on the very same objects); only speed does.
+
+        The loop itself lives in :class:`~repro.sim.columns.ColumnKernel`:
+        per-thread scheduling state is mirrored into parallel arrays so the
+        runnable scan, fairness sort, idle-clock arrears and (for simple
+        counter sets) the per-slice event accrual all run as array
+        operations instead of per-object Python loops.
         """
         if n < 0:
             raise SimulationError(f"cannot run a negative tick count {n}")
-        dt = self.tick
-        counters = self.counters
-        # tid -> ticks of this batch already folded into its counters.
-        synced: dict[int, int] = {}
+        if self._kernel is None:
+            self._kernel = ColumnKernel(self)
+        self._kernel.run(n)
 
-        def sync_tid(tid: int, upto: int) -> None:
-            done = synced.get(tid, 0)
-            if upto > done:
-                counters.advance_idle(tid, dt, upto - done)
-            synced[tid] = upto
+    def kernel_stats(self) -> dict[str, int]:
+        """Columnar-kernel health: slot occupancy and fast-path coverage.
 
-        def sync_all(upto: int) -> None:
-            for tid, thread in self._threads.items():
-                if thread.alive:
-                    sync_tid(tid, upto)
-
-        def timers_due() -> bool:
-            return bool(self._timers) and self._timers[0][0] <= self.now + 1e-12
-
-        for t in range(n):
-            if timers_due():
-                # Callbacks may read counters, kill tasks or spawn new
-                # ones: bring every live task's clocks current first.
-                sync_all(t)
-                self._fire_timers()
-                for tid, thread in self._threads.items():
-                    if thread.alive:
-                        synced.setdefault(tid, t)
-            runnable = [
-                thread
-                for thread in self._threads.values()
-                if thread.state is TaskState.RUNNABLE
-                and (
-                    thread.duty_rng is None
-                    or thread.duty_rng.random() < thread.process.duty_cycle
-                )
-            ]
-            assignment = self.scheduler.dispatch(runnable, dt).assignment
-            located = {
-                thread.tid: thread.current_phase()
-                for thread in assignment.values()
-            }
-            rates = self._cached_contention(assignment, located)
-            for pu_id, thread in assignment.items():
-                sync_tid(thread.tid, t)
-                self._run_slice(
-                    thread,
-                    pu_id,
-                    rates.get(thread.tid),
-                    dt,
-                    rate_cache=self._rate_cache,
-                )
-                synced[thread.tid] = t + 1
-            self.now += dt
-            if timers_due():
-                sync_all(t + 1)
-                self._fire_timers()
-                for tid, thread in self._threads.items():
-                    if thread.alive:
-                        synced.setdefault(tid, t + 1)
-        sync_all(n)
+        Observability only — never part of conformance digests. A high
+        ``fallback_slices`` share means the population's counter sets are
+        not *simple* (sampling / disabled / multiplexed) and the node is
+        paying scalar prices.
+        """
+        kernel = self._kernel
+        columns = self.counters.columns
+        return {
+            "counter_slots_live": columns.live_slots(),
+            "counter_slot_capacity": columns.capacity,
+            "tracked_tasks": kernel.size if kernel is not None else 0,
+            "fast_slices": kernel.fast_slices if kernel is not None else 0,
+            "fallback_slices": (
+                kernel.fallback_slices if kernel is not None else 0
+            ),
+        }
 
     def _fire_timers(self) -> None:
         while self._timers and self._timers[0][0] <= self.now + 1e-12:

@@ -162,7 +162,16 @@ def node_snapshot(machine: SimMachine) -> dict[str, Any]:
             proc.user,
             proc.alive,
             tuple(
-                (t.tid, t.retired, t.cycles, t.cpu_time, t.state.value)
+                (
+                    t.tid,
+                    t.retired,
+                    t.cycles,
+                    t.cpu_time,
+                    t.state.value,
+                    t.vruntime,
+                    t.context_switches,
+                    t.last_pu,
+                )
                 for t in proc.threads
             ),
         )
@@ -183,6 +192,13 @@ def node_snapshot(machine: SimMachine) -> dict[str, Any]:
         "counters": counters,
         "open_counters": machine.counters.open_count(),
         "deaths": dict(machine.death_observed),
+        # Scheduler-core state the columnar dispatch path shares with the
+        # scalar one: placement memory and multiplex rotation. Safe in
+        # conformance digests because every engine is bitwise-equivalent.
+        "rotation": dict(machine.counters._rotation),
+        "last_assignment": {
+            pu: t.tid for pu, t in machine.scheduler._last_assignment.items()
+        },
     }
 
 

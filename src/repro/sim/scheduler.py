@@ -17,7 +17,10 @@ Implements the behaviours the paper's experiments depend on:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.sim.cpu_topology import Topology
 from repro.sim.process import SimThread, TaskState
@@ -64,6 +67,44 @@ class Scheduler:
         """
         runnable = [t for t in runnable if t.state is TaskState.RUNNABLE]
         order = sorted(runnable, key=lambda t: (t.vruntime, t.tid))
+        return self._place(order, dt)
+
+    def dispatch_columns(
+        self,
+        threads: list[SimThread],
+        tids: np.ndarray,
+        vruntimes: np.ndarray,
+        candidate_slots: np.ndarray,
+        dt: float,
+    ) -> Dispatch:
+        """Columnar :meth:`dispatch`: candidates arrive as index arrays.
+
+        ``candidate_slots`` indexes the parallel ``threads``/``tids``/
+        ``vruntimes`` columns (runnable and duty-gated already). The
+        fairness order comes from one ``np.lexsort`` over the columns —
+        bitwise the same order as ``sorted(key=(vruntime, tid))``, since
+        tids are unique — and the placement walk is shared with the scalar
+        path, so the two produce identical assignments and side effects.
+        Only the walked prefix of the order ever materialises thread
+        objects (placement stops when the PUs run out).
+        """
+        order: Iterable[SimThread]
+        if len(candidate_slots):
+            ranked = candidate_slots[
+                np.lexsort((tids[candidate_slots], vruntimes[candidate_slots]))
+            ]
+            order = (threads[slot] for slot in ranked)
+        else:
+            order = ()
+        return self._place(order, dt)
+
+    def _place(self, order: Iterable[SimThread], dt: float) -> Dispatch:
+        """Walk threads in fairness order and place them on free PUs.
+
+        The shared core of both dispatch entry points; all scheduler side
+        effects (vruntime, last_pu, context switches, placement memory)
+        happen here, identically for either caller.
+        """
         free_pus = {p.pu_id for p in self.topology.pus}
         core_busy: dict[int, int] = {}
         assignment: dict[int, SimThread] = {}

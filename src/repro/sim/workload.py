@@ -107,11 +107,30 @@ class Workload:
     @property
     def total_instructions(self) -> float:
         """Total retired instructions (inf for endless workloads)."""
-        per_pass = sum(p.instructions for p in self.phases)
-        return per_pass * self.repeat
+        return self._tables()[0] * self.repeat
 
     def _cumulative(self) -> np.ndarray:
         return np.cumsum([p.instructions for p in self.phases])
+
+    def _tables(self) -> tuple[float, tuple[float, ...]]:
+        """``(per_pass, cumulative budgets)``, memoised.
+
+        ``locate`` runs on every dispatch of every thread sharing this
+        workload; the sums are loop-invariant, so they are accumulated once
+        — in exactly the order the unmemoised code used, keeping every
+        float identical — and cached on the instance.
+        """
+        cached = self.__dict__.get("_locate_tables")
+        if cached is None:
+            per_pass = sum(p.instructions for p in self.phases)
+            cums: list[float] = []
+            cum = 0.0
+            for phase in self.phases:
+                cum += phase.instructions
+                cums.append(cum)
+            cached = (per_pass, tuple(cums))
+            object.__setattr__(self, "_locate_tables", cached)
+        return cached
 
     def locate(self, retired: float) -> tuple[Phase, float] | None:
         """Phase active after ``retired`` instructions, and budget left in it.
@@ -121,7 +140,7 @@ class Workload:
         """
         if retired < 0:
             raise WorkloadError(f"retired must be >= 0, got {retired}")
-        per_pass = sum(p.instructions for p in self.phases)
+        per_pass, cums = self._tables()
         if math.isinf(per_pass):
             pass_retired = retired
         else:
@@ -135,12 +154,10 @@ class Workload:
             if full_passes >= self.repeat:
                 return None
             pass_retired = max(0.0, retired - full_passes * per_pass)
-        cum = 0.0
         eps = 1e-12 * max(retired, 1.0)
-        for phase in self.phases:
+        for phase, cum in zip(self.phases, cums):
             if math.isinf(phase.instructions):
                 return phase, math.inf
-            cum += phase.instructions
             if pass_retired < cum - eps:
                 return phase, cum - pass_retired
         # retired landed exactly on a pass boundary: start the next pass

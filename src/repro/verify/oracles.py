@@ -30,7 +30,7 @@ from repro.core.expr import canonical_name
 from repro.core.recorder import Recorder
 from repro.core.screen import get_screen
 from repro.perf.events import resolve_event
-from repro.verify.runner import Execution, ToolRun, execute
+from repro.verify.runner import Execution, ToolRun, execute, run_machine
 from repro.verify.scenario import Scenario
 
 #: HEALTH labels that may ever appear in a frame. "retrying" exists as
@@ -137,6 +137,30 @@ def _advance_equivalence(ex: Execution) -> list[Violation]:
     return _compare_runs(
         "advance-equivalence", "scalar", ex.base, "run_ticks", ex.ticks
     )
+
+
+@oracle("scalar-columnar-machine")
+def _scalar_columnar_machine(ex: Execution) -> list[Violation]:
+    """The columnar tick kernel must replay the scalar ``_step`` reference
+    bit for bit on the bare machine.
+
+    Deeper than advance-equivalence: no sampler or backend in the loop, and
+    the node snapshot includes the scheduler observables the columnar path
+    mirrors into arrays (vruntime, context switches, last PU, placement
+    memory, multiplex rotation), so a divergence in any mirrored column
+    surfaces even when frames would still agree.
+    """
+    if ex.scenario.kind != "tool":
+        return []
+    scalar = run_machine(ex.scenario, advance="scalar")
+    columnar = run_machine(ex.scenario, advance="ticks")
+    return [
+        Violation(
+            "scalar-columnar-machine",
+            f"bare-machine state diverges (scalar vs columnar): {diff}",
+        )
+        for diff in deep_diff(scalar, columnar)
+    ]
 
 
 @oracle("read-agreement")

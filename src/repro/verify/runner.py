@@ -34,6 +34,7 @@ from repro.perf.faults import FaultPlan, FaultSpec, default_specs
 from repro.perf.simbackend import SimBackend
 from repro.procfs.simproc import SimProcReader
 from repro.sim.arch import get_arch
+from repro.sim.events import Event
 from repro.sim.grid import Grid, NodeSpec, QueueSpec
 from repro.sim.machine import SimMachine
 from repro.sim.parallel import node_snapshot
@@ -271,6 +272,40 @@ def run_tool(
         read_retries=sampler.read_retries,
         read_skips=sampler.read_skips,
     )
+
+
+#: Events the bare-machine equivalence oracle opens on every immediate
+#: task: enough to exercise the counter columns without assuming anything
+#: about the scenario's screen.
+MACHINE_ORACLE_EVENTS = (Event.INSTRUCTIONS, Event.CYCLES, Event.CACHE_MISSES)
+
+
+def run_machine(scenario: Scenario, *, advance: str = "scalar") -> dict[str, Any]:
+    """One bare-machine run of a tool scenario: no sampler, no faults.
+
+    Spawns the scenario's tasks (timers, kills and duty cycles included),
+    opens :data:`MACHINE_ORACLE_EVENTS` on each immediately-spawned task,
+    advances the clock in the scenario's delay cadence through either the
+    scalar ``_step`` reference (``advance="scalar"``) or the columnar
+    ``run_ticks`` kernel (``advance="ticks"``), and returns the full node
+    snapshot — the scalar-vs-columnar oracle's raw material, deeper than
+    the tool runs because nothing in the sampler stack can mask a
+    scheduler-state divergence.
+    """
+    machine = _build_machine(scenario)
+    pids = _plan_spawns(scenario, machine)
+    for task in scenario.tasks:
+        if task.spawn_at <= 0.0:
+            for event in MACHINE_ORACLE_EVENTS:
+                machine.counters.open(event, pids[task.name], 0)
+    ticks_per_delay = round(scenario.delay / scenario.tick)
+    for _ in range(scenario.iterations):
+        if advance == "ticks":
+            machine.run_ticks(ticks_per_delay)
+        else:
+            for _ in range(ticks_per_delay):
+                machine._step(machine.tick)
+    return node_snapshot(machine)
 
 
 # -- grid runs ----------------------------------------------------------------

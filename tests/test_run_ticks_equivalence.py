@@ -226,6 +226,41 @@ class TestTimersAndLifecycles:
 
         assert_paths_equal(build, 40)
 
+    def test_timer_kills_and_respawns_at_same_boundary(self):
+        """One timer instant kills a task and spawns its replacement.
+
+        The ``synced`` arrears bookkeeping is the edge here: the dead
+        task's counters must be brought current *before* the callback runs
+        (the kill freezes them mid-batch), and the replacement — ingested
+        at the same batch index the victim vacated — must start its
+        arrears at the current tick, not at zero, or ``advance_idle``
+        would fold phantom idle ticks into its fresh counters.
+        """
+
+        def build():
+            machine = SimMachine(
+                NEHALEM, sockets=1, cores_per_socket=2, tick=0.1, seed=53
+            )
+            populate(machine, 5, spec_seed=21)
+            victim = next(iter(machine.processes))
+            spec = synthetic.generate_specs(9, seed=33)[-1]
+
+            def churn():
+                machine.kill(victim)
+                proc = machine.spawn(
+                    "respawn", synthetic.build(spec, NEHALEM, seed=11)
+                )
+                for event in EVENTS:
+                    machine.counters.open(event, proc.pid, 0)
+
+            machine.at(1.5, churn)
+            # A second churn deeper into the batch: arrears are larger and
+            # the replacement's tid reuses nothing (tids are monotonic).
+            machine.at(3.1, lambda: machine.kill(1001))
+            return machine
+
+        assert_paths_equal(build, 60)
+
     def test_workloads_complete_and_reap(self):
         """Short-budget workloads finish mid-batch; dead tasks must
         freeze their counters at the same instant on both paths."""

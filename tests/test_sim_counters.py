@@ -136,3 +136,118 @@ class TestMultiplexing:
                          scheduled_dt=1.0, alive=True)
         runnings = [c.reading()[2] for c in counters]
         assert max(runnings) - min(runnings) <= 2.0
+
+
+class TestAdvanceIdle:
+    """Batch idle folding must replay per-tick idle accruals exactly."""
+
+    def test_matches_repeated_idle_accrue(self, table):
+        batched = [table.open(e, 1, 0) for e in (Event.CYCLES, Event.LOADS)]
+        stepped = [table.open(e, 2, 0) for e in (Event.CYCLES, Event.LOADS)]
+        dt, ticks = 0.1, 137
+        table.advance_idle(1, dt, ticks)
+        for _ in range(ticks):
+            table.accrue(2, {}, wall_dt=dt, scheduled_dt=0.0, alive=True)
+        for b, s in zip(batched, stepped):
+            assert b.reading() == s.reading()
+            assert b.time_enabled == s.time_enabled  # bitwise, not approx
+
+    def test_mixed_start_clocks_fold_independently(self, table):
+        early = table.open(Event.CYCLES, 1, 0)
+        table.advance_idle(1, 0.1, 3)  # early is now 3 ticks ahead
+        late = table.open(Event.INSTRUCTIONS, 1, 0)
+        table.advance_idle(1, 0.1, 7)
+        reference = 0.0
+        for _ in range(3):
+            reference += 0.1
+        late_ref, early_ref = 0.0, reference
+        for _ in range(7):
+            early_ref += 0.1
+            late_ref += 0.1
+        assert early.time_enabled == early_ref
+        assert late.time_enabled == late_ref
+
+    def test_disabled_counters_untouched(self, table):
+        on = table.open(Event.CYCLES, 1, 0)
+        off = table.open(Event.INSTRUCTIONS, 1, 0)
+        off.enabled = False
+        table.advance_idle(1, 0.25, 10)
+        assert on.time_enabled == pytest.approx(2.5)
+        assert off.time_enabled == 0.0
+        assert off.time_running == 0.0
+
+    def test_rotation_advances_once_per_tick(self, table):
+        events = [
+            Event.CYCLES,
+            Event.INSTRUCTIONS,
+            Event.CACHE_MISSES,
+            Event.CACHE_REFERENCES,
+            Event.BRANCH_MISSES,
+        ]
+        for e in events:
+            table.open(e, 1, 0)
+        assert len(events) > table.pmu_width
+        table.advance_idle(1, 0.1, 9)
+        assert table._rotation[1] == 9
+
+    def test_zero_ticks_or_unmonitored_tid_is_noop(self, table):
+        c = table.open(Event.CYCLES, 1, 0)
+        table.advance_idle(1, 0.1, 0)
+        table.advance_idle(999, 0.1, 5)
+        assert c.time_enabled == 0.0
+
+
+class TestCounterColumns:
+    """Slot allocator behind the table: grow, recycle, detach-on-close."""
+
+    def test_slots_recycle_after_close(self, table):
+        a = table.open(Event.CYCLES, 1, 0)
+        slot = a._slot
+        table.close(a.counter_id)
+        b = table.open(Event.LOADS, 2, 0)
+        assert b._slot == slot  # freed slot reused
+        assert b.value == 0.0 and b.time_enabled == 0.0
+
+    def test_closed_counter_keeps_final_state_despite_recycling(self, table):
+        a = table.open(Event.CYCLES, 1, 0)
+        table.accrue(1, {Event.CYCLES: 42.0}, wall_dt=1.0, scheduled_dt=1.0,
+                     alive=True)
+        table.close(a.counter_id)
+        b = table.open(Event.LOADS, 2, 0)  # recycles a's slot
+        table.accrue(2, {Event.LOADS: 7.0}, wall_dt=0.5, scheduled_dt=0.5,
+                     alive=True)
+        # The detached handle still exposes its final values; reading()
+        # raises (closed), but the columns behind it are private now.
+        assert a.value == 42.0
+        assert a.time_enabled == 1.0
+        assert b.value == 7.0
+
+    def test_capacity_grows_geometrically(self, table):
+        start = table.columns.capacity
+        opened = [table.open(Event.CYCLES, i, 0) for i in range(start + 1)]
+        assert table.columns.capacity == start * 2
+        assert table.columns.live_slots() == start + 1
+        for c in opened:
+            table.close(c.counter_id)
+        assert table.columns.live_slots() == 0
+
+    def test_version_moves_on_population_and_enable_changes(self, table):
+        v0 = table.columns.version
+        c = table.open(Event.CYCLES, 1, 0)
+        assert table.columns.version > v0
+        v1 = table.columns.version
+        c.enabled = False
+        assert table.columns.version > v1
+        v2 = table.columns.version
+        c.enabled = False  # no-op toggle must not thrash the caches
+        assert table.columns.version == v2
+
+    def test_double_free_rejected(self, table):
+        from repro.errors import SimulationError
+        from repro.sim.columns import CounterColumns
+
+        cols = CounterColumns(capacity=2)
+        slot = cols.alloc()
+        cols.free(slot)
+        with pytest.raises(SimulationError):
+            cols.free(slot)

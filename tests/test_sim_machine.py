@@ -58,6 +58,43 @@ class TestClockAndTimers:
         nehalem_machine.run_until(1.05)
         assert nehalem_machine.now == pytest.approx(1.05)
 
+    def test_run_until_counts_whole_ticks_without_drift(self, nehalem_machine):
+        """10^6 ticks at tick=0.1 must be exactly 10^6 full steps.
+
+        The old epsilon loop (``while now < deadline - 1e-12``) compared an
+        absolute epsilon against a clock whose ulp grows past it (ulp of
+        1e5 is ~1.5e-11), so long runs shed ticks and finished with ragged
+        fractional steps. Integer tick accounting cannot drift. ``_step``
+        is stubbed: the property under test is pure tick bookkeeping.
+        """
+        machine = nehalem_machine
+        steps = []
+
+        def fake_step(dt):
+            steps.append(dt)
+            machine.now += dt
+
+        machine._step = fake_step
+        machine.run_until(100_000.0)
+        assert len(steps) == 1_000_000
+        assert all(dt == 0.1 for dt in steps)
+
+    def test_run_until_fractional_remainder_still_steps(self, nehalem_machine):
+        machine = nehalem_machine
+        steps = []
+
+        def fake_step(dt):
+            steps.append(dt)
+            machine.now += dt
+
+        machine._step = fake_step
+        machine.run_until(0.25)
+        assert len(steps) == 3
+        assert steps[0] == steps[1] == 0.1
+        assert steps[2] == pytest.approx(0.05)
+        machine.run_until(0.25)  # already there: no extra steps
+        assert len(steps) == 3
+
     def test_timer_fires_in_order(self, nehalem_machine):
         fired = []
         nehalem_machine.at(0.5, lambda: fired.append("b"))
