@@ -1,0 +1,179 @@
+"""Fan-out scaling: one sampler, a thousand subscribers.
+
+The collector daemon's design claim is that the audience size never
+touches the sampling loop: frames are encoded once per *distinct*
+subscription and delivery is a queue append per client. This benchmark
+pins that down with the hub driven directly (no sockets — the TCP layer
+is exercised by ``tests/test_serve_daemon.py`` and the CI smoke step;
+here we time the shared machinery):
+
+* a 200-task simulated node sampled at a 10 Hz cadence;
+* 1 vs 1000 total-subscription sessions on the same
+  :class:`~repro.serve.session.FanoutHub`;
+* per-(client, frame) delivery latency measured publish -> pop+decode.
+
+Artifacts:
+
+* ``BENCH_serve.json``        — the full run (default, committed).
+* ``BENCH_serve_smoke.json``  — the CI smoke run (``REPRO_BENCH_SMOKE=1``).
+
+Floors: the full run asserts p99 delivery latency under half a refresh
+period and — the tentpole property — median per-refresh ``sample_frame``
+wall time at 1000 subscribers within 10% of the 1-subscriber cost. The
+smoke run keeps a deliberately loose latency ceiling and a 2x cost
+ratio so shared-runner noise cannot flake CI, while a fan-out that has
+gone accidentally O(clients) in the sampler still fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _harness import OUT_DIR
+
+from repro.core.app import SimHost
+from repro.core.options import Options
+from repro.core.sampler import Sampler
+from repro.core.screen import get_screen
+from repro.serve.protocol import decode_message
+from repro.serve.session import FanoutHub
+from repro.sim.arch import NEHALEM
+from repro.sim.machine import SimMachine
+from repro.sim.workloads import synthetic
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+DELAY = 0.1  # the 10 Hz refresh cadence
+TASKS = 200
+
+if SMOKE:
+    CLIENTS, FRAMES = 50, 6
+    MAX_P99_S = 2.0
+    MAX_COST_RATIO = 2.0
+else:
+    CLIENTS, FRAMES = 1000, 20
+    MAX_P99_S = DELAY / 2  # delivered well inside the refresh period
+    MAX_COST_RATIO = 1.10  # sampling cost flat in client count
+
+
+def _build() -> tuple[SimHost, Sampler]:
+    """A 4-core node oversubscribed with 200 monitored synthetic tasks —
+    heavy enough that per-refresh sampling cost times stably."""
+    machine = SimMachine(
+        NEHALEM, sockets=1, cores_per_socket=4, tick=DELAY, seed=7
+    )
+    for spec in synthetic.generate_specs(TASKS, seed=3):
+        workload = synthetic.build(spec, NEHALEM, seed=11)
+        machine.spawn(spec.name, workload, nthreads=1, duty_cycle=1.0)
+    host = SimHost(machine)
+    sampler = Sampler(
+        host.backend, host.tasks, get_screen("default"), Options(delay=DELAY)
+    )
+    return host, sampler
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _run_fanout(clients: int, frames: int) -> dict:
+    """Drive ``frames`` refreshes into ``clients`` sessions; every
+    session drains after each publish.
+
+    A client's delivery latency is publish -> its payload popped off the
+    queue, plus one decode of that payload. Real subscribers decode
+    concurrently in their own processes, so the decode cost enters each
+    latency once — timing 1000 *sequential* decodes of byte-identical
+    payloads would charge the last client for 999 decodes it never
+    performs (a single-threaded-harness artifact, not fan-out cost)."""
+    host, sampler = _build()
+    hub = FanoutHub(queue_limit=8, retention=16)
+    sessions = [hub.add_session(f"dash-{i}") for i in range(clients)]
+    sampler.sample_frame()  # baseline
+    sample_s: list[float] = []
+    fanout_s: list[float] = []
+    latencies: list[float] = []
+    for _ in range(frames):
+        host.sleep(DELAY)
+        t0 = time.perf_counter()
+        frame = sampler.sample_frame()
+        t1 = time.perf_counter()
+        hub.publish(frame)
+        t2 = time.perf_counter()
+        decode_cost: dict[bytes, float] = {}
+        for session in sessions:
+            while (item := session.pop()) is not None:
+                handoff = time.perf_counter() - t1
+                payload = item[1]
+                cost = decode_cost.get(payload)
+                if cost is None:
+                    d0 = time.perf_counter()
+                    decode_message(payload[4:])
+                    cost = time.perf_counter() - d0
+                    decode_cost[payload] = cost
+                latencies.append(handoff + cost)
+        sample_s.append(t1 - t0)
+        fanout_s.append(t2 - t1)
+        assert len(frame) > 0
+    sampler.close()
+    stats = hub.stats()
+    assert stats["dropped_total"] == 0  # every session drained in time
+    assert stats["encode_misses"] == frames  # one encode per publish...
+    assert stats["encode_hits"] == (clients - 1) * frames  # ...shared
+    sample_s.sort()
+    latencies.sort()
+    return {
+        "clients": clients,
+        "frames": frames,
+        "sample_ms_median": round(1e3 * _percentile(sample_s, 0.5), 4),
+        "fanout_ms_median": round(
+            1e3 * _percentile(sorted(fanout_s), 0.5), 4
+        ),
+        "latency_ms_p50": round(1e3 * _percentile(latencies, 0.50), 4),
+        "latency_ms_p99": round(1e3 * _percentile(latencies, 0.99), 4),
+        "deliveries": len(latencies),
+    }
+
+
+def test_fanout_scaling():
+    solo = _run_fanout(1, FRAMES)
+    crowd = _run_fanout(CLIENTS, FRAMES)
+    ratio = (
+        crowd["sample_ms_median"] / solo["sample_ms_median"]
+        if solo["sample_ms_median"] > 0
+        else 1.0
+    )
+    payload = {
+        "arch": NEHALEM.name,
+        "tasks": TASKS,
+        "refresh_hz": round(1.0 / DELAY, 1),
+        "smoke": SMOKE,
+        "solo": solo,
+        "crowd": crowd,
+        "sampling_cost_ratio": round(ratio, 3),
+        "max_cost_ratio": MAX_COST_RATIO,
+        "max_p99_ms": round(1e3 * MAX_P99_S, 1),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    artifact = "BENCH_serve_smoke.json" if SMOKE else "BENCH_serve.json"
+    (OUT_DIR / artifact).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nserve fanout: {CLIENTS} clients x {FRAMES} frames, "
+        f"p50 {crowd['latency_ms_p50']:.2f} ms, "
+        f"p99 {crowd['latency_ms_p99']:.2f} ms, "
+        f"sampling cost x{ratio:.3f} vs 1 client"
+    )
+    assert crowd["latency_ms_p99"] <= 1e3 * MAX_P99_S, (
+        f"p99 delivery latency {crowd['latency_ms_p99']:.2f} ms exceeds "
+        f"{1e3 * MAX_P99_S:.0f} ms at {CLIENTS} clients"
+    )
+    assert ratio <= MAX_COST_RATIO, (
+        f"sampling cost grew x{ratio:.3f} going from 1 to {CLIENTS} "
+        f"clients (floor {MAX_COST_RATIO}x) — fan-out is leaking into "
+        "the sampler"
+    )

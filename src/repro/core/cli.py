@@ -69,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "multiplex starvation) and show a HEALTH "
                              "column; the same seed replays the same "
                              "failures byte-for-byte (requires --sim)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="run as a collector daemon on this TCP port "
+                             "(0 = ephemeral): one sampler, any number of "
+                             "--connect viewers; sampling cost is O(1) in "
+                             "client count (requires --sim)")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="subscribe to a collector daemon instead of "
+                             "sampling locally; frames arrive bitwise-"
+                             "identical and drive the normal screen")
     parser.add_argument("--replay", default=None, metavar="FILE",
                         help="re-execute a conformance repro artifact "
                              "(verify/repro-<hash>.json) through the "
@@ -146,6 +155,85 @@ def _run_grid(options: Options) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace, options: Options, screen) -> int:
+    """The --serve path: collector daemon over the demo simulated node.
+
+    Binds, prints the bound address (flushed, so scripts can scrape an
+    ephemeral port), waits for the first subscriber, then publishes
+    ``--iterations`` refreshes and says BYE to everyone.
+    """
+    import asyncio
+
+    from repro.core.sampler import Sampler
+    from repro.serve.daemon import CollectorDaemon
+
+    machine = datacenter.make_node(tick=min(0.5, args.delay / 4))
+    datacenter.populate_fig1(machine)
+    host = SimHost(machine)
+    sampler = Sampler(host.backend, host.tasks, screen, options)
+    daemon = CollectorDaemon(
+        sampler,
+        advance=lambda: host.sleep(args.delay),
+        iterations=args.iterations,
+        min_clients=1,
+        profile=(
+            (lambda line: print(line, file=sys.stderr))
+            if args.profile
+            else None
+        ),
+    )
+
+    async def go() -> None:
+        port = await daemon.start(port=args.serve)
+        print(f"tiptop: serving on 127.0.0.1:{port}", flush=True)
+        await daemon.run()
+        await daemon.close()
+
+    asyncio.run(go())
+    return 0
+
+
+def _run_connect(args: argparse.Namespace, options: Options) -> int:
+    """The --connect path: the viewer side of the collector split.
+
+    Served frames are bitwise-identical to local sampling, so they feed
+    the ordinary batch renderer (and the server names its screen in
+    HELLO, so columns always match what the daemon counts).
+    """
+    import asyncio
+
+    from repro.core import formatter
+    from repro.core.sampler import Snapshot
+    from repro.serve.client import ServeClient
+
+    host_name, _, port_text = options.connect.rpartition(":")
+
+    async def go() -> int:
+        client = ServeClient(host_name, int(port_text), client_id="tiptop")
+        hello = await client.connect()
+        screen = get_screen(hello.get("screen", "default"))
+        shown = 0
+        try:
+            async for _seq, frame in client.frames():
+                snapshot = Snapshot(
+                    time=frame.time,
+                    interval=frame.interval,
+                    rows=(),
+                    frame=frame,
+                )
+                sys.stdout.write(formatter.render_batch(screen, snapshot) + "\n")
+                shown += 1
+                if args.iterations is not None and shown >= args.iterations:
+                    await client.leave()
+        finally:
+            await client.close()
+        if args.profile and client.bye and "stats" in client.bye:
+            print(f"tiptop: serve stats {client.bye['stats']}", file=sys.stderr)
+        return 0
+
+    return asyncio.run(go())
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point. Returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -171,6 +259,19 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.serve is not None and not args.sim:
+        print(
+            "tiptop: --serve runs the collector daemon over the simulated "
+            "node and requires --sim",
+            file=sys.stderr,
+        )
+        return 2
+    if args.serve is not None and args.connect is not None:
+        print(
+            "tiptop: --serve and --connect are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.grid_chaos is not None and (
         not args.sim or args.grid_workers is None
     ):
@@ -193,15 +294,21 @@ def main(argv: list[str] | None = None) -> int:
             chaos=args.chaos,
             grid_workers=args.grid_workers or 1,
             grid_chaos=args.grid_chaos,
+            serve_port=args.serve,
+            connect=args.connect,
         )
         if args.grid_workers is not None:
             return _run_grid(options)
+        if args.connect is not None:
+            return _run_connect(args, options)
         if args.screen_file:
             from repro.core.config_file import find_screen, load_screens
 
             screen = find_screen(load_screens(args.screen_file), args.screen)
         else:
             screen = get_screen(args.screen)
+        if args.serve is not None:
+            return _run_serve(args, options, screen)
         if args.sim:
             machine = datacenter.make_node(tick=min(0.5, args.delay / 4))
             datacenter.populate_fig1(machine)

@@ -24,6 +24,7 @@ any row value without consulting the screen that produced it.
 from __future__ import annotations
 
 import math
+import struct
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -208,6 +209,66 @@ class SnapshotFrame:
     def select(self, mask: np.ndarray) -> "SnapshotFrame":
         """Frame with only the rows where ``mask`` is true."""
         return self.take(np.flatnonzero(mask))
+
+    # -- codec hooks --------------------------------------------------------
+    def wire_columns(self):
+        """Canonical column enumeration for binary codecs.
+
+        Yields ``(group, name, values)`` triples in the fixed wire order:
+        the six identity/``/proc`` arrays first (group ``"fixed"``), the
+        two intrinsic string tuples (group ``"strings"``), then the
+        ``deltas``, ``metrics`` and ``labels`` dictionaries in their own
+        insertion order. :mod:`repro.serve.protocol` serialises exactly
+        this sequence, so two frames that compare bitwise-equal encode to
+        identical bytes and vice versa.
+        """
+        yield "fixed", "pids", self.pids
+        yield "fixed", "tids", self.tids
+        yield "fixed", "uids", self.uids
+        yield "fixed", "cpu_pct", self.cpu_pct
+        yield "fixed", "cpu_time", self.cpu_time
+        yield "fixed", "processors", self.processors
+        yield "strings", "users", self.users
+        yield "strings", "comms", self.comms
+        for name, col in self.deltas.items():
+            yield "deltas", name, col
+        for name, col in self.metrics.items():
+            yield "metrics", name, col
+        for name, col in self.labels.items():
+            yield "labels", name, col
+
+    def bitwise_equal(self, other: "SnapshotFrame") -> bool:
+        """Exact equality: every scalar, array element (NaN included, by
+        bit pattern), string and the column layout must match."""
+        if not isinstance(other, SnapshotFrame):
+            return False
+        # Scalars compare by bit pattern too: a NaN interval (a frame
+        # sampled before any time passed) must equal its own round trip.
+        pack = struct.Struct("<dd").pack
+        if (
+            pack(self.time, self.interval) != pack(other.time, other.interval)
+            or len(self) != len(other)
+            or self.columns != other.columns
+            or tuple(self.deltas) != tuple(other.deltas)
+            or tuple(self.metrics) != tuple(other.metrics)
+            or tuple(self.labels) != tuple(other.labels)
+        ):
+            return False
+        for (group_a, name_a, col_a), (group_b, name_b, col_b) in zip(
+            self.wire_columns(), other.wire_columns(), strict=True
+        ):
+            if group_a != group_b or name_a != name_b:
+                return False
+            if isinstance(col_a, np.ndarray):
+                if not isinstance(col_b, np.ndarray):
+                    return False
+                if col_a.dtype != col_b.dtype:
+                    return False
+                if col_a.tobytes() != col_b.tobytes():
+                    return False
+            elif col_a != col_b:
+                return False
+        return True
 
     # -- access -------------------------------------------------------------
     def column_kind(self, header: str) -> str | None:

@@ -56,6 +56,13 @@ class Options:
             crashes, hangs, garbled replies) executed under the
             supervised grid engine — the same seed replays the same
             failures and recoveries byte-identically.
+        serve_port: run as a collector daemon on this TCP port instead
+            of rendering locally (``--serve PORT``; 0 binds an ephemeral
+            port). One sampler serves every connected viewer — ROADMAP
+            item 1's "millions of users" split.
+        connect: subscribe to a collector daemon at ``"host:port"``
+            instead of sampling locally (``--connect``); the stream
+            drives the ordinary screen pipeline unchanged.
     """
 
     delay: float = 2.0
@@ -75,6 +82,8 @@ class Options:
     retry_backoff: float = 0.0
     grid_workers: int = 1
     grid_chaos: int | None = None
+    serve_port: int | None = None
+    connect: str | None = None
 
     def __post_init__(self) -> None:
         if self.delay <= 0:
@@ -97,6 +106,20 @@ class Options:
             raise ConfigError(
                 f"grid_workers must be >= 1, got {self.grid_workers}"
             )
+        if self.serve_port is not None and not (
+            0 <= self.serve_port <= 65535
+        ):
+            raise ConfigError(
+                f"serve_port must be 0..65535, got {self.serve_port}"
+            )
+        if self.connect is not None:
+            host, _, port = self.connect.rpartition(":")
+            if not host or not port.isdigit() or not 0 < int(port) <= 65535:
+                raise ConfigError(
+                    f"connect must be 'host:port', got {self.connect!r}"
+                )
+        if self.serve_port is not None and self.connect is not None:
+            raise ConfigError("serve_port and connect are mutually exclusive")
 
     def wants(self, *, pid: int, uid: int, comm: str) -> bool:
         """Whether a task passes the watch filters."""

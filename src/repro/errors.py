@@ -89,6 +89,50 @@ class ExprError(ReproError):
     """A derived-column expression failed to parse or evaluate."""
 
 
+class WireError(ReproError):
+    """Base class for telemetry wire-protocol failures.
+
+    Raised by :mod:`repro.serve.protocol` when bytes on the collector/
+    client link cannot be produced or consumed. Every decode failure maps
+    to a typed subclass so transports can distinguish "wait for more
+    bytes" (:class:`WireTruncatedError` during streaming is handled by
+    the reassembler, not raised) from "this peer is broken".
+    """
+
+
+class WireTruncatedError(WireError):
+    """A message payload ended before its declared contents.
+
+    The decoder's cursor is bounds-checked: a frame whose header promises
+    more rows, columns or string bytes than the payload carries raises
+    this instead of over-reading (or worse, hanging waiting for bytes
+    that already went to a different field).
+    """
+
+
+class WireCorruptError(WireError):
+    """A message failed structural validation (bad magic, bad checksum,
+    undecodable compression, trailing garbage, unknown dtype tag)."""
+
+
+class WireVersionError(WireError):
+    """The peer speaks an unknown protocol version."""
+
+
+class WireOversizeError(WireError):
+    """A length prefix exceeds the protocol's message-size ceiling.
+
+    Raised *before* any buffering of the oversized body, so a garbled or
+    hostile length prefix can never make the reassembler allocate
+    unbounded memory.
+    """
+
+
+class SessionError(ReproError):
+    """A serve-session contract was violated (bad subscription, an
+    out-of-order publish, an unknown resume point)."""
+
+
 class ConfigError(ReproError):
     """Invalid screen/column/option configuration."""
 

@@ -1,0 +1,36 @@
+"""Collector/client split: one sampler feeding any number of viewers.
+
+ROADMAP item 1 ("millions of users") lands here: the
+:class:`~repro.serve.daemon.CollectorDaemon` runs the sampling loop once
+and fans each columnar frame out over a length-prefixed binary protocol
+(:mod:`repro.serve.protocol`); :class:`~repro.serve.client.ServeClient`
+reassembles the stream bitwise. Per-client filtering, backpressure and
+resume live in :mod:`repro.serve.session`.
+"""
+
+from repro.serve.client import ServeClient, collect
+from repro.serve.daemon import CollectorDaemon
+from repro.serve.protocol import (
+    MAX_MESSAGE,
+    VERSION,
+    MessageReader,
+    decode_message,
+    encode_frame,
+    frame_digest,
+)
+from repro.serve.session import ClientSession, FanoutHub, Subscription
+
+__all__ = [
+    "MAX_MESSAGE",
+    "VERSION",
+    "ClientSession",
+    "CollectorDaemon",
+    "FanoutHub",
+    "MessageReader",
+    "ServeClient",
+    "Subscription",
+    "collect",
+    "decode_message",
+    "encode_frame",
+    "frame_digest",
+]

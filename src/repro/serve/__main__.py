@@ -1,0 +1,126 @@
+"""``python -m repro.serve``: daemon self-checks.
+
+``--smoke`` is the CI gate: serve a seeded simulated node to three
+concurrent clients (one total, one row-filtered, one with a server-side
+derived column), then run the identical node solo through the same
+cadence and require every client's reassembled stream to match the solo
+frames bitwise (by canonical frame digest). Exact backpressure
+accounting is asserted on the way out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.core.app import SimHost
+from repro.core.options import Options
+from repro.core.sampler import Sampler
+from repro.core.screen import get_screen
+from repro.serve.client import collect
+from repro.serve.daemon import CollectorDaemon
+from repro.serve.protocol import frame_digest
+from repro.serve.session import Subscription, subscription_view
+from repro.sim.workloads import datacenter
+
+_DELAY = 0.5
+_ITERATIONS = 4
+_SEED = 7
+
+
+def _solo_frames(delay: float, iterations: int) -> list:
+    """The reference: one sampler, no daemon, same node and cadence."""
+    machine = datacenter.make_node(tick=min(0.5, delay / 4), seed=_SEED)
+    datacenter.populate_fig1(machine)
+    host = SimHost(machine)
+    sampler = Sampler(
+        host.backend, host.tasks, get_screen("default"), Options(delay=delay)
+    )
+    frames = []
+    sampler.sample_frame()  # baseline
+    for _ in range(iterations):
+        host.sleep(delay)
+        frames.append(sampler.sample_frame())
+    sampler.close()
+    return frames
+
+
+async def _serve_smoke(delay: float, iterations: int) -> int:
+    machine = datacenter.make_node(tick=min(0.5, delay / 4), seed=_SEED)
+    datacenter.populate_fig1(machine)
+    host = SimHost(machine)
+    sampler = Sampler(
+        host.backend, host.tasks, get_screen("default"), Options(delay=delay)
+    )
+    daemon = CollectorDaemon(
+        sampler,
+        advance=lambda: host.sleep(delay),
+        iterations=iterations,
+        min_clients=3,
+    )
+    port = await daemon.start()
+    subs = {
+        "total": Subscription(),
+        "filtered": Subscription(comms=frozenset({"process1", "process2"})),
+        "derived": Subscription(
+            exprs=(("GIPS", "instructions / delta_t / 1e9"),)
+        ),
+    }
+    results, _ = await asyncio.gather(
+        asyncio.gather(
+            *(
+                collect("127.0.0.1", port, client_id=name, subscription=sub)
+                for name, sub in subs.items()
+            )
+        ),
+        daemon.run(),
+    )
+    await daemon.close()
+
+    solo = _solo_frames(delay, iterations)
+    failures = []
+    for (name, sub), (received, client) in zip(subs.items(), results):
+        expect = [
+            frame_digest(subscription_view(frame, sub)) for frame in solo
+        ]
+        got = [frame_digest(frame) for _, frame in received]
+        if got != expect:
+            failures.append(f"{name}: stream digests diverge from solo run")
+        stats = (client.bye or {}).get("stats", {})
+        if stats.get("published") != stats.get("delivered", 0) + stats.get(
+            "dropped", 0
+        ) + stats.get("lag", 0):
+            failures.append(f"{name}: accounting identity violated: {stats}")
+        if [seq for seq, _ in received] != sorted(
+            {seq for seq, _ in received}
+        ):
+            failures.append(f"{name}: sequence numbers not monotonic")
+    for line in failures:
+        print(f"serve smoke: FAIL {line}", file=sys.stderr)
+    if not failures:
+        print(
+            f"serve smoke: OK {len(subs)} clients x {iterations} frames, "
+            "bitwise-equal to solo run"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="daemon + 3 clients + digest compare against a solo run",
+    )
+    parser.add_argument("--delay", type=float, default=_DELAY)
+    parser.add_argument("--iterations", type=int, default=_ITERATIONS)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.print_help()
+        return 2
+    return asyncio.run(_serve_smoke(args.delay, args.iterations))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

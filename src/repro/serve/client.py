@@ -1,0 +1,160 @@
+"""The thin subscriber side of the collector/client split.
+
+:class:`ServeClient` performs the handshake, then yields ``(seq, frame)``
+pairs exactly as the daemon published them — the frame object is rebuilt
+bitwise from the column block, so everything downstream of the solo
+pipeline (screen rendering, the CSV recorder, analysis) runs unchanged
+on served frames. The client checks what the protocol guarantees:
+sequence numbers strictly increase, and a gap after a resume means
+frames aged out of the daemon's retention (reported, not invented).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.frame import SnapshotFrame
+from repro.errors import SessionError, WireError
+from repro.serve import protocol
+from repro.serve.session import Subscription
+from repro.serve.stream import MessageStream
+
+
+class ServeClient:
+    """One subscription to a collector daemon.
+
+    Attributes (populated as the stream progresses):
+        hello: the server's HELLO body (version, events, columns,
+            retained range, next sequence).
+        bye: the server's BYE body — per-client accounting — once the
+            stream ends (None if the connection died without one).
+        last_seq: highest sequence received (-1 before the first frame).
+        gaps: count of sequence discontinuities observed (non-zero only
+            after drops or a resume past retention).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str | None = None,
+        subscription: Subscription | None = None,
+        resume_from: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.subscription = subscription or Subscription()
+        self.resume_from = resume_from
+        self.hello: dict | None = None
+        self.bye: dict | None = None
+        self.last_seq = -1
+        self.gaps = 0
+        self._stream: MessageStream | None = None
+
+    async def connect(self) -> dict:
+        """Dial, handshake, subscribe; returns the server's HELLO body.
+
+        Raises :class:`~repro.errors.SessionError` when the server
+        rejects the subscription (its BYE ``error`` becomes the message).
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._stream = MessageStream(reader, writer)
+        self._stream.send(
+            protocol.encode_control(
+                protocol.MSG_HELLO,
+                {"client": self.client_id, "resume": self.resume_from},
+            )
+        )
+        self._stream.send(
+            protocol.encode_control(
+                protocol.MSG_SUBSCRIBE, self.subscription.to_dict()
+            )
+        )
+        await self._stream.drain()
+        msg = await self._stream.recv()
+        if msg is None or msg[0] != protocol.MSG_HELLO:
+            raise SessionError("server did not answer HELLO")
+        self.hello = msg[1]
+        return self.hello
+
+    async def frames(self):
+        """Async iterator of ``(seq, frame)`` until the server's BYE.
+
+        An early server BYE carrying ``error`` raises
+        :class:`~repro.errors.SessionError`; a connection that dies
+        mid-message propagates the transport's
+        :class:`~repro.errors.WireError`.
+        """
+        if self._stream is None:
+            raise SessionError("not connected")
+        if self.resume_from is not None:
+            self.last_seq = self.resume_from
+        while True:
+            msg = await self._stream.recv()
+            if msg is None:
+                break  # EOF between messages: server is simply gone
+            msg_type, obj = msg
+            if msg_type == protocol.MSG_BYE:
+                self.bye = obj
+                if "error" in obj:
+                    raise SessionError(str(obj["error"]))
+                break
+            if msg_type != protocol.MSG_FRAME:
+                raise SessionError(f"unexpected message type {msg_type}")
+            seq, frame = obj
+            if seq <= self.last_seq:
+                raise SessionError(
+                    f"sequence went backwards: {seq} after {self.last_seq}"
+                )
+            if self.last_seq >= 0 and seq != self.last_seq + 1:
+                self.gaps += 1
+            self.last_seq = seq
+            yield seq, frame
+
+    async def leave(self) -> None:
+        """Tell the server we are done (it answers with accounting)."""
+        if self._stream is not None:
+            self._stream.send(protocol.encode_control(protocol.MSG_BYE, {}))
+            await self._stream.drain()
+
+    async def close(self) -> None:
+        if self._stream is not None:
+            await self._stream.close()
+            self._stream = None
+
+
+async def collect(
+    host: str,
+    port: int,
+    *,
+    client_id: str | None = None,
+    subscription: Subscription | None = None,
+    resume_from: int | None = None,
+    limit: int | None = None,
+) -> tuple[list[tuple[int, SnapshotFrame]], ServeClient]:
+    """Subscribe and gather the whole stream (or the first ``limit``
+    frames); returns the frames plus the client for its accounting."""
+    client = ServeClient(
+        host,
+        port,
+        client_id=client_id,
+        subscription=subscription,
+        resume_from=resume_from,
+    )
+    await client.connect()
+    received: list[tuple[int, SnapshotFrame]] = []
+    left = False
+    try:
+        async for seq, frame in client.frames():
+            if limit is None or len(received) < limit:
+                received.append((seq, frame))
+            if limit is not None and len(received) >= limit and not left:
+                left = True  # keep reading: in-flight frames, then BYE
+                await client.leave()
+    except WireError:
+        pass  # a dead daemon ends the stream; accounting stays partial
+    finally:
+        await client.close()
+    return received, client

@@ -1,0 +1,70 @@
+"""Asyncio transport adapter over the length-prefixed codec.
+
+Both ends of the link (daemon and client) speak through a
+:class:`MessageStream`: reads go through the incremental
+:class:`~repro.serve.protocol.MessageReader` (so a hostile or garbled
+length prefix is rejected before buffering), writes are pre-encoded
+payloads handed to the transport verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import WireTruncatedError
+from repro.serve.protocol import MessageReader, decode_message
+
+#: Socket read granularity. Small enough to interleave fairly between
+#: clients, large enough that a typical frame arrives in one read.
+_CHUNK = 1 << 16
+
+
+class MessageStream:
+    """One connection: framed reads, raw writes, orderly close."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._assembler = MessageReader()
+        self._pending: deque[bytes] = deque()
+        self.eof = False
+
+    async def recv(self) -> tuple[int, object] | None:
+        """Next decoded message as ``(msg_type, obj)``; None at clean EOF.
+
+        Clean means the peer closed between messages. EOF arriving while
+        a length prefix promised more bytes raises
+        :class:`~repro.errors.WireTruncatedError` — the stream died
+        mid-message and the caller must not treat it as a normal end.
+        """
+        while not self._pending:
+            if self.eof:
+                return None
+            data = await self._reader.read(_CHUNK)
+            if not data:
+                self.eof = True
+                if self._assembler.pending:
+                    raise WireTruncatedError(
+                        "connection closed mid-message "
+                        f"({self._assembler.pending} byte(s) buffered)"
+                    )
+                return None
+            self._pending.extend(self._assembler.feed(data))
+        return decode_message(self._pending.popleft())
+
+    def send(self, message: bytes) -> None:
+        """Queue one fully-encoded message (prefix included)."""
+        self._writer.write(message)
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone
+            pass

@@ -163,6 +163,85 @@ def _scalar_columnar_machine(ex: Execution) -> list[Violation]:
     ]
 
 
+@oracle("served-stream")
+def _served_stream(ex: Execution) -> list[Violation]:
+    """A subscriber's reassembled stream is bitwise-equal to a solo run.
+
+    The serve run (:func:`~repro.verify.runner.run_served`) rebuilt the
+    scenario's node independently and shipped every frame over TCP
+    through the binary codec; here each client's received digests must
+    equal the digests of the solo run's frames *as that client's
+    subscription views them* — encode, fanout, decode and server-side
+    filtering/derivation all proven lossless in one comparison. Exact
+    backpressure accounting and per-client sequence monotonicity ride
+    along.
+    """
+    if ex.served is None or ex.base is None:
+        return []
+    from repro.serve.protocol import frame_digest
+    from repro.serve.session import Subscription, subscription_view
+
+    out: list[Violation] = []
+    for name, client in ex.served["clients"].items():
+        sub = Subscription.from_dict(client["subscription"])
+        expect = [
+            frame_digest(subscription_view(frame, sub))
+            for frame in ex.base.frames
+        ]
+        if client["digests"] != expect:
+            first = next(
+                (
+                    k
+                    for k, (got, want) in enumerate(
+                        zip(client["digests"], expect)
+                    )
+                    if got != want
+                ),
+                min(len(client["digests"]), len(expect)),
+            )
+            out.append(
+                Violation(
+                    "served-stream",
+                    f"client {name!r}: served stream diverges from solo "
+                    f"run at frame {first} "
+                    f"({len(client['digests'])} vs {len(expect)} frames)",
+                )
+            )
+        seqs = client["seqs"]
+        if seqs != sorted(set(seqs)):
+            out.append(
+                Violation(
+                    "served-stream",
+                    f"client {name!r}: sequence numbers not strictly "
+                    f"increasing: {seqs}",
+                )
+            )
+        stats = client["stats"] or {}
+        accounted = (
+            stats.get("delivered", 0)
+            + stats.get("dropped", 0)
+            + stats.get("lag", 0)
+        )
+        if stats.get("published") != accounted:
+            out.append(
+                Violation(
+                    "served-stream",
+                    f"client {name!r}: accounting identity violated "
+                    f"(published {stats.get('published')} != delivered + "
+                    f"dropped + lag = {accounted})",
+                )
+            )
+        if stats.get("dropped", 0) == 0 and client["gaps"]:
+            out.append(
+                Violation(
+                    "served-stream",
+                    f"client {name!r}: {client['gaps']} sequence gaps "
+                    "without any recorded drops",
+                )
+            )
+    return out
+
+
 @oracle("read-agreement")
 def _read_agreement(ex: Execution) -> list[Violation]:
     """Batched ``read_many`` vs per-handle ``read`` must agree exactly,

@@ -95,6 +95,9 @@ class Execution:
     ticks: ToolRun | None = None
     sequential: ToolRun | None = None
     replay: ToolRun | None = None
+    #: Serve run (tool scenarios with ``serve=True``): per-subscriber
+    #: reassembled-stream digests plus exact fanout accounting.
+    served: dict[str, Any] | None = None
     grid: dict[str, dict[str, Any]] = field(default_factory=dict)
     grid_replay: dict[str, Any] | None = None
     #: Per-engine supervision observables: the deterministic recovery
@@ -274,6 +277,90 @@ def run_tool(
     )
 
 
+def run_served(scenario: Scenario) -> dict[str, Any]:
+    """Serve one tool scenario over localhost TCP to three subscribers.
+
+    The daemon rebuilds machine, backend and fault plan from the scenario
+    exactly as :func:`run_tool` does and replicates its cadence (baseline
+    sample, then ``run_for(delay)`` + sample per iteration), so an
+    unfiltered subscriber's reassembled stream must be bitwise-equal to a
+    solo run's frames — that comparison is the ``served-stream`` oracle's
+    job. Subscribers: one total, one row-filtered to the scenario's first
+    task, one with a server-side derived column over the screen's first
+    event.
+
+    Returns one dict per client: its subscription (as JSON data), the
+    canonical digest of every received frame, the sequence numbers, the
+    client's gap count, and the daemon's BYE accounting.
+    """
+    import asyncio
+
+    from repro.core.expr import canonical_name
+    from repro.serve.client import collect
+    from repro.serve.daemon import CollectorDaemon
+    from repro.serve.protocol import frame_digest
+    from repro.serve.session import Subscription
+
+    machine = _build_machine(scenario)
+    _plan_spawns(scenario, machine)
+    plan = _fault_plan(scenario)
+    backend = SimBackend(machine, scenario.monitor_uid, faults=plan)
+    reader = SimProcReader(machine)
+    screen = _screen_for(scenario, plan is not None)
+    options = Options(
+        delay=scenario.delay,
+        iterations=scenario.iterations,
+        per_thread=scenario.per_thread,
+    )
+    sampler = Sampler(backend, reader, screen, options)
+    subs: dict[str, Any] = {"total": Subscription()}
+    if scenario.tasks:
+        subs["filtered"] = Subscription(
+            comms=frozenset({scenario.tasks[0].name})
+        )
+    events = screen.required_events()
+    if events:
+        subs["derived"] = Subscription(
+            exprs=(
+                ("X_SERVE", f"{canonical_name(events[0].name)} / delta_t"),
+            )
+        )
+    daemon = CollectorDaemon(
+        sampler,
+        advance=lambda: machine.run_for(scenario.delay),
+        iterations=scenario.iterations,
+        min_clients=len(subs),
+    )
+
+    async def go() -> list:
+        port = await daemon.start()
+        results, _ = await asyncio.gather(
+            asyncio.gather(
+                *(
+                    collect(
+                        "127.0.0.1", port, client_id=name, subscription=sub
+                    )
+                    for name, sub in subs.items()
+                )
+            ),
+            daemon.run(),
+        )
+        await daemon.close()
+        return results
+
+    results = asyncio.run(go())
+    clients: dict[str, Any] = {}
+    for (name, sub), (received, client) in zip(subs.items(), results):
+        clients[name] = {
+            "subscription": sub.to_dict(),
+            "digests": [frame_digest(frame) for _, frame in received],
+            "seqs": [seq for seq, _ in received],
+            "gaps": client.gaps,
+            "stats": (client.bye or {}).get("stats"),
+        }
+    return {"clients": clients, "hub": daemon.hub.stats()}
+
+
 #: Events the bare-machine equivalence oracle opens on every immediate
 #: task: enough to exercise the counter columns without assuming anything
 #: about the scenario's screen.
@@ -437,6 +524,8 @@ def execute(scenario: Scenario) -> Execution:
         ex.ticks = run_tool(scenario, advance="ticks")
         ex.sequential = run_tool(scenario, sequential=True)
         ex.replay = run_tool(scenario)
+        if scenario.serve:
+            ex.served = run_served(scenario)
     else:
         for engine in scenario.engines:
             ex.grid[engine], ex.grid_meta[engine] = run_grid(scenario, engine)

@@ -174,6 +174,10 @@ class Scenario:
     chaos_intensity: float = 1.0
     faults: tuple[FaultClause, ...] = ()
     tasks: tuple[TaskPlan, ...] = ()
+    #: Tool-only: additionally run the scenario through the serve daemon
+    #: (collector + subscribers over localhost TCP) so the served-stream
+    #: oracle can demand bitwise agreement with the solo run.
+    serve: bool = False
     # grid-only fields
     n_nodes: int = 2
     workers: int = 2
@@ -344,22 +348,30 @@ def _gen_tool(rng: np.random.Generator, seed: int) -> Scenario:
         # Multiplexing pressure: squeeze the PMU below the screen's event
         # count so the rotation/scaling paths are exercised.
         pmu_width = int(rng.integers(2, 4))
+    cores_per_socket = int(rng.integers(1, 3))
+    screen = str(rng.choice(["default", "cache", "branch", "mix"]))
+    per_thread = bool(rng.random() < 0.2)
+    tasks = _gen_tasks(rng, tick, span, monitor_uid)
+    # Drawn last so every earlier field keeps its pre-serve value for a
+    # given seed (the corpus and the generator-shape tests rely on it).
+    serve = bool(rng.random() < 0.25)
     return Scenario(
         kind="tool",
         seed=seed,
         arch="nehalem",
         sockets=1,
-        cores_per_socket=int(rng.integers(1, 3)),
+        cores_per_socket=cores_per_socket,
         pmu_width=pmu_width,
         tick=tick,
         delay=delay,
         iterations=iterations,
-        screen=str(rng.choice(["default", "cache", "branch", "mix"])),
-        per_thread=bool(rng.random() < 0.2),
+        screen=screen,
+        per_thread=per_thread,
         monitor_uid=monitor_uid,
         chaos_seed=chaos_seed,
         chaos_intensity=chaos_intensity,
-        tasks=_gen_tasks(rng, tick, span, monitor_uid),
+        tasks=tasks,
+        serve=serve,
     )
 
 
