@@ -16,6 +16,15 @@ are asserted equal on every run, smoke or full (this is the CI guard that
 sharded == serial). Timing targets only apply to the full run:
 epoch batching alone >= 1.5x, and sharded-4 >= 3x on the 16-node fleet.
 
+A second sweep scales the *fleet* engine (two-level supervision tree)
+across the shard-transport axis — inproc / fork / socket — at 64 and 256
+simulated nodes, recording per-epoch latency percentiles and bytes per
+epoch in the same ``BENCH_grid.json`` under ``"fleet"``. All transports
+must agree bitwise (vs a serial reference at 64 nodes, pairwise at 256);
+the full run also asserts the wire floor: socket epoch p95 within 2x of
+fork at 64 nodes — the binary TTSV framing must stay in the same class
+as the pickled pipe, or the interning/codec has regressed.
+
 ``REPRO_BENCH_SMOKE=1`` shrinks the sweep for CI and skips the speedup
 assertions (shared runners make ratios unreliable).
 """
@@ -190,4 +199,133 @@ def test_grid_scaling():
         )
         assert sharded4 >= SHARDED4_MIN_SPEEDUP, (
             f"sharded-4 is only {sharded4:.2f}x on 16 nodes"
+        )
+
+
+# -- fleet transport sweep ----------------------------------------------------
+
+FLEET_NODE_COUNTS = (16,) if SMOKE else (64, 256)
+FLEET_SPAN = 45.0 if SMOKE else 120.0
+FLEET_REPEATS = 1 if SMOKE else 2
+FLEET_WORKERS = 8
+FLEET_HOSTS = 4
+TRANSPORTS = ("inproc", "fork", "socket")
+SOCKET_P95_MAX_VS_FORK = 2.0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_fleet(transport: str, n_nodes: int):
+    """One fleet run per repeat; pools per-epoch advance latencies.
+
+    The engine's ``advance`` is wrapped with a perf_counter so the
+    sample is the epoch round-trip (fan out to hosts, collect reports),
+    not dispatch bookkeeping or snapshot traffic.
+    """
+    latencies: list[float] = []
+    best = float("inf")
+    digest = None
+    bytes_per_epoch = 0.0
+    for _ in range(FLEET_REPEATS):
+        with Grid(fleet(n_nodes), tick=1.0, seed=42, workers=FLEET_WORKERS,
+                  hosts=FLEET_HOSTS, transport=transport) as grid:
+            populate(grid, n_nodes)
+            engine_advance = grid.engine.advance
+
+            def timed(commands, n_ticks, frac, _adv=engine_advance):
+                t0 = time.perf_counter()
+                out = _adv(commands, n_ticks, frac)
+                latencies.append(time.perf_counter() - t0)
+                return out
+
+            grid.engine.advance = timed
+            t0 = time.perf_counter()
+            grid.run_for(FLEET_SPAN)
+            best = min(best, time.perf_counter() - t0)
+            digest = grid.conformance_digest()
+            epochs = max(1, grid.stats["epochs"])
+            bytes_per_epoch = (
+                grid.stats["bytes_sent"] + grid.stats["bytes_received"]
+            ) / epochs
+    return {
+        "seconds": best,
+        "epoch_p50": _percentile(latencies, 0.50),
+        "epoch_p95": _percentile(latencies, 0.95),
+        "bytes_per_epoch": bytes_per_epoch,
+        "digest": digest,
+    }
+
+
+def test_fleet_transport_sweep():
+    sweeps = []
+    p95 = {}
+    for n_nodes in FLEET_NODE_COUNTS:
+        results = {t: run_fleet(t, n_nodes) for t in TRANSPORTS}
+        # Bitwise agreement: against a serial reference on the smaller
+        # fleets, pairwise at 256 (a serial 256-node run adds nothing —
+        # inproc *is* the serial compute on the fleet engine's path).
+        if n_nodes <= 64:
+            with Grid(fleet(n_nodes), tick=1.0, seed=42) as grid:
+                populate(grid, n_nodes)
+                grid.run_for(FLEET_SPAN)
+                reference = grid.conformance_digest()
+            for t in TRANSPORTS:
+                assert results[t]["digest"] == reference, (
+                    f"fleet/{t} diverged from serial on {n_nodes} nodes"
+                )
+        first = results[TRANSPORTS[0]]["digest"]
+        for t in TRANSPORTS[1:]:
+            assert results[t]["digest"] == first, (
+                f"fleet/{t} diverged from fleet/{TRANSPORTS[0]}"
+                f" on {n_nodes} nodes"
+            )
+        assert results["inproc"]["bytes_per_epoch"] == 0
+        for t in ("fork", "socket"):
+            assert results[t]["bytes_per_epoch"] > 0
+        p95[n_nodes] = {t: results[t]["epoch_p95"] for t in TRANSPORTS}
+        entry = {"nodes": n_nodes, "transports": {}}
+        for t in TRANSPORTS:
+            r = results[t]
+            entry["transports"][t] = {
+                "seconds": round(r["seconds"], 6),
+                "epoch_p50": round(r["epoch_p50"], 6),
+                "epoch_p95": round(r["epoch_p95"], 6),
+                "bytes_per_epoch": round(r["bytes_per_epoch"], 1),
+            }
+        sweeps.append(entry)
+        print(
+            f"\nfleet {n_nodes:3d} nodes: " + "  ".join(
+                f"{t}={results[t]['seconds']:.3f}s"
+                f" p95={results[t]['epoch_p95'] * 1000:.1f}ms"
+                for t in TRANSPORTS
+            )
+        )
+
+    # Merge into the scaling payload so one artifact carries both sweeps.
+    out_path = OUT_DIR / "BENCH_grid.json"
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = json.loads(out_path.read_text()) if out_path.exists() else {}
+    payload["fleet"] = {
+        "scenario": {
+            "span_seconds": FLEET_SPAN,
+            "workers": FLEET_WORKERS,
+            "hosts": FLEET_HOSTS,
+            "node_counts": list(FLEET_NODE_COUNTS),
+            "repeats": FLEET_REPEATS,
+            "smoke": SMOKE,
+        },
+        "targets": {"socket_p95_max_vs_fork": SOCKET_P95_MAX_VS_FORK},
+        "sweeps": sweeps,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not SMOKE:
+        ratio = p95[64]["socket"] / p95[64]["fork"]
+        assert ratio <= SOCKET_P95_MAX_VS_FORK, (
+            f"socket epoch p95 is {ratio:.2f}x fork at 64 nodes"
+            f" (floor: {SOCKET_P95_MAX_VS_FORK}x)"
         )

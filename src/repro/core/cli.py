@@ -63,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "supervised engine; the same seed replays the "
                              "same failures and recoveries byte-for-byte "
                              "(requires --sim and --grid-workers)")
+    parser.add_argument("--grid-transport", default=None,
+                        metavar="{inproc,fork,socket}",
+                        help="how grid shards talk to their workers: inproc "
+                             "(serial, zero-copy), fork (multiprocessing "
+                             "pipes, the default) or socket (binary frames "
+                             "over a persistent socket per worker); output "
+                             "is identical across transports (requires "
+                             "--sim and --grid-workers)")
+    parser.add_argument("--grid-hosts", type=int, default=None, metavar="N",
+                        help="split the grid's workers into N supervised "
+                             "host groups under fleet-level supervision; a "
+                             "dead host is resurrected wholesale by journal "
+                             "replay (requires --sim and --grid-workers)")
     parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
                         help="inject a seeded schedule of kernel faults "
                              "(ESRCH/EMFILE/EINTR/EAGAIN, corrupt reads, "
@@ -107,6 +120,8 @@ def _run_grid(options: Options) -> int:
         profile=options.profile,
         grid_chaos=options.grid_chaos,
         supervision=supervision,
+        transport=options.grid_transport,
+        hosts=options.grid_hosts,
     ) as grid:
         jobs = datacenter.populate_grid(grid)
         grid.run_for(span)
@@ -281,6 +296,33 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.grid_transport is not None and args.grid_transport not in (
+        "inproc", "fork", "socket"
+    ):
+        print(
+            "tiptop: --grid-transport must be one of inproc, fork, socket; "
+            f"got {args.grid_transport!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.grid_transport is not None and (
+        not args.sim or args.grid_workers is None
+    ):
+        print(
+            "tiptop: --grid-transport selects the shard transport of the "
+            "simulated grid and requires --sim and --grid-workers",
+            file=sys.stderr,
+        )
+        return 2
+    if args.grid_hosts is not None and (
+        not args.sim or args.grid_workers is None
+    ):
+        print(
+            "tiptop: --grid-hosts groups the simulated grid's workers "
+            "into hosts and requires --sim and --grid-workers",
+            file=sys.stderr,
+        )
+        return 2
     try:
         options = Options(
             delay=args.delay,
@@ -294,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
             chaos=args.chaos,
             grid_workers=args.grid_workers or 1,
             grid_chaos=args.grid_chaos,
+            grid_transport=args.grid_transport,
+            grid_hosts=args.grid_hosts,
             serve_port=args.serve,
             connect=args.connect,
         )

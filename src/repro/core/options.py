@@ -56,6 +56,13 @@ class Options:
             crashes, hangs, garbled replies) executed under the
             supervised grid engine — the same seed replays the same
             failures and recoveries byte-identically.
+        grid_transport: how grid shards talk to their workers
+            (``--grid-transport``): "inproc", "fork" or "socket". None
+            keeps the engine default (fork). A pure performance knob —
+            grid output is identical across transports.
+        grid_hosts: partition the grid's worker pool into this many
+            supervised host groups under fleet-level supervision
+            (``--grid-hosts``). None keeps single-host supervision.
         serve_port: run as a collector daemon on this TCP port instead
             of rendering locally (``--serve PORT``; 0 binds an ephemeral
             port). One sampler serves every connected viewer — ROADMAP
@@ -82,6 +89,8 @@ class Options:
     retry_backoff: float = 0.0
     grid_workers: int = 1
     grid_chaos: int | None = None
+    grid_transport: str | None = None
+    grid_hosts: int | None = None
     serve_port: int | None = None
     connect: str | None = None
 
@@ -105,6 +114,17 @@ class Options:
         if self.grid_workers < 1:
             raise ConfigError(
                 f"grid_workers must be >= 1, got {self.grid_workers}"
+            )
+        if self.grid_transport is not None and self.grid_transport not in (
+            "inproc", "fork", "socket"
+        ):
+            raise ConfigError(
+                "grid_transport must be one of inproc, fork, socket; "
+                f"got {self.grid_transport!r}"
+            )
+        if self.grid_hosts is not None and self.grid_hosts < 1:
+            raise ConfigError(
+                f"grid_hosts must be >= 1, got {self.grid_hosts}"
             )
         if self.serve_port is not None and not (
             0 <= self.serve_port <= 65535

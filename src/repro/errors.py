@@ -153,15 +153,17 @@ class WorkerFailure(SimulationError):
     """A grid worker process failed its round-trip contract.
 
     Raised by the sharded engines when a worker crashes (pipe closed,
-    process exited), misses its epoch deadline (hang), or replies with a
-    message that does not parse as an epoch report (garbled). The
+    process exited), misses its epoch deadline (hang), replies with a
+    message that does not parse as an epoch report (garbled), or is
+    spoken to after the transport was deliberately shut down (closed —
+    e.g. a send racing :meth:`close` during interpreter teardown). The
     supervised engine catches this internally and recovers; the
     unsupervised :class:`~repro.sim.parallel.ShardedEngine` lets it
     propagate instead of leaking a raw ``EOFError``/``BrokenPipeError``.
 
     Attributes:
         worker: index of the failing worker.
-        kind: one of ``"crash"``, ``"hang"``, ``"garbled"``.
+        kind: one of ``"crash"``, ``"hang"``, ``"garbled"``, ``"closed"``.
         exitcode: the worker's exit code, when known.
     """
 

@@ -1,0 +1,289 @@
+"""Two-level supervision: a fleet of supervised hosts.
+
+One :class:`~repro.sim.supervisor.SupervisedShardedEngine` already keeps
+a handful of shard workers honest — deadline-checked round-trips,
+journal-replay restarts, in-process adoption. At fleet scale (hundreds
+to a thousand simulated nodes) a single supervisor becomes both a
+bottleneck and a single failure domain, so :class:`FleetEngine` stacks a
+second level on top: nodes partition across *hosts*, each host is a full
+supervised engine with its own workers and restart budget, and the fleet
+supervisor watches the hosts themselves. A host whose own ladder is
+exhausted (the engine degraded to serial) is torn down and resurrected
+wholesale from the fleet's epoch journal — every epoch since t=0 is
+replayed through a fresh supervised engine, whose epoch counters then
+start *past* the replayed history so seeded chaos that already fired can
+never refire.
+
+Determinism is unchanged from the single-host engines: node *i* maps to
+global worker ``i % total_workers`` with seed ``base_seed + i``
+regardless of how nodes group into hosts, so the fleet digest is bitwise
+identical to the serial engine's. Worker ids are globally numbered
+(``host * workers_per_host + slot``) so chaos schedules and event logs
+stay host-invariant too.
+
+Epochs pipeline across hosts: the fleet calls every host's
+``begin_advance`` before any ``finish_advance``, so all hosts' workers
+run the epoch concurrently — the wall-clock cost of an epoch is the
+slowest host, not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.sim.supervisor import SupervisedShardedEngine, Supervision
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.grid import NodeSpec
+    from repro.sim.supervisor import GridFaultPlan
+
+__all__ = ["FleetEngine", "FleetSupervision"]
+
+
+@dataclass(frozen=True)
+class FleetSupervision:
+    """Fleet-level policy knobs (host tier of the supervision tree).
+
+    Attributes:
+        host_restart_budget: how many times a degraded host engine is
+            torn down and resurrected from the fleet journal before the
+            fleet stops restarting it and leaves it degraded-but-correct.
+    """
+
+    host_restart_budget: int = 4
+
+    def __post_init__(self) -> None:
+        if self.host_restart_budget < 0:
+            raise SimulationError(
+                "host_restart_budget must be >= 0, got"
+                f" {self.host_restart_budget}"
+            )
+
+
+@dataclass
+class _Host:
+    """One supervised engine plus the state needed to resurrect it."""
+
+    index: int
+    specs: list = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
+    engine: SupervisedShardedEngine | None = None
+    #: Full epoch history for this host (its slice of every fleet epoch),
+    #: the replay source for host-level resurrection.
+    journal: list[tuple[list, int, float]] = field(default_factory=list)
+    restarts: int = 0
+
+
+class FleetEngine:
+    """Hosts-of-workers engine: ``hosts`` supervised engines side by side.
+
+    Bitwise identical to every other engine for the same fleet and seed;
+    ``hosts`` and ``transport`` are pure performance/failure-domain
+    knobs, like ``workers``.
+    """
+
+    name = "fleet"
+
+    def __init__(
+        self,
+        specs: list["NodeSpec"],
+        tick: float,
+        seed: int,
+        workers: int,
+        *,
+        hosts: int = 2,
+        transport: str = "fork",
+        chaos: "GridFaultPlan | None" = None,
+        config: Supervision | None = None,
+        seeds: list[int] | None = None,
+        fleet: FleetSupervision | None = None,
+    ) -> None:
+        if hosts < 1:
+            raise SimulationError(f"fleet needs >= 1 host, got {hosts}")
+        if workers < 1:
+            raise SimulationError(
+                f"fleet engine needs >= 1 worker, got {workers}"
+            )
+        #: Shared-nothing, like every multi-process engine.
+        self.nodes: dict[str, Any] = {}
+        self.tick = tick
+        self.transport_name = transport
+        self.chaos = chaos
+        self.config = config if config is not None else Supervision()
+        self.fleet_config = fleet if fleet is not None else FleetSupervision()
+        self.hosts = min(hosts, len(specs)) if specs else hosts
+        self.host_workers = max(1, workers // self.hosts)
+        self._node_host: dict[str, int] = {}
+        #: Stats of engines retired by host restarts, folded in so the
+        #: aggregate survives resurrection.
+        self._retired_stats: dict[str, Any] = {
+            "restarts": 0,
+            "replayed_epochs": 0,
+            "adopted_shards": 0,
+            "failures": {"crash": 0, "hang": 0, "garbled": 0},
+        }
+        self._retired_bytes = [0, 0]  # sent, received
+        self._retired_messages = 0
+        #: Host-tagged events from retired engines + fleet-level events,
+        #: in emission order; current engines' events append after these.
+        self._event_base: list[dict[str, Any]] = []
+        self._fleet_degraded = False
+        self._hosts: list[_Host] = [_Host(index=h) for h in range(self.hosts)]
+        for i, spec in enumerate(specs):
+            host = self._hosts[i % self.hosts]
+            host.specs.append(spec)
+            host.seeds.append(seeds[i] if seeds is not None else seed + i)
+            self._node_host[spec.name] = host.index
+        for host in self._hosts:
+            host.engine = self._build_engine(host)
+
+    def _build_engine(self, host: _Host) -> SupervisedShardedEngine:
+        return SupervisedShardedEngine(
+            host.specs, self.tick, 0,
+            workers=self.host_workers,
+            seeds=host.seeds,
+            transport=self.transport_name,
+            chaos=self.chaos,
+            config=self.config,
+            worker_base=host.index * self.host_workers,
+            prior_epochs=list(host.journal),
+        )
+
+    # -- engine protocol ----------------------------------------------------
+    def advance(
+        self, commands: list, n_ticks: int, frac: float
+    ) -> list[dict[str, Any]]:
+        by_host: dict[int, list] = {}
+        for cmd in commands:
+            by_host.setdefault(self._node_host[cmd.node], []).append(cmd)
+        for host in self._hosts:
+            host.journal.append(
+                (by_host.get(host.index, []), n_ticks, frac)
+            )
+        # Pipeline: start every host before collecting any.
+        for host in self._hosts:
+            host.engine.begin_advance(*host.journal[-1])
+        reports: list[dict[str, Any]] = []
+        for host in self._hosts:
+            reports.extend(host.engine.finish_advance())
+        # Host-death check runs *after* collecting: a freshly degraded
+        # host still returned correct serial reports for this epoch, so
+        # the resurrection costs nothing observable.
+        for host in self._hosts:
+            if host.engine.degraded:
+                self._restart_host(host)
+        return reports
+
+    def _restart_host(self, host: _Host) -> None:
+        if host.restarts >= self.fleet_config.host_restart_budget:
+            if not self._fleet_degraded:
+                self._fleet_degraded = True
+                self._event_base.append(
+                    {"event": "fleet-degrade", "host": host.index,
+                     "epoch": len(host.journal)}
+                )
+            return  # degraded-but-correct: adopted shards keep serving.
+        self._retire(host)
+        host.engine.close()
+        host.restarts += 1
+        host.engine = self._build_engine(host)
+        self._event_base.append(
+            {"event": "host-restart", "host": host.index,
+             "epoch": len(host.journal),
+             "replayed": len(host.journal),
+             "restarts": host.restarts}
+        )
+
+    def _retire(self, host: _Host) -> None:
+        """Fold a doomed engine's counters/events into the fleet base."""
+        engine = host.engine
+        for key in ("restarts", "replayed_epochs", "adopted_shards"):
+            self._retired_stats[key] += engine.stats[key]
+        for kind, n in engine.stats["failures"].items():
+            self._retired_stats["failures"][kind] += n
+        self._retired_bytes[0] += engine.bytes_sent
+        self._retired_bytes[1] += engine.bytes_received
+        self._retired_messages += engine.messages
+        for event in engine.events:
+            self._event_base.append({**event, "host": host.index})
+
+    def process_of(self, job_id: int) -> None:
+        return None
+
+    def snapshot(self, node: str) -> dict[str, Any]:
+        if node not in self._node_host:
+            raise SimulationError(f"no node {node!r}")
+        return self.snapshot_many([node])[node]
+
+    def snapshot_many(self, names: list[str]) -> dict[str, dict[str, Any]]:
+        by_host: dict[int, list[str]] = {}
+        for name in names:
+            host = self._node_host.get(name)
+            if host is None:
+                raise SimulationError(f"no node {name!r}")
+            by_host.setdefault(host, []).append(name)
+        out: dict[str, dict[str, Any]] = {}
+        for h, group in by_host.items():
+            out.update(self._hosts[h].engine.snapshot_many(group))
+        return out
+
+    # -- introspection / lifecycle ------------------------------------------
+    @property
+    def stats(self) -> dict[str, Any]:
+        agg = {
+            "restarts": self._retired_stats["restarts"],
+            "replayed_epochs": self._retired_stats["replayed_epochs"],
+            "adopted_shards": self._retired_stats["adopted_shards"],
+            "degraded": any(h.engine.degraded for h in self._hosts),
+            "failures": dict(self._retired_stats["failures"]),
+            "host_restarts": sum(h.restarts for h in self._hosts),
+        }
+        for host in self._hosts:
+            for key in ("restarts", "replayed_epochs", "adopted_shards"):
+                agg[key] += host.engine.stats[key]
+            for kind, n in host.engine.stats["failures"].items():
+                agg["failures"][kind] += n
+        return agg
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        out = list(self._event_base)
+        for host in self._hosts:
+            for event in host.engine.events:
+                out.append({**event, "host": host.index})
+        return out
+
+    @property
+    def degraded(self) -> bool:
+        return any(h.engine.degraded for h in self._hosts)
+
+    @property
+    def messages(self) -> int:
+        return self._retired_messages + sum(
+            h.engine.messages for h in self._hosts
+        )
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._retired_bytes[0] + sum(
+            h.engine.bytes_sent for h in self._hosts
+        )
+
+    @property
+    def bytes_received(self) -> int:
+        return self._retired_bytes[1] + sum(
+            h.engine.bytes_received for h in self._hosts
+        )
+
+    @property
+    def _procs(self) -> list:
+        return [p for h in self._hosts for p in h.engine._procs]
+
+    def live_workers(self) -> int:
+        return sum(h.engine.live_workers() for h in self._hosts)
+
+    def close(self) -> None:
+        for host in self._hosts:
+            host.engine.close()

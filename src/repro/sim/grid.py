@@ -34,14 +34,19 @@ import itertools
 import math
 import sys
 import time
-from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
 from repro.sim.arch import ArchModel, WESTMERE_E5640
 from repro.sim.machine import SimMachine
-from repro.sim.parallel import SpawnCmd, create_engine, workload_exit_lb
+from repro.sim.parallel import (
+    TRANSPORT_NAMES,
+    PreemptCmd,
+    SpawnCmd,
+    create_engine,
+    workload_exit_lb,
+)
 from repro.sim.process import SimProcess
 from repro.sim.workload import Workload
 
@@ -60,6 +65,11 @@ class QueueSpec:
         priority: higher dispatches first (the paper's short-job boost).
         dedicated_only: jobs of this queue may only run on nodes dedicated
             to it (long-running queues get their own nodes).
+        preempting: when no slot is free, a job in this queue may evict a
+            strictly lower-priority running job (compared on
+            ``(queue priority, job priority)``); the victim is requeued
+            and redispatched later. Off by default — the stock SGE
+            layout never preempts.
     """
 
     name: str
@@ -67,6 +77,7 @@ class QueueSpec:
     memory_limit: int
     priority: int = 0
     dedicated_only: bool = False
+    preempting: bool = False
 
 
 def sge_queues() -> list[QueueSpec]:
@@ -138,8 +149,12 @@ class Job:
             processes live in workers — use ``pid``).
         pid: pid on the target node once dispatched.
         node: the node name it landed on.
-        started_at / finished_at: dispatch / completion times.
+        started_at / finished_at: dispatch / completion times (a
+            preempted job's ``started_at`` is its most recent dispatch).
         killed: True when the wall-clock limit fired.
+        priority: within-queue job priority (higher dispatches first;
+            ties break FIFO by job id).
+        preemptions: times this job was evicted by a preempting queue.
     """
 
     job_id: int
@@ -155,6 +170,8 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     killed: bool = False
+    priority: int = 0
+    preemptions: int = 0
 
     @property
     def state(self) -> str:
@@ -180,20 +197,31 @@ class Grid:
             epoch-batched serial engine; N > 1 shards the fleet over N
             persistent worker processes under supervision.
         engine: explicit engine override ("legacy", "serial", "sharded",
-            "supervised"); None derives it from ``workers`` — "serial"
-            for 1, "supervised" otherwise (worker processes are only
-            trusted behind the supervision tree; "sharded" remains as
-            the unsupervised baseline). "legacy" is the pre-epoch
-            per-tick loop, kept as the reference and benchmark baseline.
-        profile: print per-epoch engine timings, message counts and
-            RateCache statistics to stderr (plus restart/replay/degrade
-            counters under the supervised engine).
+            "supervised", "fleet"); None derives it — "fleet" when
+            ``hosts`` is given, "supervised" when workers/chaos/
+            supervision/transport ask for worker processes, "serial"
+            otherwise (worker processes are only trusted behind the
+            supervision tree; "sharded" remains as the unsupervised
+            baseline). "legacy" is the pre-epoch per-tick loop, kept as
+            the reference and benchmark baseline.
+        profile: print per-epoch engine timings, message counts, wire
+            bytes and RateCache statistics to stderr (plus restart/
+            replay/degrade counters under the supervised engines).
         grid_chaos: seeded worker-fault injection — an int seed (stock
             fault mix) or a prebuilt
             :class:`~repro.sim.supervisor.GridFaultPlan`. Requires (and
             defaults the engine to) "supervised".
         supervision: :class:`~repro.sim.supervisor.Supervision` policy
-            override for the supervised engine.
+            override for the supervised engines.
+        transport: how shards talk to workers — "inproc" (serial,
+            zero-copy), "fork" (multiprocessing pipes, the default) or
+            "socket" (length-prefixed binary frames over a persistent
+            socket per worker). A pure performance knob: digests are
+            transport-invariant.
+        hosts: partition the worker pool into this many host groups,
+            each a full supervised engine under fleet-level supervision
+            (host death resurrects the whole group by journal replay).
+            Implies the "fleet" engine.
     """
 
     def __init__(
@@ -208,6 +236,8 @@ class Grid:
         profile: bool = False,
         grid_chaos: "int | GridFaultPlan | None" = None,
         supervision: "Supervision | None" = None,
+        transport: str | None = None,
+        hosts: int | None = None,
     ) -> None:
         self.queues = {
             q.name: q for q in (sge_queues() if queues is None else queues)
@@ -228,18 +258,33 @@ class Grid:
             from repro.sim.supervisor import GridFaultPlan
 
             chaos = GridFaultPlan.from_seed(chaos)
-        if engine is None:
-            supervised = (
-                workers > 1 or chaos is not None or supervision is not None
+        if transport is not None and transport not in TRANSPORT_NAMES:
+            raise SimulationError(
+                f"unknown shard transport {transport!r} "
+                f"(have: {', '.join(TRANSPORT_NAMES)})"
             )
-            engine = "supervised" if supervised else "serial"
+        if hosts is not None and hosts < 1:
+            raise SimulationError(f"hosts must be >= 1, got {hosts}")
+        if engine is None:
+            if hosts is not None:
+                engine = "fleet"
+            elif (
+                workers > 1
+                or chaos is not None
+                or supervision is not None
+                or transport is not None
+            ):
+                engine = "supervised"
+            else:
+                engine = "serial"
         self.engine = create_engine(
             engine, specs, tick, seed, workers,
             chaos=chaos, supervision=supervision,
+            transport=transport, hosts=hosts,
         )
         self._legacy = self.engine.name == "legacy"
-        self._pending: dict[str, deque[Job]] = {
-            name: deque() for name in self.queues
+        self._pending: dict[str, list[Job]] = {
+            name: [] for name in self.queues
         }
         self._jobs: list[Job] = []
         self._by_id: dict[int, Job] = {}
@@ -263,8 +308,11 @@ class Grid:
             "shard_wall": 0.0,
             "rate_cache_hits": 0,
             "rate_cache_misses": 0,
+            "preemptions": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
         }
-        if self.engine.name == "supervised":
+        if self.engine.name in ("supervised", "fleet"):
             self.stats.update(
                 restarts=0,
                 replayed_epochs=0,
@@ -272,6 +320,8 @@ class Grid:
                 worker_failures=0,
                 degraded=False,
             )
+        if self.engine.name == "fleet":
+            self.stats["host_restarts"] = 0
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -293,6 +343,7 @@ class Grid:
         user: str = "user",
         queue: str,
         memory_bytes: int = 1 * 1024**3,
+        priority: int = 0,
     ) -> Job:
         """Queue a job.
 
@@ -318,6 +369,7 @@ class Grid:
             queue=queue,
             memory_bytes=memory_bytes,
             submitted_at=self.now,
+            priority=priority,
         )
         self._pending[queue].append(job)
         self._jobs.append(job)
@@ -358,11 +410,15 @@ class Grid:
         for queue in order:
             pending = self._pending[queue.name]
             while pending:
-                job = pending[0]
+                # Highest job priority first; FIFO by id within a level
+                # (priority 0 everywhere = the classic in-order queue).
+                job = min(pending, key=lambda j: (-j.priority, j.job_id))
                 node_name = self._eligible_node(job)
+                if node_name is None and queue.preempting:
+                    node_name = self._preempt_for(job, queue)
                 if node_name is None:
                     break  # jobs are spawned in order within each queue
-                pending.popleft()
+                pending.remove(job)
                 job.node = node_name
                 job.started_at = self.now
                 if self._legacy:
@@ -401,13 +457,84 @@ class Grid:
                 if lb is not None:
                     self._exit_after[job.job_id] = node_now + lb
 
+    def _preempt_for(self, job: Job, queue: QueueSpec) -> str | None:
+        """Evict one strictly weaker running job to make room for ``job``.
+
+        A victim qualifies only when ``(its queue priority, its job
+        priority)`` is strictly below the contender's pair — strict
+        ordering is what rules out preempt-back cycles: every eviction
+        chain descends the priority lattice, so it terminates. Among
+        qualifying victims the weakest goes first, ties broken by most
+        recent dispatch then highest job id (evicting the youngest loses
+        the least completed work). Returns the freed node, or None.
+        """
+        best: tuple[tuple, Job] | None = None
+        for spec in self.specs:
+            if queue.dedicated_only and spec.dedicated_queue != job.queue:
+                continue
+            if not queue.dedicated_only and spec.dedicated_queue is not None:
+                continue
+            _, committed = self._node_load(spec.name)
+            for victim in self._jobs:
+                if victim.node != spec.name or victim.state != "running":
+                    continue
+                vq = self.queues[victim.queue]
+                if not (
+                    (vq.priority, victim.priority)
+                    < (queue.priority, job.priority)
+                ):
+                    continue
+                if (
+                    committed - victim.memory_bytes + job.memory_bytes
+                    > spec.memory_bytes
+                ):
+                    continue
+                key = (
+                    vq.priority, victim.priority,
+                    -victim.started_at, -victim.job_id,
+                )
+                if best is None or key < best[0]:
+                    best = (key, victim)
+        if best is None:
+            return None
+        victim = best[1]
+        node_name = victim.node
+        self._preempt(victim)
+        return node_name
+
+    def _preempt(self, victim: Job) -> None:
+        """Kill a running job's process and requeue the job as pending."""
+        victim.preemptions += 1
+        self.stats["preemptions"] += 1
+        if self._legacy:
+            if victim.process is not None and victim.process.alive:
+                self.nodes[victim.node].kill(  # type: ignore[index]
+                    victim.process.pid
+                )
+        else:
+            # Rides the same epoch command list as spawns, in list order:
+            # the shard evicts before the boundary's new spawns apply.
+            self._pending_cmds.append(PreemptCmd(victim.job_id, victim.node))
+        victim.process = None
+        victim.pid = None
+        victim.node = None
+        victim.started_at = None
+        self._kill_due.pop(victim.job_id, None)
+        self._exit_after.pop(victim.job_id, None)
+        self._pending[victim.queue].append(victim)
+
     def _arm_wallclock_kill(self, job: Job, limit: float) -> None:
         machine = self.nodes[job.node]  # type: ignore[index]
+        # Capture the process at arm time: a preempted job's restart gets
+        # a NEW process (possibly on another node) that this stale timer
+        # must never touch.
+        proc = job.process
 
         def kill() -> None:
-            if job.process is not None and job.process.alive:
-                machine.kill(job.process.pid)
-                job.killed = True
+            if proc is not None and proc.alive:
+                machine.kill(proc.pid)
+                if job.process is proc:
+                    job.killed = True
 
         machine.at(machine.now + limit, kill)
 
@@ -490,6 +617,8 @@ class Grid:
         by ``n_ticks`` whole ticks (plus ``frac``), merge the reports."""
         commands, self._pending_cmds = self._pending_cmds, []
         msgs_before = getattr(self.engine, "messages", 0)
+        sent_before = getattr(self.engine, "bytes_sent", 0)
+        recv_before = getattr(self.engine, "bytes_received", 0)
         t0 = time.perf_counter()
         reports = self.engine.advance(commands, n_ticks, frac)
         wall = time.perf_counter() - t0
@@ -542,13 +671,17 @@ class Grid:
             self._exit_after.pop(job_id, None)
 
         msgs = getattr(self.engine, "messages", 0) - msgs_before
+        sent = getattr(self.engine, "bytes_sent", 0)
+        recv = getattr(self.engine, "bytes_received", 0)
         self.stats["epochs"] += 1
         self.stats["ticks"] += n_ticks
         self.stats["messages"] += msgs
         self.stats["shard_wall"] += sum(shard_walls)
         self.stats["rate_cache_hits"] = hits
         self.stats["rate_cache_misses"] = misses
-        supervised = self.engine.name == "supervised"
+        self.stats["bytes_sent"] = sent
+        self.stats["bytes_received"] = recv
+        supervised = self.engine.name in ("supervised", "fleet")
         if supervised:
             sup = self.engine.stats
             self.stats["restarts"] = sup["restarts"]
@@ -556,6 +689,8 @@ class Grid:
             self.stats["adopted_shards"] = sup["adopted_shards"]
             self.stats["worker_failures"] = sum(sup["failures"].values())
             self.stats["degraded"] = sup["degraded"]
+            if self.engine.name == "fleet":
+                self.stats["host_restarts"] = sup["host_restarts"]
         if self.profile:
             walls = ",".join(f"{w * 1000:.2f}" for w in shard_walls)
             extra = ""
@@ -570,6 +705,7 @@ class Grid:
                 f"grid-profile: epoch={self.stats['epochs']}"
                 f" ticks={n_ticks} frac={frac:g} spawns={len(commands)}"
                 f" deaths={len(deaths)} wall_ms=[{walls}] msgs={msgs}"
+                f" bytes={sent - sent_before}/{recv - recv_before}"
                 f" rate_cache={hits}/{misses}" + extra,
                 file=sys.stderr,
             )
@@ -617,10 +753,14 @@ class Grid:
         """Every cross-engine observable of the whole grid, exactly.
 
         The engines-agree oracle demands this value be identical across
-        legacy/serial/sharded runs of one scenario: job lifecycles with
-        their exact dispatch/finish floats, every node's full snapshot
-        (clocks, processes, counter tables), and the utilisation map.
+        every engine and shard transport for one scenario: job lifecycles
+        with their exact dispatch/finish floats, every node's full
+        snapshot (clocks, processes, counter tables), and the
+        utilisation map.
         """
+        # One batched snapshot round-trip (one message per worker), then
+        # re-keyed into spec order so serialisations compare bytewise.
+        snaps = self.engine.snapshot_many([spec.name for spec in self.specs])
         return {
             "now": self.now,
             "jobs": [
@@ -637,13 +777,12 @@ class Grid:
                     "started_at": j.started_at,
                     "finished_at": j.finished_at,
                     "killed": j.killed,
+                    "priority": j.priority,
+                    "preemptions": j.preemptions,
                 }
                 for j in self._jobs
             ],
-            "nodes": {
-                spec.name: self.engine.snapshot(spec.name)
-                for spec in self.specs
-            },
+            "nodes": {spec.name: snaps[spec.name] for spec in self.specs},
             "utilisation": self.utilisation(),
         }
 

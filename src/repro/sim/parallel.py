@@ -9,7 +9,7 @@ or a slot frees. That property is what batch schedulers exploit to fan
 work out across hosts, and what this module exploits to advance nodes
 concurrently between **dispatch epochs**.
 
-Three engines implement the same contract:
+Five engines implement the same contract:
 
 * ``legacy`` — the original per-tick loop (dispatch, advance every node by
   one scalar tick, reap). Kept as the reference semantics and the
@@ -18,11 +18,20 @@ Three engines implement the same contract:
   a whole epoch at a time through the batched
   :meth:`~repro.sim.machine.SimMachine.run_ticks` memo path with a shard-
   shared :class:`~repro.sim.core.RateCache`. The default and the CI path.
-* ``sharded`` — persistent worker processes, each owning a disjoint
-  :class:`Shard`. Machines are constructed *inside* the worker from
-  (spec, seed) and never cross the process boundary; per epoch exactly one
-  compact message round-trip happens per worker (spawn commands in,
-  job-exit/bound/cache snapshots out).
+* ``sharded`` — persistent worker agents, each owning a disjoint
+  :class:`Shard` behind a pluggable
+  :class:`~repro.sim.transport.ShardTransport` (``inproc`` serial
+  zero-copy, ``fork`` multiprocessing pipes, ``socket`` binary frames over
+  a persistent stream socket). Machines are constructed *inside* the agent
+  from (spec, seed) and never cross the process boundary; per epoch
+  exactly one compact message round-trip happens per worker (spawn/preempt
+  commands in, job-exit/bound/cache snapshots out).
+* ``supervised`` (:mod:`repro.sim.supervisor`) — the sharded engine under
+  a supervision tree: deadlines, journal-replay restarts, adoption,
+  degrade-to-serial.
+* ``fleet`` (:mod:`repro.sim.fleet`) — a two-level tree: a fleet
+  supervisor over per-host supervised engines, scaling the same epoch
+  protocol to hundreds of simulated nodes.
 
 Determinism. A machine's evolution is a pure function of its spec, seed,
 tick, and the timed sequence of spawns/kills applied to it. All three
@@ -49,12 +58,11 @@ the whole remaining run is one epoch.
 from __future__ import annotations
 
 import math
-import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import SimulationError, WorkerFailure
+from repro.errors import SimulationError
 from repro.sim.core import RateCache, solo_rates
 from repro.sim.machine import SimMachine
 
@@ -64,7 +72,29 @@ if TYPE_CHECKING:
     from repro.sim.supervisor import GridFaultPlan, Supervision
     from repro.sim.workload import Workload
 
-ENGINE_NAMES = ("legacy", "serial", "sharded", "supervised")
+ENGINE_NAMES = ("legacy", "serial", "sharded", "supervised", "fleet")
+
+#: Shard transport implementations (see :mod:`repro.sim.transport`).
+#: Defined here so the grid can validate without importing the
+#: transport layer (which pulls in the serve package) at module load.
+TRANSPORT_NAMES = ("inproc", "fork", "socket")
+
+
+def _entry_list(
+    specs: list["NodeSpec"], seed: int, seeds: list[int] | None
+) -> list[tuple["NodeSpec", int]]:
+    """Per-node (spec, seed) pairs. Explicit ``seeds`` let a fleet
+    supervisor keep node ``i``'s global seed ``base + i`` regardless of
+    which host group it landed in — the seed assignment, like the
+    node-to-worker assignment, must be a pure function of the node's
+    global index for engines to stay bitwise-equivalent."""
+    if seeds is None:
+        return [(spec, seed + index) for index, spec in enumerate(specs)]
+    if len(seeds) != len(specs):
+        raise SimulationError(
+            f"{len(seeds)} seeds for {len(specs)} node specs"
+        )
+    return list(zip(specs, seeds))
 
 
 @dataclass(frozen=True)
@@ -88,6 +118,22 @@ class SpawnCmd:
     user: str
     workload: "Workload"
     wallclock_limit: float | None
+
+
+@dataclass(frozen=True)
+class PreemptCmd:
+    """Evict one running job from its node (SGE-style preemption).
+
+    The shard kills the job's process *now* — at the epoch boundary where
+    the dispatcher decided the eviction — and forgets the job without
+    reporting a death: the grid re-queues it, and a later
+    :class:`SpawnCmd` restarts the workload from scratch (SGE restart
+    semantics). Commands apply in list order, so an eviction always lands
+    before the spawn it made room for.
+    """
+
+    job_id: int
+    node: str
 
 
 # -- exit lower bounds --------------------------------------------------------
@@ -234,9 +280,20 @@ class Shard:
         """In-process handle of a job's process (serial engine only)."""
         return self._procs.get(job_id)
 
-    def _apply(self, commands: list[SpawnCmd]) -> dict[int, int]:
+    def _apply(self, commands: list) -> dict[int, int]:
         spawned: dict[int, int] = {}
         for cmd in commands:
+            if isinstance(cmd, PreemptCmd):
+                # Eviction: kill now, forget the job (no death report —
+                # the grid re-queues it), leave any armed wallclock kill
+                # to no-op on the dead process.
+                machine = self.machines[cmd.node]
+                self._jobs.pop(cmd.job_id, None)
+                proc = self._procs.pop(cmd.job_id, None)
+                if proc is not None and proc.alive:
+                    machine.kill(proc.pid)
+                self._killed.discard(cmd.job_id)
+                continue
             machine = self.machines[cmd.node]
             proc = machine.spawn(cmd.command, cmd.workload, user=cmd.user)
             self._jobs[cmd.job_id] = (cmd.node, proc.pid)
@@ -261,9 +318,10 @@ class Shard:
         machine.at(machine.now + limit, kill)
 
     def advance(
-        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+        self, commands: list, n_ticks: int, frac: float
     ) -> dict[str, Any]:
-        """Apply this epoch's spawns, advance every node, report back.
+        """Apply this epoch's spawns/evictions, advance every node,
+        report back.
 
         The reply is the engine protocol's only payload: new pids, exits
         (with the exact machine time the serial reaper would have observed
@@ -316,6 +374,11 @@ class Shard:
     def snapshot(self, node: str) -> dict[str, Any]:
         return node_snapshot(self.machines[node])
 
+    def snapshot_many(self, names: list[str]) -> dict[str, dict[str, Any]]:
+        """Snapshots for several nodes in one call (one message on the
+        sharded engines, instead of a round-trip per node)."""
+        return {name: node_snapshot(self.machines[name]) for name in names}
+
 
 # -- engines ------------------------------------------------------------------
 
@@ -330,20 +393,30 @@ class LegacyTickEngine:
 
     name = "legacy"
 
-    def __init__(self, specs: list["NodeSpec"], tick: float, seed: int) -> None:
+    def __init__(
+        self,
+        specs: list["NodeSpec"],
+        tick: float,
+        seed: int,
+        *,
+        seeds: list[int] | None = None,
+    ) -> None:
         self.nodes: dict[str, SimMachine] = {}
-        for index, spec in enumerate(specs):
+        for spec, node_seed in _entry_list(specs, seed, seeds):
             self.nodes[spec.name] = SimMachine(
                 spec.arch,
                 sockets=spec.sockets,
                 cores_per_socket=spec.cores_per_socket,
                 memory_bytes=spec.memory_bytes,
                 tick=tick,
-                seed=seed + index,
+                seed=node_seed,
             )
 
     def snapshot(self, node: str) -> dict[str, Any]:
         return node_snapshot(self.nodes[node])
+
+    def snapshot_many(self, names: list[str]) -> dict[str, dict[str, Any]]:
+        return {name: node_snapshot(self.nodes[name]) for name in names}
 
     def close(self) -> None:
         pass
@@ -354,14 +427,19 @@ class SerialEpochEngine:
 
     name = "serial"
 
-    def __init__(self, specs: list["NodeSpec"], tick: float, seed: int) -> None:
-        self.shard = Shard(
-            [(spec, seed + index) for index, spec in enumerate(specs)], tick
-        )
+    def __init__(
+        self,
+        specs: list["NodeSpec"],
+        tick: float,
+        seed: int,
+        *,
+        seeds: list[int] | None = None,
+    ) -> None:
+        self.shard = Shard(_entry_list(specs, seed, seeds), tick)
         self.nodes = self.shard.machines
 
     def advance(
-        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+        self, commands: list, n_ticks: int, frac: float
     ) -> list[dict[str, Any]]:
         return [self.shard.advance(commands, n_ticks, frac)]
 
@@ -371,44 +449,22 @@ class SerialEpochEngine:
     def snapshot(self, node: str) -> dict[str, Any]:
         return self.shard.snapshot(node)
 
+    def snapshot_many(self, names: list[str]) -> dict[str, dict[str, Any]]:
+        return self.shard.snapshot_many(names)
+
     def close(self) -> None:
         pass
 
 
-def _worker_main(conn, entries: list[tuple["NodeSpec", int]], tick: float) -> None:
-    """Worker process loop: build the shard locally, serve epoch messages."""
-    shard = Shard(entries, tick)
-    # Ready handshake: machines are now built, mirroring the in-process
-    # engines whose construction happens inside Grid().
-    conn.send(("ok", "ready"))
-    while True:
-        try:
-            msg = conn.recv()
-        except EOFError:
-            break
-        tag = msg[0]
-        if tag == "close":
-            break
-        try:
-            if tag == "advance":
-                _, commands, n_ticks, frac = msg
-                conn.send(("ok", shard.advance(commands, n_ticks, frac)))
-            elif tag == "snapshot":
-                conn.send(("ok", shard.snapshot(msg[1])))
-            else:
-                conn.send(("error", f"unknown message {tag!r}"))
-        except Exception as exc:  # surface worker failures to the grid
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-    conn.close()
-
-
 class ShardedEngine:
-    """Persistent worker processes, one disjoint shard of nodes each.
+    """Persistent worker agents, one disjoint shard of nodes each.
 
     Node ``i`` of the fleet goes to worker ``i % workers`` — a fixed,
     deterministic assignment, so pid sequences and RNG streams per node
-    are independent of the worker count. Machines never cross the process
-    boundary; each epoch costs one message round-trip per worker.
+    are independent of the worker count *and* of the transport fabric.
+    Machines never cross the process boundary; each epoch costs one
+    message round-trip per worker, over whichever
+    :class:`~repro.sim.transport.ShardTransport` was requested.
     """
 
     name = "sharded"
@@ -423,139 +479,110 @@ class ShardedEngine:
         tick: float,
         seed: int,
         workers: int,
+        *,
+        transport: str = "fork",
+        seeds: list[int] | None = None,
     ) -> None:
+        from repro.sim.transport import make_transport
+
         if workers < 1:
             raise SimulationError(f"sharded engine needs >= 1 worker, got {workers}")
         self.workers = min(workers, len(specs))
-        #: Sharded nodes live in worker processes; direct access would
+        self.transport_name = transport
+        #: Sharded nodes live in worker agents; direct access would
         #: break the shared-nothing contract, so the mapping stays empty.
         self.nodes: dict[str, SimMachine] = {}
         self._node_worker: dict[str, int] = {}
         self.messages = 0
-        ctx = multiprocessing.get_context()
-        self._conns = []
-        self._procs = []
+        self.closed = False
+        entry_list = _entry_list(specs, seed, seeds)
+        self._transports = []
         for w in range(self.workers):
             entries = []
-            for index, spec in enumerate(specs):
+            for index, entry in enumerate(entry_list):
                 if index % self.workers == w:
-                    entries.append((spec, seed + index))
-                    self._node_worker[spec.name] = w
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(child, entries, tick), daemon=True
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
-        for w, conn in enumerate(self._conns):
-            self._recv(w, conn)  # ready handshake: shard machines are built
+                    entries.append(entry)
+                    self._node_worker[entry[0].name] = w
+            self._transports.append(make_transport(transport, w, entries, tick))
+        for t in self._transports:
+            t.spawn([], 0)
+        for w in range(self.workers):
+            self._recv(w)  # ready handshake: shard machines are built
 
-    def _recv(self, worker: int, conn) -> Any:
-        """One guarded round-trip reply: deadline, liveness, shape.
+    def _recv(self, worker: int) -> Any:
+        """One guarded round-trip reply.
 
-        A dead pipe or a worker that stopped answering surfaces as a typed
-        :class:`~repro.errors.WorkerFailure` (never a raw ``EOFError`` or
-        an unbounded block). This engine does not recover — that is the
-        supervised engine's job — but it fails loudly and precisely.
+        The transport enforces the deadline, liveness and shape rules and
+        raises a typed :class:`~repro.errors.WorkerFailure` (never a raw
+        ``EOFError`` or an unbounded block). This engine does not recover
+        — that is the supervised engine's job — but it fails loudly and
+        precisely.
         """
-        proc = self._procs[worker]
-        remaining = self.deadline
-        while not conn.poll(min(0.05, remaining)):
-            remaining -= 0.05
-            if not proc.is_alive():
-                # Drain anything the worker flushed before dying.
-                if conn.poll(0):
-                    break
-                raise WorkerFailure(
-                    f"grid worker {worker} died (exitcode {proc.exitcode})",
-                    worker=worker,
-                    kind="crash",
-                    exitcode=proc.exitcode,
-                )
-            if remaining <= 0:
-                raise WorkerFailure(
-                    f"grid worker {worker} missed its {self.deadline}s deadline",
-                    worker=worker,
-                    kind="hang",
-                )
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError) as exc:
-            raise WorkerFailure(
-                f"grid worker {worker} closed its pipe mid-reply",
-                worker=worker,
-                kind="crash",
-                exitcode=proc.exitcode,
-            ) from exc
-        if not (isinstance(msg, tuple) and len(msg) == 2):
-            raise WorkerFailure(
-                f"grid worker {worker} sent a malformed reply: {msg!r}",
-                worker=worker,
-                kind="garbled",
-            )
-        tag, payload = msg
+        tag, payload = self._transports[worker].recv(self.deadline)
         if tag != "ok":
             raise SimulationError(f"grid worker failed: {payload}")
         return payload
 
     def _send(self, worker: int, msg: tuple) -> None:
-        try:
-            self._conns[worker].send(msg)
-        except (BrokenPipeError, OSError) as exc:
-            proc = self._procs[worker]
-            raise WorkerFailure(
-                f"grid worker {worker} is gone (exitcode {proc.exitcode})",
-                worker=worker,
-                kind="crash",
-                exitcode=proc.exitcode,
-            ) from exc
+        self._transports[worker].send(msg)
         self.messages += 1
 
     def advance(
-        self, commands: list[SpawnCmd], n_ticks: int, frac: float
+        self, commands: list, n_ticks: int, frac: float
     ) -> list[dict[str, Any]]:
-        by_worker: dict[int, list[SpawnCmd]] = {}
+        by_worker: dict[int, list] = {}
         for cmd in commands:
             by_worker.setdefault(self._node_worker[cmd.node], []).append(cmd)
         # Send to every worker first so shards advance concurrently, then
         # collect: one round-trip per worker per epoch.
-        for w in range(len(self._conns)):
+        for w in range(self.workers):
             self._send(w, ("advance", by_worker.get(w, []), n_ticks, frac))
-        return [self._recv(w, conn) for w, conn in enumerate(self._conns)]
+        return [self._recv(w) for w in range(self.workers)]
 
     def process_of(self, job_id: int) -> "SimProcess | None":
         return None
 
     def snapshot(self, node: str) -> dict[str, Any]:
-        try:
-            worker = self._node_worker[node]
-        except KeyError as exc:
-            raise SimulationError(f"no node {node!r}") from exc
-        self._send(worker, ("snapshot", node))
-        return self._recv(worker, self._conns[worker])
+        if node not in self._node_worker:
+            raise SimulationError(f"no node {node!r}")
+        return self.snapshot_many([node])[node]
+
+    def snapshot_many(self, names: list[str]) -> dict[str, dict[str, Any]]:
+        """Snapshots for several nodes: one message per *worker*, not one
+        per node — a whole-fleet refresh is O(workers) round-trips."""
+        by_worker: dict[int, list[str]] = {}
+        for name in names:
+            worker = self._node_worker.get(name)
+            if worker is None:
+                raise SimulationError(f"no node {name!r}")
+            by_worker.setdefault(worker, []).append(name)
+        out: dict[str, dict[str, Any]] = {}
+        for worker, group in by_worker.items():
+            self._send(worker, ("snapshot", group))
+            out.update(self._recv(worker))
+        return out
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(t.bytes_sent for t in self._transports)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(t.bytes_received for t in self._transports)
+
+    @property
+    def _procs(self) -> list:
+        """Live worker process handles (leak tests poke at these)."""
+        return [t.proc for t in self._transports if t.proc is not None]
 
     def close(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - already torn down
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-                proc.join(timeout=1.0)
-            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
-                proc.kill()
-                proc.join()
-        self._conns = []
-        self._procs = []
+        # Mark closed first: a send racing this teardown gets a typed
+        # WorkerFailure(kind="closed"), not a BrokenPipeError.
+        self.closed = True
+        for t in self._transports:
+            t.request_close()
+        for t in self._transports:
+            t.finish_close(grace=5.0)
 
 
 def create_engine(
@@ -567,28 +594,62 @@ def create_engine(
     *,
     chaos: "GridFaultPlan | None" = None,
     supervision: "Supervision | None" = None,
+    transport: str | None = None,
+    hosts: int | None = None,
+    seeds: list[int] | None = None,
 ):
     """Engine factory used by :class:`~repro.sim.grid.Grid`."""
-    if chaos is not None and engine != "supervised":
+    if chaos is not None and engine not in ("supervised", "fleet"):
         raise SimulationError(
             f"grid chaos requires the supervised engine, not {engine!r}"
         )
-    if supervision is not None and engine != "supervised":
+    if supervision is not None and engine not in ("supervised", "fleet"):
         raise SimulationError(
             f"supervision config requires the supervised engine, not {engine!r}"
         )
+    if transport is not None and engine not in ("sharded", "supervised", "fleet"):
+        raise SimulationError(
+            f"a shard transport requires a sharded engine, not {engine!r}"
+        )
+    if hosts is not None and engine != "fleet":
+        raise SimulationError(
+            f"host groups require the fleet engine, not {engine!r}"
+        )
     if engine == "legacy":
-        return LegacyTickEngine(specs, tick, seed)
+        return LegacyTickEngine(specs, tick, seed, seeds=seeds)
     if engine == "serial":
-        return SerialEpochEngine(specs, tick, seed)
+        return SerialEpochEngine(specs, tick, seed, seeds=seeds)
     if engine == "sharded":
-        return ShardedEngine(specs, tick, seed, workers)
+        return ShardedEngine(
+            specs, tick, seed, workers,
+            transport=transport or "fork", seeds=seeds,
+        )
     if engine == "supervised":
-        from repro.sim.supervisor import SupervisedShardedEngine
+        return _make_supervised(
+            specs, tick, seed, workers,
+            chaos=chaos, supervision=supervision,
+            transport=transport or "fork", seeds=seeds,
+        )
+    if engine == "fleet":
+        from repro.sim.fleet import FleetEngine
 
-        return SupervisedShardedEngine(
-            specs, tick, seed, workers, chaos=chaos, config=supervision
+        return FleetEngine(
+            specs, tick, seed, workers,
+            hosts=hosts if hosts is not None else 2,
+            transport=transport or "fork",
+            chaos=chaos, config=supervision, seeds=seeds,
         )
     raise SimulationError(
         f"unknown grid engine {engine!r} (have: {', '.join(ENGINE_NAMES)})"
+    )
+
+
+def _make_supervised(
+    specs, tick, seed, workers, *, chaos, supervision, transport, seeds
+):
+    from repro.sim.supervisor import SupervisedShardedEngine
+
+    return SupervisedShardedEngine(
+        specs, tick, seed, workers,
+        chaos=chaos, config=supervision, transport=transport, seeds=seeds,
     )

@@ -1,0 +1,228 @@
+"""Binary epoch wire for socket shard transports.
+
+The socket transport (ROADMAP item 2) replaces pickle with the same
+``"TTSV"`` struct-packed envelope the telemetry daemon speaks
+(:mod:`repro.serve.protocol`): a u32 length prefix, magic/version/type
+header, and a crc32-guarded body, reassembled by the shared bounds-checked
+:class:`~repro.serve.protocol.MessageReader`. The body is a small tagged
+value codec covering exactly the shapes the epoch round-trip needs —
+None/bool/int/float/str/bytes/list/tuple/dict — encoded deterministically
+(dict items in insertion order, floats as raw IEEE-754 bits so NaN
+payloads and -0.0 survive) and decoded under the same hostile-input rules
+as the frame protocol: every failure is a typed
+:class:`~repro.errors.WireError`, counts are sanity-checked against the
+remaining payload before any allocation, and recursion depth is capped.
+
+Tuples and lists round-trip to their own types: epoch reports carry
+tuples whose equality against the in-process engines is what the
+conformance digest checks, so the codec must not flatten them.
+
+Shard message types live in the range :data:`repro.serve.protocol`
+reserves for them (16+)::
+
+    MSG_SHARD_ADVANCE   parent -> agent  {"cmds", "n_ticks", "frac", "intern"}
+    MSG_SHARD_SNAPSHOT  parent -> agent  [node names]
+    MSG_SHARD_CLOSE     parent -> agent  None
+    MSG_SHARD_OK        agent -> parent  reply value
+    MSG_SHARD_ERR       agent -> parent  error text
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import (
+    WireCorruptError,
+    WireTruncatedError,
+    WireVersionError,
+)
+from repro.serve.protocol import (
+    MAGIC,
+    VERSION,
+    _HEAD,
+    _Reader,
+    pack_message,
+)
+
+MSG_SHARD_ADVANCE = 16
+MSG_SHARD_SNAPSHOT = 17
+MSG_SHARD_CLOSE = 18
+MSG_SHARD_OK = 19
+MSG_SHARD_ERR = 20
+_SHARD_MSG_TYPES = frozenset({
+    MSG_SHARD_ADVANCE,
+    MSG_SHARD_SNAPSHOT,
+    MSG_SHARD_CLOSE,
+    MSG_SHARD_OK,
+    MSG_SHARD_ERR,
+})
+
+TAG_NONE = 0
+TAG_TRUE = 1
+TAG_FALSE = 2
+TAG_INT64 = 3
+TAG_BIGINT = 4
+TAG_FLOAT = 5
+TAG_STR = 6
+TAG_BYTES = 7
+TAG_LIST = 8
+TAG_TUPLE = 9
+TAG_DICT = 10
+
+#: Nesting ceiling: epoch payloads are ~4 levels deep, so a value this
+#: deep is hostile input, not a big report.
+MAX_DEPTH = 24
+
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+def encode_value(value: object, out: bytearray | None = None,
+                 _depth: int = 0) -> bytes:
+    """Serialise one value to tagged bytes (deterministic)."""
+    if _depth > MAX_DEPTH:
+        raise WireCorruptError(f"value nests deeper than {MAX_DEPTH}")
+    if out is None:
+        out = bytearray()
+    # bool first: bool subclasses int.
+    if value is None:
+        out.append(TAG_NONE)
+    elif value is True:
+        out.append(TAG_TRUE)
+    elif value is False:
+        out.append(TAG_FALSE)
+    elif type(value) is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(TAG_INT64)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "big", signed=True
+            )
+            out.append(TAG_BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif type(value) is float:
+        out.append(TAG_FLOAT)
+        out += _F64.pack(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(TAG_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif type(value) is bytes:
+        out.append(TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif type(value) is list or type(value) is tuple:
+        out.append(TAG_LIST if type(value) is list else TAG_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            encode_value(item, out, _depth + 1)
+    elif type(value) is dict:
+        out.append(TAG_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            encode_value(key, out, _depth + 1)
+            encode_value(item, out, _depth + 1)
+    else:
+        raise WireCorruptError(
+            f"value of type {type(value).__name__} is not wire-encodable"
+        )
+    return bytes(out)
+
+
+def _decode_value(r: _Reader, depth: int) -> object:
+    if depth > MAX_DEPTH:
+        raise WireCorruptError(f"value nests deeper than {MAX_DEPTH}")
+    tag = r.u8()
+    if tag == TAG_NONE:
+        return None
+    if tag == TAG_TRUE:
+        return True
+    if tag == TAG_FALSE:
+        return False
+    if tag == TAG_INT64:
+        return r.unpack(_I64)[0]
+    if tag == TAG_BIGINT:
+        raw = r.take(r.u32())
+        return int.from_bytes(raw, "big", signed=True)
+    if tag == TAG_FLOAT:
+        return r.unpack(_F64)[0]
+    if tag == TAG_STR:
+        raw = r.take(r.u32())
+        try:
+            return str(raw, "utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireCorruptError(f"undecodable string: {exc}") from exc
+    if tag == TAG_BYTES:
+        return bytes(r.take(r.u32()))
+    if tag in (TAG_LIST, TAG_TUPLE):
+        count = r.u32()
+        # Every item costs >= 1 byte, so a count beyond the remaining
+        # payload is a hostile header, rejected before allocation.
+        if count > len(r.buf) - r.pos:
+            raise WireTruncatedError(
+                f"sequence count {count} exceeds remaining payload"
+            )
+        items = [_decode_value(r, depth + 1) for _ in range(count)]
+        return items if tag == TAG_LIST else tuple(items)
+    if tag == TAG_DICT:
+        count = r.u32()
+        if count * 2 > len(r.buf) - r.pos:
+            raise WireTruncatedError(
+                f"dict count {count} exceeds remaining payload"
+            )
+        obj = {}
+        for _ in range(count):
+            key = _decode_value(r, depth + 1)
+            if not isinstance(key, (str, int)):
+                raise WireCorruptError(
+                    f"dict key of type {type(key).__name__}"
+                )
+            obj[key] = _decode_value(r, depth + 1)
+        return obj
+    raise WireCorruptError(f"unknown value tag {tag}")
+
+
+def decode_value(payload: bytes | memoryview) -> object:
+    """Inverse of :func:`encode_value`; rejects trailing bytes."""
+    r = _Reader(payload)
+    value = _decode_value(r, 0)
+    r.done()
+    return value
+
+
+def pack_shard(msg_type: int, value: object) -> bytes:
+    """One complete shard message: envelope + crc32 + tagged value."""
+    if msg_type not in _SHARD_MSG_TYPES:
+        raise WireCorruptError(f"unknown shard message type {msg_type}")
+    body = encode_value(value)
+    return pack_message(msg_type, _U32.pack(zlib.crc32(body)) + body)
+
+
+def decode_shard(payload: bytes | memoryview) -> tuple[int, object]:
+    """Decode one envelope payload into ``(msg_type, value)``.
+
+    Raises:
+        WireTruncatedError: the payload ends before its declared content.
+        WireCorruptError: bad magic, checksum, tag or trailing garbage.
+        WireVersionError: unknown protocol version.
+    """
+    r = _Reader(payload)
+    magic, version, msg_type = r.unpack(_HEAD)
+    if magic != MAGIC:
+        raise WireCorruptError(f"bad magic {bytes(magic)!r}")
+    if version != VERSION:
+        raise WireVersionError(f"unknown protocol version {version}")
+    if msg_type not in _SHARD_MSG_TYPES:
+        raise WireCorruptError(f"unknown shard message type {msg_type}")
+    crc = r.u32()
+    body = r.rest()
+    if zlib.crc32(body) != crc:
+        raise WireCorruptError("shard message checksum mismatch")
+    return msg_type, decode_value(body)

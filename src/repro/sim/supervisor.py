@@ -44,25 +44,30 @@ the same chaos seed produce identical logs.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import signal
 import time
 import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigError, SimulationError, WorkerFailure
-from repro.sim.parallel import Shard, SpawnCmd
+from repro.sim.parallel import Shard, _entry_list
+from repro.sim.transport import CRASH_EXIT, make_transport
 
 if TYPE_CHECKING:
     from repro.sim.grid import NodeSpec
 
+__all__ = [
+    "CRASH_EXIT",
+    "GRID_FAULT_KINDS",
+    "GridFaultPlan",
+    "GridFaultSpec",
+    "Supervision",
+    "SupervisedShardedEngine",
+    "default_grid_specs",
+]
+
 #: Fault kinds a worker can be ordered to exhibit.
 GRID_FAULT_KINDS = ("crash", "hang", "garble")
-
-#: Exit code of a chaos-crashed worker (deterministic, unlike a signal).
-CRASH_EXIT = 17
 
 
 @dataclass(frozen=True)
@@ -199,71 +204,6 @@ class Supervision:
             raise ConfigError("backoff values must be >= 0")
 
 
-def _hang() -> None:  # pragma: no cover - runs in a worker process
-    """Simulate a wedged worker: ignore SIGTERM, stop replying."""
-    signal.signal(signal.SIGTERM, signal.SIG_IGN)
-    while True:
-        time.sleep(3600)
-
-
-def _worker_main(
-    conn,
-    entries: list[tuple["NodeSpec", int]],
-    tick: float,
-    journal: list[tuple[list[SpawnCmd], int, float]],
-    chaos: GridFaultPlan | None,
-    worker_id: int,
-    incarnation: int,
-) -> None:  # pragma: no cover - runs in a worker process
-    """Supervised worker loop: rebuild, replay, then serve epochs.
-
-    Identical protocol to the unsupervised worker, plus (a) silent
-    journal replay before the ready handshake — resurrection — and
-    (b) chaos execution at the top of each *live* advance. The epoch
-    counter starts past the replayed entries so chaos decisions line up
-    with the supervisor's global epoch numbering, and replay itself is
-    never faulted (those epochs already happened).
-    """
-    shard = Shard(entries, tick)
-    for commands, n_ticks, frac in journal:
-        shard.advance(commands, n_ticks, frac)
-    epoch = len(journal)
-    conn.send(("ok", "ready"))
-    while True:
-        try:
-            msg = conn.recv()
-        except EOFError:
-            break
-        tag = msg[0]
-        if tag == "close":
-            break
-        try:
-            if tag == "advance":
-                _, commands, n_ticks, frac = msg
-                fault = (
-                    chaos.decide(worker_id, epoch, incarnation)
-                    if chaos is not None
-                    else None
-                )
-                if fault == "crash":
-                    os._exit(CRASH_EXIT)
-                if fault == "hang":
-                    _hang()
-                if fault == "garble":
-                    conn.send(("ok", {"garbled": epoch}))
-                    epoch += 1
-                    continue
-                epoch += 1
-                conn.send(("ok", shard.advance(commands, n_ticks, frac)))
-            elif tag == "snapshot":
-                conn.send(("ok", shard.snapshot(msg[1])))
-            else:
-                conn.send(("error", f"unknown message {tag!r}"))
-        except Exception as exc:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-    conn.close()
-
-
 #: Keys every well-formed epoch report carries (garble detection).
 _REPORT_KEYS = frozenset(
     {
@@ -286,11 +226,10 @@ class _WorkerState:
 
     index: int
     entries: list[tuple["NodeSpec", int]]
-    conn: Any = None
-    proc: Any = None
+    transport: Any = None
     incarnation: int = 0
     #: Every epoch ever dispatched to this shard, in order.
-    journal: list[tuple[list[SpawnCmd], int, float]] = field(default_factory=list)
+    journal: list[tuple[list, int, float]] = field(default_factory=list)
     #: In-process shard once adopted (poison epoch or degrade).
     shard: Shard | None = None
     sent: bool = False
@@ -317,6 +256,10 @@ class SupervisedShardedEngine:
         *,
         chaos: GridFaultPlan | None = None,
         config: Supervision | None = None,
+        transport: str = "fork",
+        seeds: list[int] | None = None,
+        prior_epochs: list[tuple[list, int, float]] | None = None,
+        worker_base: int = 0,
     ) -> None:
         if workers < 1:
             raise SimulationError(
@@ -326,6 +269,12 @@ class SupervisedShardedEngine:
         self.config = config if config is not None else Supervision()
         self.chaos = chaos
         self.tick = tick
+        self.transport_name = transport
+        #: Offset added to each slot index to form the *global* worker id
+        #: (a fleet supervisor numbers workers across hosts): chaos
+        #: schedules, failure messages and event logs all use global ids,
+        #: so per-host logs stay distinct and transport-invariant.
+        self.worker_base = worker_base
         #: Shared-nothing like the sharded engine: no in-process machines
         #: are exposed, even for adopted shards (the public surface must
         #: not depend on the failure history).
@@ -342,63 +291,59 @@ class SupervisedShardedEngine:
             "failures": {"crash": 0, "hang": 0, "garbled": 0},
         }
         self.degraded = False
-        self._ctx = multiprocessing.get_context()
+        self._send_failures: dict[int, WorkerFailure] = {}
+        entry_list = _entry_list(specs, seed, seeds)
         self._states: list[_WorkerState] = []
         for w in range(self.workers):
             entries = []
-            for index, spec in enumerate(specs):
+            for index, entry in enumerate(entry_list):
                 if index % self.workers == w:
-                    entries.append((spec, seed + index))
-                    self._node_worker[spec.name] = w
-            self._states.append(_WorkerState(index=w, entries=entries))
+                    entries.append(entry)
+                    self._node_worker[entry[0].name] = w
+            state = _WorkerState(index=w, entries=entries)
+            state.transport = make_transport(
+                transport, worker_base + w, entries, tick, chaos
+            )
+            self._states.append(state)
+        # A fleet supervisor resurrecting a whole host passes the host's
+        # epoch history: split it into the per-shard journals *before*
+        # spawning, so every worker replays its past silently and its
+        # epoch counter starts beyond it — chaos that already fired can
+        # never refire during a host-level replay.
+        if prior_epochs:
+            for commands, n_ticks, frac in prior_epochs:
+                by_worker: dict[int, list] = {}
+                for cmd in commands:
+                    by_worker.setdefault(
+                        self._node_worker[cmd.node], []
+                    ).append(cmd)
+                for state in self._states:
+                    state.journal.append(
+                        (by_worker.get(state.index, []), n_ticks, frac)
+                    )
         for state in self._states:
-            self._spawn(state, replay=[])
+            self._spawn(state, replay=list(state.journal))
         for state in self._states:
             try:
-                self._await_ready(state, replayed=0)
+                self._await_ready(state, replayed=len(state.journal))
             except WorkerFailure as fail:
                 # Startup failure (not chaos-injected — chaos only fires
                 # on advance): recover immediately, no report pending.
                 self._recover(state, fail, need_report=False)
 
     # -- worker lifecycle ---------------------------------------------------
+    def _gid(self, state: _WorkerState) -> int:
+        """Global worker id of one slot (fleet-wide numbering)."""
+        return self.worker_base + state.index
+
     def _spawn(self, state: _WorkerState, replay: list) -> None:
-        parent, child = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=_worker_main,
-            args=(
-                child,
-                state.entries,
-                self.tick,
-                replay,
-                self.chaos,
-                state.index,
-                state.incarnation,
-            ),
-            daemon=True,
-        )
-        proc.start()
-        child.close()
-        state.conn = parent
-        state.proc = proc
+        state.transport.spawn(replay, state.incarnation)
 
     def _reap(self, state: _WorkerState) -> None:
-        """Tear one worker down for good: close the pipe, then the
-        terminate → kill ladder (a hung worker ignores SIGTERM)."""
-        if state.conn is not None:
-            try:
-                state.conn.close()
-            except OSError:  # pragma: no cover - already torn down
-                pass
-            state.conn = None
-        proc = state.proc
-        if proc is not None:
-            proc.terminate()
-            proc.join(timeout=1.0)
-            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
-                proc.kill()
-                proc.join()
-            state.proc = None
+        """Tear one worker down for good (terminate → kill ladder — a
+        hung worker ignores SIGTERM); the transport keeps whatever it
+        needs to spawn a fresh incarnation."""
+        state.transport.reap()
 
     def _await_ready(self, state: _WorkerState, replayed: int) -> None:
         # Replay costs real simulation work; scale the handshake deadline
@@ -408,71 +353,29 @@ class SupervisedShardedEngine:
         payload = self._recv(state, timeout)
         if payload != "ready":
             raise WorkerFailure(
-                f"grid worker {state.index} sent a bad ready handshake: "
+                f"grid worker {self._gid(state)} sent a bad ready handshake: "
                 f"{payload!r}",
-                worker=state.index,
+                worker=self._gid(state),
                 kind="garbled",
             )
 
     # -- guarded round-trips ------------------------------------------------
     def _send(self, state: _WorkerState, msg: tuple) -> None:
-        try:
-            state.conn.send(msg)
-        except (BrokenPipeError, OSError) as exc:
-            raise WorkerFailure(
-                f"grid worker {state.index} is gone",
-                worker=state.index,
-                kind="crash",
-                exitcode=state.proc.exitcode if state.proc else None,
-            ) from exc
+        state.transport.send(msg)
         self.messages += 1
 
     def _recv(self, state: _WorkerState, timeout: float) -> Any:
-        """One reply under a deadline, with liveness and shape checks."""
-        conn, proc = state.conn, state.proc
-        remaining = timeout
-        while not conn.poll(min(0.05, max(remaining, 0.0))):
-            remaining -= 0.05
-            if proc is not None and not proc.is_alive():
-                if conn.poll(0):
-                    break  # drain what it flushed before dying
-                raise WorkerFailure(
-                    f"grid worker {state.index} died",
-                    worker=state.index,
-                    kind="crash",
-                    exitcode=proc.exitcode,
-                )
-            if remaining <= 0:
-                raise WorkerFailure(
-                    f"grid worker {state.index} missed its {timeout:g}s "
-                    "deadline",
-                    worker=state.index,
-                    kind="hang",
-                )
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError) as exc:
-            raise WorkerFailure(
-                f"grid worker {state.index} closed its pipe mid-reply",
-                worker=state.index,
-                kind="crash",
-                exitcode=proc.exitcode if proc else None,
-            ) from exc
-        if not (isinstance(msg, tuple) and len(msg) == 2):
-            raise WorkerFailure(
-                f"grid worker {state.index} sent a malformed reply: {msg!r}",
-                worker=state.index,
-                kind="garbled",
-            )
-        tag, payload = msg
+        """One reply under a deadline. The transport enforces liveness
+        and shape; this layer interprets the protocol tags."""
+        tag, payload = state.transport.recv(timeout)
         if tag == "error":
             # A worker-side programming error, not a process failure:
             # surface it, don't "recover" it.
             raise SimulationError(f"grid worker failed: {payload}")
         if tag != "ok":
             raise WorkerFailure(
-                f"grid worker {state.index} sent unknown tag {tag!r}",
-                worker=state.index,
+                f"grid worker {self._gid(state)} sent unknown tag {tag!r}",
+                worker=self._gid(state),
                 kind="garbled",
             )
         return payload
@@ -481,8 +384,8 @@ class SupervisedShardedEngine:
         payload = self._recv(state, self.config.deadline)
         if not (isinstance(payload, dict) and _REPORT_KEYS <= payload.keys()):
             raise WorkerFailure(
-                f"grid worker {state.index} sent a garbled epoch report",
-                worker=state.index,
+                f"grid worker {self._gid(state)} sent a garbled epoch report",
+                worker=self._gid(state),
                 kind="garbled",
             )
         return payload
@@ -523,7 +426,7 @@ class SupervisedShardedEngine:
         self.events.append(
             {
                 "event": "adopt",
-                "worker": state.index,
+                "worker": self._gid(state),
                 "epoch": len(replay),
                 "reason": reason,
                 "replayed": len(replay),
@@ -555,14 +458,14 @@ class SupervisedShardedEngine:
                 self.events.append(
                     {
                         "event": "poison",
-                        "worker": state.index,
+                        "worker": self._gid(state),
                         "epoch": epoch,
                         "attempts": attempts,
                     }
                 )
                 return self._adopt(state, need_report, reason="poison")
             if self.stats["restarts"] >= self.config.restart_budget:
-                self._degrade(state.index, epoch)
+                self._degrade(self._gid(state), epoch)
                 return self._adopt(state, need_report, reason="degrade")
             backoff = min(
                 self.config.backoff_base * (2 ** (attempts - 1)),
@@ -577,7 +480,7 @@ class SupervisedShardedEngine:
             self.events.append(
                 {
                     "event": "restart",
-                    "worker": state.index,
+                    "worker": self._gid(state),
                     "epoch": epoch,
                     "incarnation": state.incarnation,
                     "replayed": len(replay),
@@ -596,34 +499,45 @@ class SupervisedShardedEngine:
                 fail = next_fail
 
     # -- engine protocol ----------------------------------------------------
-    def advance(
-        self, commands: list[SpawnCmd], n_ticks: int, frac: float
-    ) -> list[dict[str, Any]]:
+    def begin_advance(self, commands: list, n_ticks: int, frac: float) -> None:
+        """Journal the epoch and ship it to every live worker.
+
+        Split from :meth:`finish_advance` so a fleet supervisor can start
+        *all* hosts' workers on an epoch before collecting any of them —
+        without the split, hosts would advance serially and the two-level
+        tree would forfeit the fan-out.
+        """
         if self.degraded:
             # Serial semantics: every shard in-process from here on.
             for state in self._states:
                 if state.shard is None:
                     self._adopt(state, need_report=False, reason="degrade")
-        by_worker: dict[int, list[SpawnCmd]] = {}
+        by_worker: dict[int, list] = {}
         for cmd in commands:
             by_worker.setdefault(self._node_worker[cmd.node], []).append(cmd)
         for state in self._states:
             state.journal.append((by_worker.get(state.index, []), n_ticks, frac))
         # Send to every live worker first so shards advance concurrently.
-        send_failures: dict[int, WorkerFailure] = {}
+        self._send_failures = {}
         for state in self._states:
             if state.shard is not None:
+                state.sent = False
                 continue
             try:
                 self._send(state, ("advance",) + state.journal[-1])
                 state.sent = True
             except WorkerFailure as fail:
                 state.sent = False
-                send_failures[state.index] = fail
-        # Collect — adopted shards advance here, between the send and the
-        # recv phases, so their work overlaps the workers' like a shard's
-        # would. Reports have disjoint job/node keys; order is immaterial
-        # to the grid's merge.
+                self._send_failures[state.index] = fail
+
+    def finish_advance(self) -> list[dict[str, Any]]:
+        """Collect every worker's epoch report, recovering as needed.
+
+        Adopted shards advance here, between the send and the recv
+        phases, so their work overlaps the workers' like a shard's would.
+        Reports have disjoint job/node keys; order is immaterial to the
+        grid's merge.
+        """
         reports: list[dict[str, Any]] = []
         for state in self._states:
             if state.shard is not None:
@@ -633,7 +547,8 @@ class SupervisedShardedEngine:
             if not state.sent:
                 reports.append(
                     self._recover(
-                        state, send_failures[state.index], need_report=True
+                        state, self._send_failures[state.index],
+                        need_report=True,
                     )
                 )
                 continue
@@ -643,49 +558,74 @@ class SupervisedShardedEngine:
                 reports.append(self._recover(state, fail, need_report=True))
         return reports
 
+    def advance(
+        self, commands: list, n_ticks: int, frac: float
+    ) -> list[dict[str, Any]]:
+        self.begin_advance(commands, n_ticks, frac)
+        return self.finish_advance()
+
     def process_of(self, job_id: int) -> None:
         return None
 
     def snapshot(self, node: str) -> dict[str, Any]:
-        worker = self._node_worker.get(node)
-        if worker is None:
+        if node not in self._node_worker:
             raise SimulationError(f"no node {node!r}")
-        state = self._states[worker]
-        if state.shard is not None:
-            return state.shard.snapshot(node)
-        try:
-            self._send(state, ("snapshot", node))
-            return self._recv(state, self.config.deadline)
-        except WorkerFailure as fail:
-            # The journal is fully collected between epochs, so adoption
-            # resurrects the exact current state; serve from it.
-            self._note_failure(fail, epoch=len(state.journal))
-            self._adopt(state, need_report=False, reason="snapshot")
-            return state.shard.snapshot(node)
+        return self.snapshot_many([node])[node]
+
+    def snapshot_many(self, names: list[str]) -> dict[str, dict[str, Any]]:
+        """Snapshots for several nodes: one message per worker, not one
+        per node. A failed worker is adopted and serves from the replayed
+        shard — the journal is fully collected between epochs, so
+        adoption resurrects the exact current state."""
+        by_worker: dict[int, list[str]] = {}
+        for name in names:
+            worker = self._node_worker.get(name)
+            if worker is None:
+                raise SimulationError(f"no node {name!r}")
+            by_worker.setdefault(worker, []).append(name)
+        out: dict[str, dict[str, Any]] = {}
+        for worker, group in by_worker.items():
+            state = self._states[worker]
+            if state.shard is not None:
+                out.update(state.shard.snapshot_many(group))
+                continue
+            try:
+                self._send(state, ("snapshot", group))
+                out.update(self._recv(state, self.config.deadline))
+            except WorkerFailure as fail:
+                self._note_failure(fail, epoch=len(state.journal))
+                self._adopt(state, need_report=False, reason="snapshot")
+                out.update(state.shard.snapshot_many(group))
+        return out
 
     # -- introspection / lifecycle ------------------------------------------
     @property
+    def bytes_sent(self) -> int:
+        return sum(s.transport.bytes_sent for s in self._states)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(s.transport.bytes_received for s in self._states)
+
+    @property
     def _procs(self) -> list:
         """Live worker process handles (leak tests poke at these)."""
-        return [s.proc for s in self._states if s.proc is not None]
+        return [
+            s.transport.proc
+            for s in self._states
+            if s.transport.proc is not None
+        ]
 
     def live_workers(self) -> int:
-        """Worker slots still served by a live process (not adopted)."""
+        """Worker slots still served by a live agent (not adopted)."""
         return sum(
             1
             for s in self._states
-            if s.shard is None and s.proc is not None and s.proc.is_alive()
+            if s.shard is None and s.transport.is_alive()
         )
 
     def close(self) -> None:
         for state in self._states:
-            if state.conn is not None:
-                try:
-                    state.conn.send(("close",))
-                except (BrokenPipeError, OSError):
-                    pass
+            state.transport.request_close()
         for state in self._states:
-            proc = state.proc
-            if proc is not None:
-                proc.join(timeout=2.0)
-            self._reap(state)
+            state.transport.finish_close(grace=2.0)

@@ -425,7 +425,7 @@ def _grid_chaos_plan(scenario: Scenario) -> GridFaultPlan | None:
 
 
 def run_grid(
-    scenario: Scenario, engine: str
+    scenario: Scenario, engine: str, transport: str | None = None
 ) -> tuple[dict[str, Any], dict[str, Any]]:
     """Drive one grid scenario through ``engine``.
 
@@ -435,6 +435,8 @@ def run_grid(
     still alive after ``close()`` (leak freedom). Chaos, when the
     scenario configures it, is applied to the supervised engine only;
     every other engine runs clean and serves as the recovery reference.
+    ``transport`` pins the shard transport (the transport-invariance
+    sweep); the "fleet" engine always runs clean over two hosts.
     """
     arch = get_arch(scenario.arch)
     specs = [
@@ -453,6 +455,7 @@ def run_grid(
             max_wallclock=q.max_wallclock,
             memory_limit=q.memory_limit,
             priority=q.priority,
+            preempting=q.preempting,
         )
         for q in scenario.queues
     ]
@@ -478,6 +481,8 @@ def run_grid(
         engine=engine,
         grid_chaos=chaos,
         supervision=supervision,
+        transport=transport,
+        hosts=2 if engine == "fleet" else None,
     )
     try:
         for job in ordered:
@@ -489,6 +494,7 @@ def run_grid(
                 user="verify",
                 queue=job.queue,
                 memory_bytes=job.memory_bytes,
+                priority=job.priority,
             )
         if scenario.span > grid.now + 1e-12:
             grid.run_for(scenario.span - grid.now)
@@ -529,6 +535,13 @@ def execute(scenario: Scenario) -> Execution:
     else:
         for engine in scenario.engines:
             ex.grid[engine], ex.grid_meta[engine] = run_grid(scenario, engine)
+        # Transport-invariance sweep: the sharded engine re-runs once per
+        # listed transport; the keys join the engines-agree comparison.
+        for t in scenario.transports:
+            key = f"sharded+{t}"
+            ex.grid[key], ex.grid_meta[key] = run_grid(
+                scenario, "sharded", transport=t
+            )
         # Replay the chaotic supervised run when there is one: recovery
         # (not just clean execution) must be byte-deterministic.
         replay_engine = scenario.engines[0]

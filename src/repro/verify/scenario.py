@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -129,6 +129,7 @@ class QueuePlan:
     max_wallclock: float
     memory_limit: int
     priority: int = 0
+    preempting: bool = False
 
 
 @dataclass(frozen=True)
@@ -142,6 +143,7 @@ class JobPlan:
     queue: str
     submit_at: float = 0.0
     memory_bytes: int = 1 * GiB
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.archetype not in ARCHETYPES:
@@ -191,6 +193,10 @@ class Scenario:
     grid_faults: tuple[GridFaultClause, ...] = ()
     epoch_deadline: float = 2.0
     restart_budget: int = 8
+    #: Extra shard-transport sweep: each listed transport re-runs the
+    #: sharded engine through Grid(transport=...) and its digest joins
+    #: the engines-agree comparison (the transport-invariance oracle).
+    transports: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("tool", "grid"):
@@ -260,6 +266,7 @@ class Scenario:
             )
             for f in d.get("grid_faults", ())
         )
+        d["transports"] = tuple(d.get("transports", ()))
         return cls(**d)
 
     def to_json(self) -> str:
@@ -444,6 +451,21 @@ def _gen_grid(rng: np.random.Generator, seed: int) -> Scenario:
             )
         if (grid_chaos_seed is not None or grid_faults) and rng.random() < 0.2:
             restart_budget = int(rng.integers(0, 2))  # force the degrade path
+    # Everything below draws *after* every pre-existing field, so old
+    # seeds keep their old scenarios (corpus stability — same trick as
+    # the tool generator's serve flag).
+    transports: tuple[str, ...] = ()
+    if rng.random() < 0.25:
+        transports = ("inproc", "fork", "socket")
+    if rng.random() < 0.15:
+        engines.append("fleet")
+    if rng.random() < 0.2:
+        # Preemption churn: the fast queue may evict batch jobs, and jobs
+        # carry mixed priorities so within-queue ordering is exercised.
+        queues = (replace(queues[0], preempting=True),) + queues[1:]
+        jobs = [
+            replace(job, priority=int(rng.integers(0, 3))) for job in jobs
+        ]
     return Scenario(
         kind="grid",
         seed=seed,
@@ -462,6 +484,7 @@ def _gen_grid(rng: np.random.Generator, seed: int) -> Scenario:
         grid_faults=grid_faults,
         epoch_deadline=1.0,
         restart_budget=restart_budget,
+        transports=transports,
     )
 
 

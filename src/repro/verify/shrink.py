@@ -76,6 +76,12 @@ def _candidates(s: Scenario) -> Iterator[Scenario]:
             )
     if s.restart_budget < 8 and s.grid_chaotic:
         yield replace(s, restart_budget=8)
+    # Drop the transport sweep and the fleet engine before the cheaper
+    # engine drops: each multiplies the runs per candidate evaluation.
+    if s.transports:
+        yield replace(s, transports=())
+    if "fleet" in s.engines and len(s.engines) > 1:
+        yield replace(s, engines=tuple(e for e in s.engines if e != "fleet"))
     if "supervised" in s.engines and len(s.engines) > 1 and not s.grid_chaotic:
         yield replace(
             s, engines=tuple(e for e in s.engines if e != "supervised")

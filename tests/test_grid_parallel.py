@@ -352,7 +352,9 @@ class TestShardedEngineSurface:
             Grid(_small_fleet(), _small_queues(), engine="warp")
         with pytest.raises(SimulationError):
             Grid(_small_fleet(), _small_queues(), workers=0)
-        assert set(ENGINE_NAMES) == {"legacy", "serial", "sharded", "supervised"}
+        assert set(ENGINE_NAMES) == {
+            "legacy", "serial", "sharded", "supervised", "fleet"
+        }
 
     def test_more_workers_than_nodes_is_clamped(self):
         with Grid([NodeSpec(name="n", sockets=1, cores_per_socket=1)],

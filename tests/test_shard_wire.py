@@ -1,0 +1,288 @@
+"""Shard-wire fuzz battery: tagged-value exactness and typed failure.
+
+The socket shard transport rides on :mod:`repro.sim.shardwire`, which
+must uphold the same two properties as the telemetry frame protocol
+(see ``tests/test_serve_protocol.py``):
+
+* **Lossless**: ``encode_value -> decode_value`` reproduces any epoch
+  payload exactly — tuples stay tuples, NaN payloads and -0.0 survive,
+  int64 extremes and bigints round-trip, dict insertion order holds.
+* **Never hang, never over-read**: truncation at every offset, garbling
+  of every byte, hostile counts, depth bombs and bad prefixes all raise
+  a typed :class:`~repro.errors.WireError`; no input is silently
+  mis-decoded (crc32 guards the body).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    WireCorruptError,
+    WireError,
+    WireOversizeError,
+    WireTruncatedError,
+    WireVersionError,
+)
+from repro.serve.protocol import _PREFIX, MAX_MESSAGE, MessageReader
+from repro.sim.shardwire import (
+    MAX_DEPTH,
+    MSG_SHARD_ADVANCE,
+    MSG_SHARD_CLOSE,
+    MSG_SHARD_ERR,
+    MSG_SHARD_OK,
+    MSG_SHARD_SNAPSHOT,
+    decode_shard,
+    decode_value,
+    encode_value,
+    pack_shard,
+)
+
+# -- value strategy -----------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.integers(min_value=2**63, max_value=2**80),
+    st.integers(min_value=-(2**80), max_value=-(2**63) - 1),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=24),
+    st.binary(max_size=24),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(st.text(max_size=8), st.integers(-100, 100)),
+            inner,
+            max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+def _eq(a, b) -> bool:
+    """Structural equality distinguishing NaN, -0.0 and tuple-vs-list."""
+    if type(a) is not type(b):
+        return False
+    if type(a) is float:
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return struct.pack("!d", a) == struct.pack("!d", b)
+    if type(a) in (list, tuple):
+        return len(a) == len(b) and all(_eq(x, y) for x, y in zip(a, b))
+    if type(a) is dict:
+        return list(a) == list(b) and all(_eq(a[k], b[k]) for k in a)
+    return a == b
+
+
+def _payload(frame: bytes) -> bytes:
+    """Strip the u32 length prefix off a packed message."""
+    return frame[_PREFIX.size :]
+
+
+class TestValueRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_values)
+    def test_any_value_round_trips_exactly(self, value):
+        assert _eq(decode_value(encode_value(value)), value)
+
+    def test_tuple_and_list_keep_their_types(self):
+        value = ([1, 2], (3, 4), [(5,)], ((6,), [7]))
+        out = decode_value(encode_value(value))
+        assert _eq(out, value)
+        assert type(out) is tuple
+        assert type(out[0]) is list
+        assert type(out[1]) is tuple
+        assert type(out[2][0]) is tuple
+
+    def test_float_bit_patterns_survive(self):
+        for f in (float("nan"), float("inf"), float("-inf"), -0.0, 0.0,
+                  5e-324, 1.7976931348623157e308):
+            raw = struct.pack("!d", f)
+            assert struct.pack(
+                "!d", decode_value(encode_value(f))
+            ) == raw
+
+    def test_int_extremes_and_bigints(self):
+        for n in (0, -1, 2**63 - 1, -(2**63), 2**63, -(2**63) - 1,
+                  10**40, -(10**40)):
+            assert decode_value(encode_value(n)) == n
+
+    def test_unicode_and_bytes(self):
+        value = {"naïve": "Ωμέγα ", "raw": b"\x00\xff\x7f"}
+        assert decode_value(encode_value(value)) == value
+
+    def test_dict_insertion_order_is_preserved(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(decode_value(encode_value(value))) == ["z", "a", "m"]
+
+    def test_bool_is_not_flattened_to_int(self):
+        out = decode_value(encode_value([True, 1, False, 0]))
+        assert out == [True, 1, False, 0]
+        assert type(out[0]) is bool and type(out[1]) is int
+
+    def test_unencodable_type_is_rejected(self):
+        with pytest.raises(WireCorruptError, match="not wire-encodable"):
+            encode_value({1, 2, 3})
+
+    def test_depth_bomb_rejected_on_encode(self):
+        bomb: list = []
+        tip = bomb
+        for _ in range(MAX_DEPTH + 2):
+            tip.append([])
+            tip = tip[0]
+        with pytest.raises(WireCorruptError, match="nests deeper"):
+            encode_value(bomb)
+
+    def test_depth_bomb_rejected_on_decode(self):
+        # Hand-build nested lists one level deeper than the cap.
+        raw = b""
+        for _ in range(MAX_DEPTH + 2):
+            raw = bytes([8]) + struct.pack("!I", 1) + raw  # TAG_LIST, n=1
+        raw = raw[:-5] + bytes([0])  # innermost: TAG_NONE
+        with pytest.raises(WireCorruptError, match="nests deeper"):
+            decode_value(raw)
+
+
+class TestHostileValues:
+    def test_truncation_at_every_offset(self):
+        blob = encode_value(
+            {"cmds": [("spawn", 1, "n0", ["cmd"], "user", 2.5, 0)],
+             "n_ticks": 4, "frac": 0.5}
+        )
+        for cut in range(len(blob)):
+            with pytest.raises(WireError):
+                decode_value(blob[:cut])
+
+    def test_garble_every_byte_never_misdecodes_silently(self):
+        value = {"epoch": 7, "reports": [(1, "exit", 0.25), None]}
+        blob = encode_value(value)
+        for i in range(len(blob)):
+            garbled = blob[:i] + bytes([blob[i] ^ 0xFF]) + blob[i + 1 :]
+            try:
+                out = decode_value(garbled)
+            except WireError:
+                continue
+            # A flipped byte that still decodes must decode to a
+            # *different* value (e.g. an int payload changed).
+            assert not _eq(out, value)
+
+    def test_sequence_count_beyond_payload_is_rejected_before_alloc(self):
+        raw = bytes([8]) + struct.pack("!I", 2**31)  # TAG_LIST, huge count
+        with pytest.raises(WireTruncatedError, match="exceeds remaining"):
+            decode_value(raw)
+
+    def test_dict_count_beyond_payload_is_rejected(self):
+        raw = bytes([10]) + struct.pack("!I", 2**30)  # TAG_DICT
+        with pytest.raises(WireTruncatedError, match="exceeds remaining"):
+            decode_value(raw)
+
+    def test_unknown_tag_is_rejected(self):
+        with pytest.raises(WireCorruptError, match="unknown value tag"):
+            decode_value(bytes([99]))
+
+    def test_trailing_bytes_are_rejected(self):
+        with pytest.raises(WireError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_non_scalar_dict_key_is_rejected(self):
+        # TAG_DICT, count=1, key=TAG_LIST(empty), value=TAG_NONE
+        raw = (bytes([10]) + struct.pack("!I", 1)
+               + bytes([8]) + struct.pack("!I", 0) + bytes([0]))
+        with pytest.raises(WireCorruptError, match="dict key"):
+            decode_value(raw)
+
+    def test_undecodable_utf8_is_rejected(self):
+        raw = bytes([6]) + struct.pack("!I", 2) + b"\xff\xfe"
+        with pytest.raises(WireCorruptError, match="undecodable string"):
+            decode_value(raw)
+
+
+class TestShardEnvelope:
+    def test_round_trip_every_message_type(self):
+        cases = [
+            (MSG_SHARD_ADVANCE, {"cmds": [], "n_ticks": 3, "frac": 0.0,
+                                 "intern": {}}),
+            (MSG_SHARD_SNAPSHOT, ["n0", "n1"]),
+            (MSG_SHARD_CLOSE, None),
+            (MSG_SHARD_OK, [(0, "ready")]),
+            (MSG_SHARD_ERR, "SimulationError: no node 'x'"),
+        ]
+        for msg_type, value in cases:
+            out_type, out = decode_shard(_payload(pack_shard(msg_type, value)))
+            assert out_type == msg_type
+            assert _eq(out, value)
+
+    def test_unknown_message_type_rejected_on_pack(self):
+        with pytest.raises(WireCorruptError, match="unknown shard message"):
+            pack_shard(3, None)  # a valid *serve* type, not a shard type
+
+    def test_unknown_message_type_rejected_on_decode(self):
+        # Take a valid shard frame and patch the type byte.
+        frame = bytearray(pack_shard(MSG_SHARD_OK, None))
+        frame[_PREFIX.size + 5] = 42  # !4sBB → type is byte 5 of the head
+        with pytest.raises(WireCorruptError, match="unknown shard message"):
+            decode_shard(bytes(frame[_PREFIX.size :]))
+
+    def test_checksum_guards_the_body(self):
+        frame = bytearray(pack_shard(MSG_SHARD_OK, {"epoch": 3}))
+        frame[-1] ^= 0x01
+        with pytest.raises(WireCorruptError, match="checksum"):
+            decode_shard(bytes(frame[_PREFIX.size :]))
+
+    def test_bad_magic_and_version(self):
+        good = pack_shard(MSG_SHARD_CLOSE, None)
+        bad_magic = bytearray(good)
+        bad_magic[_PREFIX.size] ^= 0xFF
+        with pytest.raises(WireCorruptError, match="bad magic"):
+            decode_shard(bytes(bad_magic[_PREFIX.size :]))
+        bad_version = bytearray(good)
+        bad_version[_PREFIX.size + 4] = 250
+        with pytest.raises(WireVersionError):
+            decode_shard(bytes(bad_version[_PREFIX.size :]))
+
+    def test_truncation_at_every_offset_of_a_full_frame(self):
+        payload = _payload(pack_shard(
+            MSG_SHARD_OK, [(1, "exit", 0.5), {"pid": 100}]))
+        for cut in range(len(payload)):
+            with pytest.raises(WireError):
+                decode_shard(payload[:cut])
+
+
+class TestStreamReassembly:
+    """The socket transport reuses MessageReader: byte-dribble and
+    hostile prefixes behave exactly as the serve protocol promises."""
+
+    def test_byte_at_a_time_reassembly(self):
+        frames = [pack_shard(MSG_SHARD_OK, i) for i in range(3)]
+        stream = b"".join(frames)
+        reader = MessageReader()
+        out = []
+        for i in range(len(stream)):
+            out.extend(reader.feed(stream[i : i + 1]))
+        assert [decode_shard(p) for p in out] == [
+            (MSG_SHARD_OK, 0), (MSG_SHARD_OK, 1), (MSG_SHARD_OK, 2)
+        ]
+
+    def test_oversize_prefix_raises_before_buffering(self):
+        reader = MessageReader()
+        with pytest.raises(WireOversizeError):
+            reader.feed(_PREFIX.pack(MAX_MESSAGE + 1))
+
+    def test_garbled_prefix_is_an_oversize_not_a_hang(self):
+        # Random high bytes decode as a huge length: typed error, not an
+        # unbounded buffer.
+        reader = MessageReader()
+        with pytest.raises(WireError):
+            reader.feed(b"\xff\xff\xff\xff" + b"junk")
