@@ -19,10 +19,48 @@ from repro.core.recorder import Recorder
 from repro.core.screen import Screen, get_screen
 from repro.sim.arch import ArchModel
 from repro.sim.machine import SimMachine
+from repro.sim.arch import NEHALEM
 from repro.sim.process import SimProcess
 from repro.sim.workload import Workload
+from repro.sim.workloads import spec as speclib
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def endless_slice(
+    benchmark: str, phase_index: int = 0, *, name: str | None = None
+) -> Workload:
+    """One phase of a SPEC model pinned to an infinite budget.
+
+    The standard steady job of the ablations and interference figures:
+    every configuration measures the same code region for as long as the
+    experiment runs (mirrors the runner's ``NAME#i`` references).
+    """
+    phase = speclib.workload(benchmark).phases[phase_index]
+    return Workload(name or benchmark, (phase.with_budget(float("inf")),))
+
+
+def steady_machine(
+    *,
+    benchmark: str = "456.hmmer",
+    phase_index: int = 0,
+    seed: int = 3,
+    tick: float = 0.5,
+    command: str = "job",
+    sockets: int = 1,
+    cores: int = 4,
+    nthreads: int = 1,
+) -> tuple[SimMachine, SimProcess]:
+    """A one-job Nehalem node running an endless steady SPEC slice."""
+    machine = SimMachine(
+        NEHALEM, sockets=sockets, cores_per_socket=cores, tick=tick, seed=seed
+    )
+    proc = machine.spawn(
+        command,
+        endless_slice(benchmark, phase_index, name=command),
+        nthreads=nthreads,
+    )
+    return machine, proc
 
 
 def save_artifact(name: str, text: str) -> Path:

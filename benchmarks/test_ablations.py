@@ -1,74 +1,60 @@
 """Ablations of the design choices DESIGN.md §5 calls out.
 
 Not figures from the paper, but measurements of the trade-offs the paper
-*argues* about in §2.5/§2.6/§4:
+*argues* about in §2.5/§2.6/§4. Each ablation is a committed spec under
+``benchmarks/specs/`` executed by the deterministic experiment runner
+(``python -m repro.experiments run <spec>`` regenerates the artifact
+byte-identically); the tests here assert the *shape* of the results:
 
 * counting vs sampling accuracy (Moore [29]; tiptop chose counting);
 * counter multiplexing error when the events requested exceed the PMU
   width (the Xeon W3550 has sixteen counters — §2.6);
 * refresh period: coarser sampling is cheaper but blurs phase boundaries;
 * per-thread vs per-process counting (§2.2 supports both);
+* simulation tick size (fidelity vs speed);
 * the §3.4 outlook, implemented: memory-latency counters expose DRAM-level
   contention that plain miss counts understate.
 """
 
-import numpy as np
+import time
+from pathlib import Path
+
 import pytest
-from _harness import once, save_artifact
+from _harness import OUT_DIR, once, save_artifact
 
 from repro import Options, SimHost, TipTop
-from repro.analysis.phase_detect import transition_points
 from repro.core.phases import pid_metric_series
-from repro.core.screen import get_screen, screen_from_config
-from repro.perf.counter import Counter
-from repro.perf.events import event_names, resolve_event
-from repro.perf.simbackend import SimBackend
-from repro.sim import NEHALEM, SimMachine
-from repro.sim.workload import Workload
-from repro.sim.workloads import datacenter, revolve, spec
+from repro.core.screen import get_screen
+from repro.experiments import load, plan, run
+from repro.experiments.executor import run_cell
+from repro.sim import NEHALEM
+from repro.sim.workloads import datacenter, revolve
+
+SPEC_DIR = Path(__file__).parent / "specs"
 
 
-def _steady_machine(seed=3):
-    machine = SimMachine(NEHALEM, tick=0.5, seed=seed)
-    phase = spec.workload("456.hmmer").phases[0].with_budget(float("inf"))
-    proc = machine.spawn("job", Workload("job", (phase,)))
-    return machine, proc
+def _run_spec(name: str) -> list[dict]:
+    """Run one committed spec, write its artifact, return the cells."""
+    artifact = run(load(SPEC_DIR / f"{name}.toml"), out_dir=OUT_DIR)
+    return artifact["cells"]
+
+
+def _by_config(cells: list[dict]) -> dict[str, dict]:
+    return {c["config"]: c["metrics"] for c in cells}
 
 
 # ---------------------------------------------------------------------------
 # Ablation 1: counting vs sampling
 # ---------------------------------------------------------------------------
-def _counting_vs_sampling():
-    rows = []
-    # The last period exceeds the events produced in the window: the
-    # estimate collapses to its quantisation floor.
-    for period in (1_000, 100_000, 10_000_000, 100_000_000_000):
-        machine, proc = _steady_machine()
-        backend = SimBackend(machine)
-        exact = Counter(backend, resolve_event("instructions"), proc.pid)
-        sampled = Counter(
-            backend, resolve_event("instructions"), proc.pid, sample_period=period
-        )
-        machine.run_for(30.0)
-        truth = exact.delta()
-        estimate = sampled.delta()
-        rows.append((period, truth, estimate, abs(estimate - truth) / truth))
-    return rows
-
-
 def test_ablation_counting_vs_sampling(benchmark):
-    rows = once(benchmark, _counting_vs_sampling)
-    lines = ["Ablation: counting vs sampling (30 s of a steady job)",
-             f"{'period':>12s} {'counted':>14s} {'sampled':>14s} {'rel err':>10s}"]
-    for period, truth, estimate, err in rows:
-        lines.append(f"{period:12d} {truth:14.4g} {estimate:14.4g} {err:10.2e}")
-    save_artifact("ablation_counting_vs_sampling", "\n".join(lines))
-
+    cells = once(
+        benchmark, lambda: _run_spec("ablation-counting-vs-sampling")
+    )
     # Counting is the reference; sampling always errs. At practical
     # periods the error is the (constant-rate) interrupt loss, well under
     # a percent; once the period exceeds the event count the estimate
     # collapses to the quantisation floor.
-    errs = [err for *_, err in rows]
+    errs = [c["metrics"]["sampling_rel_err"] for c in cells]
     assert all(e > 0 for e in errs)
     assert all(e < 0.01 for e in errs[:-1])
     assert errs[-1] > 0.3
@@ -77,219 +63,76 @@ def test_ablation_counting_vs_sampling(benchmark):
 # ---------------------------------------------------------------------------
 # Ablation 2: multiplexing error vs requested events
 # ---------------------------------------------------------------------------
-def _multiplexing_error():
-    from dataclasses import replace
-
-    supported = [
-        n for n in event_names()
-        if NEHALEM.supports_event(resolve_event(n).sim_event)
-    ]
-    supported.remove("instructions")
-    supported.insert(0, "instructions")
-    rows = []
-    for n_events in (4, 12, 16, len(supported)):
-        machine = SimMachine(NEHALEM, tick=0.5, seed=9)
-        # A *jittery* workload: multiplexing error comes from extrapolating
-        # the rotated-out intervals, which only bites when rates vary.
-        phase = replace(
-            spec.workload("456.hmmer").phases[0].with_budget(float("inf")),
-            noise=0.15,
-        )
-        proc = machine.spawn("jittery", Workload("jittery", (phase,)))
-        backend = SimBackend(machine)
-        counters = [
-            Counter(backend, resolve_event(name), proc.pid)
-            for name in supported[:n_events]
-        ]
-        machine.run_for(2.0)
-        for c in counters:
-            c.delta()  # baseline
-        before = proc.threads[0].retired
-        machine.run_for(60.0)
-        truth = proc.threads[0].retired - before
-        estimate = counters[0].delta()
-        rows.append((n_events, truth, estimate, abs(estimate - truth) / truth))
-    return rows
-
-
 def test_ablation_multiplexing(benchmark):
-    rows = once(benchmark, _multiplexing_error)
-    lines = [
-        "Ablation: instruction-count error vs number of simultaneous events",
-        f"(PMU width {NEHALEM.pmu_width}; beyond it the kernel multiplexes "
-        "and user space scales by enabled/running)",
-        f"{'events':>8s} {'true instr':>14s} {'scaled est.':>14s} {'rel err':>10s}",
-    ]
-    for n, truth, est, err in rows:
-        lines.append(f"{n:8d} {truth:14.4g} {est:14.4g} {err:10.2e}")
-    save_artifact("ablation_multiplexing", "\n".join(lines))
-
-    within = [r for r in rows if r[0] <= NEHALEM.pmu_width]
-    beyond = [r for r in rows if r[0] > NEHALEM.pmu_width]
+    cells = once(benchmark, lambda: _run_spec("ablation-multiplexing"))
+    err = {name: m["count_rel_err"] for name, m in _by_config(cells).items()}
+    assert NEHALEM.pmu_width == 16
     # Within the PMU width the count is exact.
-    assert all(err < 1e-9 for *_, err in within)
-    # Beyond it, scaling recovers the truth within a few percent.
-    assert beyond, "the event list must exceed the PMU width"
-    assert all(err < 0.05 for *_, err in beyond)
-    assert any(err > 1e-6 for *_, err in beyond)
+    for name in ("events-04", "events-12", "events-16"):
+        assert err[name] < 1e-9
+    # Beyond it the kernel multiplexes and user space scales by
+    # enabled/running: the truth comes back within a few percent.
+    assert 1e-6 < err["events-all"] < 0.05
 
 
 # ---------------------------------------------------------------------------
 # Ablation 3: refresh period vs phase visibility
 # ---------------------------------------------------------------------------
-def _refresh_sweep():
-    results = []
-    for delay in (1.0, 5.0, 20.0, 60.0):
-        workload = Workload(
-            "revolve-small",
-            tuple(
-                p.with_budget(p.instructions / 20)
-                for p in revolve.original().phases
-            ),
-        )
-        machine = SimMachine(NEHALEM, tick=0.5, seed=12)
-        proc = machine.spawn("R", workload)
-        app = TipTop(SimHost(machine), Options(delay=delay))
-        recorder = app.run_collect(0)
-        with app:
-            for i, snap in enumerate(app.snapshots()):
-                if i > 0:
-                    recorder.record(snap)
-                if not proc.alive:
-                    break
-        series = pid_metric_series(recorder, proc.pid, "IPC")
-        cuts = transition_points(series, window=4, threshold=0.5)
-        true_transition = 953 * revolve.STEP_INSTRUCTIONS / 20 / (
-            1.0 * NEHALEM.freq_hz
-        )  # seconds, at IPC 1.0
-        detected = series.x[cuts[0]] if cuts else float("nan")
-        error = abs(detected - true_transition)
-        reads_per_hour = 3600.0 / delay
-        results.append((delay, len(series), detected, true_transition, error,
-                        reads_per_hour))
-    return results
-
-
 def test_ablation_refresh_period(benchmark):
-    rows = once(benchmark, _refresh_sweep)
-    lines = [
-        "Ablation: refresh period vs phase-boundary resolution",
-        f"{'delay s':>8s} {'samples':>8s} {'detected s':>11s} {'true s':>8s} "
-        f"{'error s':>8s} {'reads/h':>8s}",
+    cells = once(benchmark, lambda: _run_spec("ablation-refresh-period"))
+    true_transition = 953 * revolve.STEP_INSTRUCTIONS / 20 / (
+        1.0 * NEHALEM.freq_hz
+    )  # seconds, at IPC 1.0
+    rows = [
+        (float(c["config"].rsplit("-", 1)[1]), c["metrics"].get("transition_s"))
+        for c in cells
     ]
-    for delay, n, detected, truth, error, reads in rows:
-        lines.append(
-            f"{delay:8.0f} {n:8d} {detected:11.0f} {truth:8.0f} "
-            f"{error:8.1f} {reads:8.0f}"
-        )
-    save_artifact("ablation_refresh_period", "\n".join(lines))
-
+    finite = [(d, t) for d, t in rows if t is not None]
     # Every delay up to 20 s still finds the transition; error grows with
-    # the period, cost (reads/hour) shrinks.
-    finite = [r for r in rows if not np.isnan(r[2])]
+    # the period, cost (reads/hour ~ 3600/delay) shrinks.
     assert len(finite) >= 3
-    errors = [r[4] for r in finite]
+    errors = [abs(t - true_transition) for _, t in finite]
     assert errors[0] < errors[-1] + 1e-9
-    assert all(r[4] <= 2.5 * r[0] + 5.0 for r in finite)  # ~sampling quantum
+    assert all(
+        abs(t - true_transition) <= 2.5 * d + 5.0 for d, t in finite
+    )  # ~sampling quantum
 
 
 # ---------------------------------------------------------------------------
 # Ablation 4: per-thread vs per-process counting
 # ---------------------------------------------------------------------------
-def _thread_vs_process():
-    def run(per_thread: bool):
-        machine = SimMachine(NEHALEM, tick=0.5, seed=15)
-        phase = spec.workload("456.hmmer").phases[0].with_budget(float("inf"))
-        machine.spawn("mt", Workload("mt", (phase,)), nthreads=3)
-        app = TipTop(
-            SimHost(machine),
-            Options(delay=5.0, per_thread=per_thread),
-        )
-        with app:
-            recorder = app.run_collect(4)
-        return recorder
-
-    return run(False), run(True)
-
-
 def test_ablation_thread_vs_process(benchmark):
-    by_process, by_thread = once(benchmark, _thread_vs_process)
-    proc_rows = {s.pid for s in by_process.samples}
-    thread_rows = {
-        (s.pid, tuple(sorted(s.deltas))) for s in by_thread.samples
-    }
-    per_proc_instr = by_process.total_delta(
-        next(iter(proc_rows)), "instructions"
-    )
-    lines = [
-        "Ablation: per-process vs per-thread counting (3-thread process)",
-        f"  per-process rows per refresh: 1 (inherit folds {3} threads)",
-        f"  per-thread rows per refresh: 3",
-        f"  per-process instructions: {per_proc_instr:.4g}",
-    ]
-    save_artifact("ablation_thread_vs_process", "\n".join(lines))
-
+    cells = once(benchmark, lambda: _run_spec("ablation-thread-vs-process"))
+    by_config = _by_config(cells)
+    per_process = by_config["per-process"]
+    per_thread = by_config["per-thread"]
     # One row per process vs three rows per refresh.
-    assert len(proc_rows) == 1
-    n_thread_rows = len({s.values["PID"] for s in by_thread.samples})
-    assert n_thread_rows == 1  # same pid...
-    tids = {
-        s.pid for s in by_thread.samples
-    }
-    assert len(by_thread.samples) == 3 * len(by_process.samples)
-    # The folded count matches the sum of the thread counts (within the
-    # sampling alignment of the two separate runs).
-    total_threads = sum(
-        s.deltas["instructions"] for s in by_thread.samples
+    assert per_process["tasks_observed"] == 1
+    assert per_thread["rows"] == 3 * per_process["rows"]
+    # The folded count matches the sum of the thread counts.
+    assert per_process["instructions"] == pytest.approx(
+        per_thread["instructions"], rel=0.05
     )
-    assert per_proc_instr == pytest.approx(total_threads, rel=0.05)
 
 
 # ---------------------------------------------------------------------------
 # Ablation 5: simulation tick size (fidelity vs speed)
 # ---------------------------------------------------------------------------
-def _tick_sweep():
-    import time as _time
-
-    results = []
-    for tick in (0.1, 0.5, 2.0):
-        machine = SimMachine(NEHALEM, sockets=1, cores_per_socket=4,
-                             tick=tick, seed=33)
-        phase = spec.workload("429.mcf").phases[2].with_budget(float("inf"))
-        procs = [
-            machine.spawn(f"m{i}", Workload("mcf", (phase,)), affinity={i})
-            for i in range(3)
-        ]
-        backend = SimBackend(machine)
-        counters = [
-            (Counter(backend, resolve_event("instructions"), p.pid),
-             Counter(backend, resolve_event("cycles"), p.pid))
-            for p in procs
-        ]
-        start = _time.perf_counter()
-        machine.run_for(120.0)
-        wall = _time.perf_counter() - start
-        ipc = np.mean([ci.delta() / cc.delta() for ci, cc in counters])
-        results.append((tick, float(ipc), wall))
-    return results
-
-
 def test_ablation_tick_size(benchmark):
-    rows = once(benchmark, _tick_sweep)
-    lines = [
-        "Ablation: scheduler tick vs fidelity (3 mcf copies, 120 s)",
-        f"{'tick s':>8s} {'mean IPC':>9s} {'wall s':>8s}",
-    ]
-    for tick, ipc, wall in rows:
-        lines.append(f"{tick:8.1f} {ipc:9.3f} {wall:8.3f}")
-    save_artifact("ablation_tick_size", "\n".join(lines))
-
+    cells = once(benchmark, lambda: _run_spec("ablation-tick-size"))
     # Coarser ticks change the contended IPC by well under the figures'
-    # tolerance bands, while cutting wall time substantially.
-    ipcs = [ipc for _, ipc, _ in rows]
+    # tolerance bands...
+    ipcs = [c["metrics"]["ipc_mean"] for c in cells]
     assert max(ipcs) - min(ipcs) < 0.03 * ipcs[0]
-    walls = [wall for *_, wall in rows]
-    assert walls[-1] < walls[0]
+    # ...while cutting wall time substantially (finest vs coarsest cell).
+    spec_cells = plan(load(SPEC_DIR / "ablation-tick-size.toml"))
+    start = time.perf_counter()
+    run_cell(spec_cells[0])
+    fine_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    run_cell(spec_cells[-1])
+    coarse_wall = time.perf_counter() - start
+    assert coarse_wall < fine_wall
 
 
 # ---------------------------------------------------------------------------

@@ -15,14 +15,13 @@ Paper panels:
 
 import numpy as np
 import pytest
-from _harness import once, save_artifact
+from _harness import endless_slice, once, save_artifact
 
 from repro import Options, SimHost, TipTop
 from repro.core.screen import get_screen
 from repro.sim import NEHALEM, SimMachine
 from repro.sim.cpu_topology import Topology
 from repro.sim.workload import Workload
-from repro.sim.workloads import spec
 
 RUN_SECONDS = 240.0
 
@@ -30,8 +29,7 @@ RUN_SECONDS = 240.0
 def _mcf_endless() -> Workload:
     # A steady mcf slice (its dominant pricing phase), endless so every
     # configuration measures the same code region.
-    phase = spec.workload("429.mcf").phases[2].with_budget(float("inf"))
-    return Workload("mcf", (phase,))
+    return endless_slice("429.mcf", 2, name="mcf")
 
 
 def _corun(affinities: list[set[int]]) -> dict[str, float]:

@@ -14,7 +14,7 @@ share.
 """
 
 import pytest
-from _harness import once, save_artifact
+from _harness import endless_slice, once, save_artifact
 
 from repro import Options, SimHost, TipTop
 from repro.pin.inscount import inscount
@@ -53,8 +53,7 @@ def _run_once(monitored: bool, seed: int) -> float:
 
 
 def _idle_monitor() -> Workload:
-    w = spec.workload("456.hmmer")
-    return Workload("tiptop", (w.phases[0].with_budget(float("inf")),))
+    return endless_slice("456.hmmer", name="tiptop")
 
 
 def _run_experiment():

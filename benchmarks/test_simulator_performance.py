@@ -6,7 +6,7 @@ the property that makes the full experiment suite run in seconds. Regression
 here means every figure bench slows down.
 """
 
-import math
+from _harness import endless_slice
 
 from repro import Options, SimHost, TipTop
 from repro.core.expr import Expression
@@ -14,15 +14,14 @@ from repro.core.screen import get_screen
 from repro.sim import NEHALEM, SimMachine
 from repro.sim.cache import MemoryBehavior, miss_chain
 from repro.sim.core import compute_rates
-from repro.sim.workload import Workload
 from repro.sim.workloads import datacenter, spec
 
 
 def _loaded_machine(n_tasks=8):
     machine = SimMachine(NEHALEM, sockets=2, cores_per_socket=4, tick=0.5, seed=2)
-    phase = spec.workload("429.mcf").phases[2].with_budget(math.inf)
+    workload = endless_slice("429.mcf", 2, name="w")
     for i in range(n_tasks):
-        machine.spawn(f"t{i}", Workload("w", (phase,)))
+        machine.spawn(f"t{i}", workload)
     return machine
 
 

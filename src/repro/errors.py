@@ -137,6 +137,15 @@ class ConfigError(ReproError):
     """Invalid screen/column/option configuration."""
 
 
+class ExperimentError(ConfigError):
+    """An experiment spec failed to parse or validate.
+
+    Raised by :mod:`repro.experiments` for malformed spec files, unknown
+    keys, out-of-range values or unresolvable workload references. The
+    CLI maps it (like every :class:`ConfigError`) to exit status 2.
+    """
+
+
 class ProcfsError(ReproError):
     """A /proc read or parse failed."""
 

@@ -1,0 +1,15 @@
+"""Entry point: ``python -m repro.experiments``."""
+
+import os
+import sys
+
+from repro.experiments.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream consumer (e.g. ``| head``) closed the pipe early; mute
+    # the interpreter's close-time flush complaint and exit like a
+    # signalled process would.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(1)

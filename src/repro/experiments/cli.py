@@ -1,0 +1,108 @@
+"""``python -m repro.experiments`` — run specs, list the library,
+regenerate the frozen signatures.
+
+Exit status: 0 on success, 2 for any typed configuration error
+(malformed spec, unknown workload, bad flags — argparse's own exit
+code for bad usage is also 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+from repro.experiments import library, report, runner, signatures
+from repro.experiments import spec as specmod
+
+#: Default output root, matching the per-figure benchmarks.
+DEFAULT_OUT = Path("benchmarks") / "out"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Deterministic experiment runner over the workload library.",
+    )
+    parser.add_argument(
+        "--regen-signatures",
+        action="store_true",
+        help="rewrite the frozen workload-signature golden and exit",
+    )
+    parser.add_argument(
+        "--signatures",
+        type=Path,
+        default=signatures.GOLDEN_RELPATH,
+        help="golden signature file (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="run one experiment spec")
+    run_p.add_argument("spec", type=Path, help="spec file (.toml or .json)")
+    run_p.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help="artifact root (default: %(default)s)",
+    )
+    run_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (never changes the artifact bytes)",
+    )
+    run_p.add_argument(
+        "--formats", default=",".join(report.FORMATS),
+        help="comma-separated subset of json,csv,md (default: all)",
+    )
+
+    sub.add_parser("list", help="list the workload library")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = specmod.load(args.spec)
+    formats = tuple(f for f in args.formats.split(",") if f)
+    artifact = runner.run(
+        spec, jobs=args.jobs, out_dir=args.out, formats=formats
+    )
+    out = Path(args.out) / spec.name
+    print(
+        f"{spec.name}: {len(artifact['cells'])} cell(s) -> "
+        f"{out}/results.{{{','.join(formats)}}}"
+    )
+    return 0
+
+
+def _cmd_list() -> int:
+    for name in library.names():
+        workload = library.resolve(name)
+        phases = len(workload.phases)
+        repeat = f" x{workload.repeat}" if workload.repeat > 1 else ""
+        print(f"{name:24s} {phases:2d} phase(s){repeat}")
+    print(
+        "\nmodifiers: NAME@icc (compiler), NAME#i (endless phase i), "
+        "NAME/k (budgets / k)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.regen_signatures:
+            path = signatures.write_golden(args.signatures)
+            print(f"wrote {path}")
+            return 0
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "list":
+            return _cmd_list()
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The unified named-workload library the experiment runner sweeps.
+
+One flat namespace over every calibrated workload model in
+:mod:`repro.sim.workloads` — the full suite, never a cherry-picked
+subset (instrumentation-infra's SPEC rule): all SPEC CPU2006 phase
+models, both revolve variants, the six Table-1 FP micro-benchmarks and
+the five modern archetypes.
+
+A *workload reference* is a base name plus optional modifiers, applied
+left to right::
+
+    456.hmmer            the SPEC model, gcc build
+    456.hmmer@icc        the icc build (dual-compiler benchmarks only)
+    456.hmmer#0          phase 0 alone, budget pinned to infinity
+                         (the steady-phase jobs the ablations monitor)
+    revolve-original/20  the whole workload with budgets divided by 20
+    433.milc@icc#1       phase 1 of the icc build, endless
+
+``#i`` selects one phase and makes it endless; ``/k`` divides every
+phase budget by ``k`` (a float). ``#`` binds before ``/``, and ``@``
+before both, mirroring how the reference reads.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExperimentError, ReproError
+from repro.sim.workload import Workload
+from repro.sim.workloads import microbench, modern, revolve
+from repro.sim.workloads import spec as speclib
+
+
+def _fp_names() -> list[str]:
+    return [
+        f"fp-{isa}-{cls}"
+        for isa in microbench.ISAS
+        for cls in microbench.OPERAND_CLASSES
+    ]
+
+
+def names() -> list[str]:
+    """Every base workload name, in registry order."""
+    return (
+        speclib.available()
+        + ["revolve-original", "revolve-clipped"]
+        + _fp_names()
+        + modern.available()
+    )
+
+
+def signature_names() -> list[str]:
+    """Every name the frozen-signature golden covers: all base names
+    plus the ``@icc`` variants of the dual-compiler SPEC benchmarks."""
+    out = []
+    for name in names():
+        out.append(name)
+        if name in set(speclib.available()) and speclib.ICC in speclib.compilers(name):
+            out.append(f"{name}@{speclib.ICC}")
+    return out
+
+
+def _base(name: str, compiler: str | None) -> Workload:
+    if name in set(speclib.available()):
+        return speclib.workload(name, compiler or speclib.GCC)
+    if compiler is not None:
+        raise ExperimentError(
+            f"@{compiler} applies only to SPEC benchmarks, not {name!r}"
+        )
+    if name == "revolve-original":
+        return revolve.original()
+    if name == "revolve-clipped":
+        return revolve.clipped()
+    if name in _fp_names():
+        _, isa, cls = name.split("-", 2)
+        return microbench.fp_microbench(isa, cls)
+    if name in modern.MODERN:
+        return modern.workload(name)
+    raise ExperimentError(f"unknown workload {name!r}; known: {names()}")
+
+
+def resolve(ref: str) -> Workload:
+    """Resolve one workload reference (see the module docstring).
+
+    Raises:
+        ExperimentError: unresolvable name or malformed modifier.
+    """
+    if not isinstance(ref, str) or not ref:
+        raise ExperimentError(f"workload reference must be a non-empty string, got {ref!r}")
+    rest, scale = ref, None
+    if "/" in rest:
+        rest, _, tail = rest.partition("/")
+        try:
+            scale = float(tail)
+        except ValueError:
+            raise ExperimentError(f"bad /divisor in workload reference {ref!r}") from None
+        if not scale > 0 or math.isinf(scale) or math.isnan(scale):
+            raise ExperimentError(f"/divisor must be a positive finite number in {ref!r}")
+    phase_index = None
+    if "#" in rest:
+        rest, _, tail = rest.partition("#")
+        try:
+            phase_index = int(tail)
+        except ValueError:
+            raise ExperimentError(f"bad #phase in workload reference {ref!r}") from None
+    compiler = None
+    if "@" in rest:
+        rest, _, compiler = rest.partition("@")
+        if not compiler:
+            raise ExperimentError(f"empty @compiler in workload reference {ref!r}")
+
+    try:
+        workload = _base(rest, compiler)
+    except ExperimentError:
+        raise
+    except ReproError as exc:
+        raise ExperimentError(f"cannot resolve workload {ref!r}: {exc}") from exc
+
+    if phase_index is not None:
+        if not 0 <= phase_index < len(workload.phases):
+            raise ExperimentError(
+                f"workload {rest!r} has {len(workload.phases)} phases; "
+                f"#{phase_index} is out of range"
+            )
+        steady = workload.phases[phase_index].with_budget(math.inf)
+        workload = Workload(name=f"{rest}#{phase_index}", phases=(steady,))
+    if scale is not None:
+        workload = Workload(
+            name=f"{workload.name}/{scale:g}",
+            phases=tuple(
+                p if math.isinf(p.instructions)
+                else p.with_budget(p.instructions / scale)
+                for p in workload.phases
+            ),
+            repeat=workload.repeat,
+        )
+    return workload
+
+
+def check(ref: str) -> None:
+    """Validate a reference without keeping the built workload."""
+    resolve(ref)

@@ -1,0 +1,40 @@
+"""The matrix planner: a spec unfolds into an ordered list of cells.
+
+The canonical order is the full factorial sweep in declaration order —
+configs outermost, then workloads, then seeds — and every cell carries
+its canonical ``index``. Execution may run cells in any order and on any
+number of workers; artifacts are always assembled by index, which is why
+``--jobs N`` and shuffled execution cannot change a single output byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.spec import CellConfig, ExperimentSpec
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the sweep: (config, workload reference, seed)."""
+
+    index: int
+    config: CellConfig
+    workload: str
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.config.name}/{self.workload}/s{self.seed}"
+
+
+def plan(spec: ExperimentSpec) -> list[Cell]:
+    """Unfold the spec into its cells, in canonical order."""
+    cells = []
+    index = 0
+    for config in spec.configs:
+        for workload in spec.workloads:
+            for seed in spec.seeds:
+                cells.append(Cell(index, config, workload, seed))
+                index += 1
+    return cells

@@ -1,0 +1,139 @@
+"""Artifact writers: one experiment -> JSON + CSV + Markdown.
+
+The JSON artifact is the *golden* form — canonical serialisation
+(sorted keys, two-space indent, trailing newline, NaN forbidden) so two
+runs of the same spec and seeds are byte-identical, which is exactly
+what the determinism tests and the CI smoke job diff. CSV and Markdown
+are derived views of the same cells for spreadsheets and docs.
+
+Nothing time-dependent (wall-clock, hostnames, paths) ever enters an
+artifact; timings go to the runner's side channel instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.matrix import Cell
+from repro.experiments.spec import ExperimentSpec
+
+#: Artifact schema version (bump on any layout change).
+SCHEMA = 1
+
+#: Supported output formats, in writing order.
+FORMATS = ("json", "csv", "md")
+
+
+def build_artifact(
+    spec: ExperimentSpec, cells: list[Cell], results: list[dict]
+) -> dict:
+    """Assemble the canonical artifact from per-cell results.
+
+    ``results[i]`` must be cell ``cells[i]``'s metrics — the runner
+    guarantees index order regardless of execution order.
+    """
+    return {
+        "schema": SCHEMA,
+        "name": spec.name,
+        "title": spec.title,
+        "spec": spec.to_dict(),
+        "cells": [
+            {
+                "index": cell.index,
+                "config": cell.config.name,
+                "workload": cell.workload,
+                "seed": cell.seed,
+                "metrics": metrics,
+            }
+            for cell, metrics in zip(cells, results)
+        ],
+    }
+
+
+def canonical_json(artifact: dict) -> str:
+    """The byte-exact serialisation two same-seed runs must reproduce."""
+    return json.dumps(artifact, sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def _flatten(metrics: dict, prefix: str = "") -> dict[str, object]:
+    flat: dict[str, object] = {}
+    for key in sorted(metrics):
+        value = metrics[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def _cell_rows(artifact: dict) -> tuple[list[str], list[list[object]]]:
+    flats = [_flatten(cell["metrics"]) for cell in artifact["cells"]]
+    columns = sorted({k for flat in flats for k in flat})
+    rows = []
+    for cell, flat in zip(artifact["cells"], flats):
+        rows.append(
+            [cell["index"], cell["config"], cell["workload"], cell["seed"]]
+            + [flat.get(c, "") for c in columns]
+        )
+    return ["index", "config", "workload", "seed"] + columns, rows
+
+
+def _csv_cell(value: object) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    if value is None:
+        return ""
+    return str(value)
+
+
+def to_csv(artifact: dict) -> str:
+    header, rows = _cell_rows(artifact)
+    lines = [",".join(header)]
+    lines += [",".join(_csv_cell(v) for v in row) for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def _md_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if value is None:
+        return "—"
+    return str(value)
+
+
+def to_markdown(artifact: dict) -> str:
+    header, rows = _cell_rows(artifact)
+    lines = [f"# {artifact['name']}", ""]
+    if artifact["title"]:
+        lines += [artifact["title"], ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_md_cell(v) for v in row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+_WRITERS = {
+    "json": ("results.json", canonical_json),
+    "csv": ("results.csv", to_csv),
+    "md": ("results.md", to_markdown),
+}
+
+
+def write_artifacts(
+    artifact: dict,
+    out_dir: Path | str,
+    formats: tuple[str, ...] = FORMATS,
+) -> dict[str, Path]:
+    """Write the requested formats under ``out_dir/<experiment name>/``."""
+    root = Path(out_dir) / artifact["name"]
+    root.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for fmt in formats:
+        filename, render = _WRITERS[fmt]
+        path = root / filename
+        path.write_text(render(artifact))
+        written[fmt] = path
+    return written

@@ -1,0 +1,81 @@
+"""The experiment runner: plan, execute (optionally in parallel), emit.
+
+Execution order is an implementation detail: cells are independent,
+each is a pure function of its (config, workload, seed) triple, and the
+artifact is assembled in canonical index order. ``jobs > 1`` fans cells
+out over forked workers; because every worker computes exactly the same
+pure function, the artifact bytes cannot depend on the worker count —
+the property ``tests/test_experiments_runner.py`` pins.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+from repro.experiments import report
+from repro.experiments.executor import run_cell
+from repro.experiments.matrix import Cell, plan
+from repro.experiments.spec import ExperimentSpec
+
+
+def _execute_one(cell: Cell) -> tuple[int, dict]:
+    return cell.index, run_cell(cell)
+
+
+def run_cells(
+    spec: ExperimentSpec, cells: list[Cell], *, jobs: int = 1
+) -> list[dict]:
+    """Execute ``cells``; returns metrics in canonical index order."""
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    by_index: dict[int, dict] = {}
+    if jobs == 1 or len(cells) <= 1:
+        for cell in cells:
+            by_index[cell.index] = run_cell(cell)
+    else:
+        # Fork keeps the (already imported, already validated) spec and
+        # workload registries without re-pickling module state.
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)), mp_context=ctx
+        ) as pool:
+            for index, metrics in pool.map(_execute_one, cells):
+                by_index[index] = metrics
+    return [by_index[cell.index] for cell in sorted(cells, key=lambda c: c.index)]
+
+
+def run(
+    spec: ExperimentSpec,
+    *,
+    jobs: int = 1,
+    out_dir: Path | str | None = None,
+    formats: tuple[str, ...] = report.FORMATS,
+) -> dict:
+    """Run the whole experiment; returns the artifact dict.
+
+    When ``out_dir`` is given the artifact is also written there (one
+    directory per experiment name), plus a ``timings.txt`` side channel
+    with wall-clock numbers that deliberately never enter the artifact.
+    """
+    for fmt in formats:
+        if fmt not in report.FORMATS:
+            raise ExperimentError(
+                f"unknown format {fmt!r}; known: {list(report.FORMATS)}"
+            )
+    cells = plan(spec)
+    start = time.perf_counter()
+    results = run_cells(spec, cells, jobs=jobs)
+    wall = time.perf_counter() - start
+    artifact = report.build_artifact(spec, cells, results)
+    if out_dir is not None:
+        report.write_artifacts(artifact, out_dir, formats)
+        timing_path = Path(out_dir) / spec.name / "timings.txt"
+        timing_path.write_text(
+            f"cells: {len(cells)}\njobs: {jobs}\nwall_seconds: {wall:.3f}\n"
+        )
+    return artifact

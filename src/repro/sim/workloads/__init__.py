@@ -8,8 +8,13 @@
   (Figures 6–9, 11).
 * :mod:`repro.sim.workloads.datacenter` — data-center node populations
   (Figures 1 and 10).
+* :mod:`repro.sim.workloads.modern` — post-2012 archetypes (JIT warmup/
+  deopt, GC pause trains, NUMA remote misses, interpreter dispatch,
+  io/syscall services).
+* :mod:`repro.sim.workloads.synthetic` — seeded synthetic populations
+  spanning all of the above for stress, endurance and conformance runs.
 """
 
-from repro.sim.workloads import datacenter, microbench, revolve, spec
+from repro.sim.workloads import datacenter, microbench, modern, revolve, spec
 
-__all__ = ["datacenter", "microbench", "revolve", "spec"]
+__all__ = ["datacenter", "microbench", "modern", "revolve", "spec"]

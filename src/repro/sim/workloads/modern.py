@@ -1,0 +1,323 @@
+"""Modern workload archetypes beyond the paper's 2012 suite.
+
+The paper evaluates against SPEC CPU2006, one R program and a batch grid —
+the 2012 workload universe. Production nodes a decade later run managed
+runtimes, garbage collectors, NUMA-spanning heaps, bytecode interpreters
+and io-bound services, whose counter signatures look nothing like SPEC's.
+This module models those shapes with the same calibrated-phase machinery
+the SPEC models use, so every paper-era analysis (phase detection,
+interference, conformance fuzzing, the experiment runner) applies to them
+unchanged.
+
+The archetypes, each a named multi-phase :class:`~repro.sim.workload.Workload`
+calibrated against the Nehalem reference machine:
+
+* ``jit-warmup-deopt`` — a JIT-compiled service: slow interpreter warmup,
+  a compilation burst, optimised steady state, a deoptimisation storm
+  (back to interpreter-grade IPC), then re-optimised steady state.
+* ``gc-pause-train`` — a mutator/collector pause train: moderate-IPC
+  mutator phases interleaved with pointer-chasing, cache-hostile GC marks
+  (``repeat`` carries the train).
+* ``numa-remote`` — a NUMA-unaware allocator: phases alternate between
+  local-node accesses and remote-socket misses whose effective latency is
+  modelled as amplified misses with low memory-level parallelism.
+* ``interp-dispatch`` — a bytecode interpreter inner loop: indirect-branch
+  dispatch with a high mispredict ratio and a bytecode-fetch load stream.
+* ``io-syscall`` — an io-bound log/network service: short user-mode
+  bursts between syscall-dominated kernel crossings; pair with a
+  ``duty_cycle < 1`` at spawn to model the actual blocking.
+
+Every workload here carries a *frozen metric signature* — per-phase IPC,
+miss ratios and branch behaviour pinned to 12 significant digits in
+``tests/data/workload_signatures.json`` (regenerate with
+``python -m repro.experiments --regen-signatures``) — so any calibration
+drift in the underlying machine model fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.arch import NEHALEM
+from repro.sim.branch import BranchBehavior
+from repro.sim.cache import MemoryBehavior
+from repro.sim.core import calibrate_phase
+from repro.sim.isa import InstructionMix
+from repro.sim.workload import Phase, Workload
+
+#: The modern archetype names, in registry order.
+MODERN = (
+    "jit-warmup-deopt",
+    "gc-pause-train",
+    "numa-remote",
+    "interp-dispatch",
+    "io-syscall",
+)
+
+# ---------------------------------------------------------------------------
+# Behavioural building blocks
+# ---------------------------------------------------------------------------
+
+#: Interpreter-grade code: dispatch-heavy integer work with a dense
+#: indirect-branch stream (the interpreter loop's computed gotos).
+INTERP_MIX = InstructionMix.of(
+    int_alu=0.40, load=0.28, store=0.07, branch=0.24, nop=0.01
+)
+
+#: Optimised JIT output: register-allocated, branch-thinned.
+JITTED_MIX = InstructionMix.of(
+    int_alu=0.50, load=0.24, store=0.09, branch=0.12, fp_sse=0.05
+)
+
+#: Collector mark loop: load-dominated pointer chasing.
+GC_MARK_MIX = InstructionMix.of(
+    int_alu=0.33, load=0.38, store=0.09, branch=0.20
+)
+
+#: Mutator between pauses: allocation-heavy managed code.
+MUTATOR_MIX = InstructionMix.of(
+    int_alu=0.44, load=0.25, store=0.13, branch=0.17, fp_sse=0.01
+)
+
+#: NUMA scanner: streaming reads over a heap larger than any cache.
+NUMA_MIX = InstructionMix.of(
+    int_alu=0.30, load=0.34, store=0.12, branch=0.14, fp_sse=0.10
+)
+
+#: Kernel-crossing service code: argument marshalling and copies.
+SYSCALL_MIX = InstructionMix.of(
+    int_alu=0.36, load=0.27, store=0.18, branch=0.17, nop=0.02
+)
+
+#: Cache-resident code+data of a warmed JIT or a small interpreter loop.
+RESIDENT_MEMORY = MemoryBehavior(
+    working_set=6 * 1024 * 1024,
+    level_hit_ratios=(0.975, 0.99, 0.998),
+    mlp=2.5,
+)
+
+#: The interpreter additionally misses on bytecode + boxed operands.
+INTERP_MEMORY = MemoryBehavior(
+    working_set=24 * 1024 * 1024,
+    level_hit_ratios=(0.96, 0.985, 0.997),
+    mlp=2.0,
+)
+
+#: A GC mark walk: pointer chasing across the whole heap, with only the
+#: modest miss overlap a prefetch-hostile object graph allows.
+GC_MARK_MEMORY = MemoryBehavior(
+    working_set=900 * 1024 * 1024,
+    level_hit_ratios=(0.92, 0.952, 0.968),
+    miss_amplification=(0.9, 1.1, 0.5),
+    mlp=2.4,
+)
+
+#: Remote-socket accesses: misses serialise against the interconnect, so
+#: the amplified miss train with near-serial MLP stands in for the higher
+#: remote-DRAM latency (the machine model has one memory latency).
+NUMA_REMOTE_MEMORY = MemoryBehavior(
+    working_set=2_200 * 1024 * 1024,
+    level_hit_ratios=(0.93, 0.945, 0.955),
+    miss_amplification=(0.6, 0.8, 0.9),
+    mlp=1.8,
+)
+
+#: The same heap while the scheduler has the job on its home node.
+NUMA_LOCAL_MEMORY = MemoryBehavior(
+    working_set=2_200 * 1024 * 1024,
+    level_hit_ratios=(0.95, 0.965, 0.98),
+    mlp=3.5,
+)
+
+#: Socket buffers and log pages: streaming stores, little reuse.
+IO_MEMORY = MemoryBehavior(
+    working_set=32 * 1024 * 1024,
+    level_hit_ratios=(0.955, 0.975, 0.99),
+    streaming=0.03,
+    mlp=3.0,
+)
+
+
+def _phase(
+    name: str,
+    instructions: float,
+    target_ipc: float,
+    *,
+    mix: InstructionMix,
+    memory: MemoryBehavior,
+    mispredict: float,
+    noise: float = 0.03,
+) -> Phase:
+    """One calibrated phase: solo IPC on Nehalem equals ``target_ipc``."""
+    seed = Phase(
+        name=name,
+        instructions=instructions,
+        mix=mix,
+        memory=memory,
+        branches=BranchBehavior(mispredict_ratio=mispredict),
+        noise=noise,
+    )
+    return calibrate_phase(NEHALEM, seed, target_ipc)
+
+
+# ---------------------------------------------------------------------------
+# The archetype builders
+# ---------------------------------------------------------------------------
+
+def _build_jit_warmup_deopt() -> Workload:
+    """Interpreter warmup -> compile burst -> optimised steady state ->
+    deopt storm -> re-optimised steady state (total ~6e11 instructions)."""
+    total = 6.0e11
+    return Workload(
+        name="jit-warmup-deopt",
+        phases=(
+            _phase(
+                "interp-warmup", total * 0.12, 0.62,
+                mix=INTERP_MIX, memory=INTERP_MEMORY, mispredict=0.085,
+                noise=0.04,
+            ),
+            _phase(
+                "compile", total * 0.05, 1.05,
+                mix=JITTED_MIX, memory=RESIDENT_MEMORY, mispredict=0.045,
+            ),
+            _phase(
+                "opt-steady", total * 0.40, 1.90,
+                mix=JITTED_MIX, memory=RESIDENT_MEMORY, mispredict=0.018,
+                noise=0.02,
+            ),
+            _phase(
+                "deopt-storm", total * 0.06, 0.58,
+                mix=INTERP_MIX, memory=INTERP_MEMORY, mispredict=0.09,
+                noise=0.05,
+            ),
+            _phase(
+                "reopt-steady", total * 0.37, 1.86,
+                mix=JITTED_MIX, memory=RESIDENT_MEMORY, mispredict=0.018,
+                noise=0.02,
+            ),
+        ),
+    )
+
+
+#: Mutator/pause pairs in the gc train (the Workload ``repeat`` field).
+GC_TRAIN_LENGTH = 12
+
+#: Fraction of each train period spent in the collector.
+GC_PAUSE_FRACTION = 0.18
+
+
+def _build_gc_pause_train() -> Workload:
+    """A mutator/collector train: ``GC_TRAIN_LENGTH`` repeats of
+    (mutator, gc-mark); ~5e11 instructions overall."""
+    period = 5.0e11 / GC_TRAIN_LENGTH
+    return Workload(
+        name="gc-pause-train",
+        phases=(
+            _phase(
+                "mutator", period * (1.0 - GC_PAUSE_FRACTION), 1.28,
+                mix=MUTATOR_MIX, memory=RESIDENT_MEMORY, mispredict=0.035,
+            ),
+            _phase(
+                "gc-mark", period * GC_PAUSE_FRACTION, 0.42,
+                mix=GC_MARK_MIX, memory=GC_MARK_MEMORY, mispredict=0.05,
+                noise=0.04,
+            ),
+        ),
+        repeat=GC_TRAIN_LENGTH,
+    )
+
+
+def _build_numa_remote() -> Workload:
+    """Local/remote alternation of a NUMA-oblivious scan (~4e11)."""
+    total = 4.0e11
+    local = _phase(
+        "local-scan", total * 0.30, 0.95,
+        mix=NUMA_MIX, memory=NUMA_LOCAL_MEMORY, mispredict=0.02,
+    )
+    remote = _phase(
+        "remote-scan", total * 0.20, 0.38,
+        mix=NUMA_MIX, memory=NUMA_REMOTE_MEMORY, mispredict=0.02,
+        noise=0.04,
+    )
+    return Workload(
+        name="numa-remote",
+        phases=(local, remote, local.with_budget(total * 0.30),
+                remote.with_budget(total * 0.20)),
+    )
+
+
+def _build_interp_dispatch() -> Workload:
+    """A pure bytecode-interpreter loop: one long mispredict-limited
+    phase (~8e11 instructions)."""
+    return Workload(
+        name="interp-dispatch",
+        phases=(
+            _phase(
+                "dispatch-loop", 8.0e11, 0.72,
+                mix=INTERP_MIX, memory=INTERP_MEMORY, mispredict=0.105,
+                noise=0.03,
+            ),
+        ),
+    )
+
+
+#: User-burst/kernel-crossing pairs in the io-syscall service.
+IO_BURSTS = 10
+
+
+def _build_io_syscall() -> Workload:
+    """Short user bursts between syscall-dominated crossings (~3e11).
+
+    The CPU-visible half of an io-bound service; model the blocked half
+    with ``duty_cycle < 1`` at spawn.
+    """
+    period = 3.0e11 / IO_BURSTS
+    return Workload(
+        name="io-syscall",
+        phases=(
+            _phase(
+                "user-burst", period * 0.55, 1.22,
+                mix=MUTATOR_MIX, memory=RESIDENT_MEMORY, mispredict=0.03,
+            ),
+            _phase(
+                "syscall", period * 0.45, 0.52,
+                mix=SYSCALL_MIX, memory=IO_MEMORY, mispredict=0.05,
+                noise=0.04,
+            ),
+        ),
+        repeat=IO_BURSTS,
+    )
+
+
+_BUILDERS = {
+    "jit-warmup-deopt": _build_jit_warmup_deopt,
+    "gc-pause-train": _build_gc_pause_train,
+    "numa-remote": _build_numa_remote,
+    "interp-dispatch": _build_interp_dispatch,
+    "io-syscall": _build_io_syscall,
+}
+
+_CACHE: dict[str, Workload] = {}
+
+
+def available() -> list[str]:
+    """Names of all modern workload models."""
+    return list(MODERN)
+
+
+def workload(name: str) -> Workload:
+    """Build (and cache) the modern workload ``name``.
+
+    Raises:
+        WorkloadError: for an unknown name.
+    """
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise WorkloadError(
+            f"unknown modern workload {name!r}; known: {available()}"
+        )
+    built = builder()
+    _CACHE[name] = built
+    return built

@@ -23,15 +23,40 @@ from repro.sim.cache import MemoryBehavior
 from repro.sim.core import calibrate_phase
 from repro.sim.isa import InstructionMix
 from repro.sim.workload import Phase, Workload
+from repro.sim.workloads import modern
 
-#: The behavioural archetypes the generator draws from.
+#: The behavioural archetypes the generator draws from. The first five
+#: are the paper-era shapes; the rest mirror the modern workload library
+#: (:mod:`repro.sim.workloads.modern`) so conformance fuzzing covers the
+#: same behavioural space the experiment runner sweeps.
 ARCHETYPES = (
     "compute",     # high IPC, cache-resident
     "memory",      # LLC-missing, low IPC
     "branchy",     # mispredict-limited
     "fp",          # FP-dense kernels
     "phased",      # alternates two regimes
+    "jit",         # interpreter warmup -> optimised steady -> deopt dip
+    "gc",          # mutator with collector pause train
+    "numa",        # local/remote-socket miss alternation
+    "interp",      # bytecode-dispatch loop, mispredict-limited
+    "io",          # syscall-heavy service bursts
 )
+
+#: Solo IPC of an archetype's *first* phase relative to its target
+#: (multi-phase archetypes open away from the mean; tests use this to
+#: check calibration without re-deriving each shape).
+FIRST_PHASE_IPC = {
+    "compute": 1.0,
+    "memory": 1.0,
+    "branchy": 1.0,
+    "fp": 1.0,
+    "phased": 1.2,
+    "jit": 0.55,
+    "gc": 1.18,
+    "numa": 1.3,
+    "interp": 1.0,
+    "io": 1.3,
+}
 
 
 @dataclass(frozen=True)
@@ -85,6 +110,13 @@ def _ipc_range(archetype: str) -> tuple[float, float]:
         "branchy": (0.8, 1.2),
         "fp": (1.2, 1.9),
         "phased": (0.8, 1.6),
+        # Modern shapes: ranges keep every phase multiplier reachable
+        # (the heavy phases' memory penalties bound the top end).
+        "jit": (0.8, 1.5),
+        "gc": (0.6, 1.1),
+        "numa": (0.35, 0.6),
+        "interp": (0.55, 0.95),
+        "io": (0.5, 0.95),
     }[archetype]
 
 
@@ -126,10 +158,98 @@ def generate_specs(
     return specs
 
 
+#: Phase shapes of the modern archetypes: ``(name, ipc factor, weight,
+#: mix, memory, mispredict ratio)`` — factors relative to the spec's
+#: target IPC, weights over the total instruction budget. Mixes and
+#: memory behaviours are the modern workload library's own, so a fuzzed
+#: "gc" task stresses the same machine paths as ``gc-pause-train``.
+_MODERN_SHAPES: dict[str, tuple[tuple[str, float, float, InstructionMix,
+                                      MemoryBehavior, float], ...]] = {
+    "jit": (
+        ("interp-warmup", 0.55, 0.15, modern.INTERP_MIX,
+         modern.INTERP_MEMORY, 0.085),
+        ("opt-steady", 1.35, 0.45, modern.JITTED_MIX,
+         modern.RESIDENT_MEMORY, 0.018),
+        ("deopt-storm", 0.55, 0.08, modern.INTERP_MIX,
+         modern.INTERP_MEMORY, 0.09),
+        ("reopt-steady", 1.35, 0.32, modern.JITTED_MIX,
+         modern.RESIDENT_MEMORY, 0.018),
+    ),
+    "gc": (
+        ("mutator-1", 1.18, 0.41, modern.MUTATOR_MIX,
+         modern.RESIDENT_MEMORY, 0.035),
+        ("gc-mark-1", 0.5, 0.09, modern.GC_MARK_MIX,
+         modern.GC_MARK_MEMORY, 0.05),
+        ("mutator-2", 1.18, 0.41, modern.MUTATOR_MIX,
+         modern.RESIDENT_MEMORY, 0.035),
+        ("gc-mark-2", 0.5, 0.09, modern.GC_MARK_MIX,
+         modern.GC_MARK_MEMORY, 0.05),
+    ),
+    "numa": (
+        ("local-1", 1.3, 0.30, modern.NUMA_MIX,
+         modern.NUMA_LOCAL_MEMORY, 0.02),
+        ("remote-1", 0.55, 0.20, modern.NUMA_MIX,
+         modern.NUMA_REMOTE_MEMORY, 0.02),
+        ("local-2", 1.3, 0.30, modern.NUMA_MIX,
+         modern.NUMA_LOCAL_MEMORY, 0.02),
+        ("remote-2", 0.55, 0.20, modern.NUMA_MIX,
+         modern.NUMA_REMOTE_MEMORY, 0.02),
+    ),
+    "interp": (
+        ("dispatch-loop", 1.0, 1.0, modern.INTERP_MIX,
+         modern.INTERP_MEMORY, 0.105),
+    ),
+    "io": (
+        ("user-1", 1.3, 0.28, modern.MUTATOR_MIX,
+         modern.RESIDENT_MEMORY, 0.03),
+        ("syscall-1", 0.6, 0.22, modern.SYSCALL_MIX,
+         modern.IO_MEMORY, 0.05),
+        ("user-2", 1.3, 0.28, modern.MUTATOR_MIX,
+         modern.RESIDENT_MEMORY, 0.03),
+        ("syscall-2", 0.6, 0.22, modern.SYSCALL_MIX,
+         modern.IO_MEMORY, 0.05),
+    ),
+}
+
+
+def _build_modern(spec: SyntheticSpec, arch: ArchModel) -> Workload:
+    """Materialise one modern-archetype spec.
+
+    Finite jobs split the instruction budget across the shape's weighted
+    phases; services (infinite duration) run the shape once over a ~60 s
+    intro and then pin the final phase open-ended.
+    """
+    shape = _MODERN_SHAPES[spec.archetype]
+    endless = math.isinf(spec.duration)
+    budget = (
+        60.0 * spec.target_ipc * arch.freq_hz
+        if endless
+        else spec.target_ipc * arch.freq_hz * spec.duration
+    )
+    phases = []
+    for name, factor, weight, mix, memory, mispredict in shape:
+        seed_phase = Phase(
+            name=name,
+            instructions=budget * weight,
+            mix=mix,
+            memory=memory,
+            branches=BranchBehavior(mispredict_ratio=mispredict),
+            noise=0.03,
+        )
+        phases.append(
+            calibrate_phase(arch, seed_phase, spec.target_ipc * factor)
+        )
+    if endless:
+        phases[-1] = phases[-1].with_budget(math.inf)
+    return Workload(spec.name, tuple(phases))
+
+
 def build(
     spec: SyntheticSpec, arch: ArchModel = NEHALEM, *, seed: int = 0
 ) -> Workload:
     """Materialise one spec into a calibrated workload."""
+    if spec.archetype in _MODERN_SHAPES:
+        return _build_modern(spec, arch)
     rng = np.random.default_rng((seed, zlib.crc32(spec.name.encode())))
     mix = _mix_for(spec.archetype, rng)
     memory = _memory_for(spec.archetype, rng)

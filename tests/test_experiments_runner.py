@@ -1,0 +1,204 @@
+"""Property tests: the experiment runner is deterministic.
+
+The contracts the ablation artifacts (and the CI smoke diff) stand on:
+
+* same spec + same seeds -> byte-identical JSON artifact;
+* execution order and ``--jobs N`` parallelism never change a byte;
+* malformed specs fail with a *typed* error and CLI exit status 2.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments import (
+    canonical_json,
+    from_dict,
+    plan,
+    run,
+    run_cells,
+)
+from repro.experiments.cli import main
+from repro.experiments.report import build_artifact, to_csv, to_markdown
+
+REPO = Path(__file__).parent.parent
+
+#: Small/endless workloads so each property example runs in milliseconds.
+FAST_WORKLOADS = ("fp-x87-finite/10", "gc-pause-train/1000", "456.hmmer#0")
+
+
+def _spec_dicts():
+    return st.fixed_dictionaries(
+        {
+            "name": st.just("prop"),
+            "seeds": st.lists(
+                st.integers(0, 9999), min_size=1, max_size=2, unique=True
+            ),
+            "workloads": st.lists(
+                st.sampled_from(FAST_WORKLOADS),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            ),
+            "defaults": st.fixed_dictionaries(
+                {
+                    "harness": st.just("counters"),
+                    "tick": st.sampled_from([0.5, 1.0]),
+                    "span": st.just(4.0),
+                    "delay": st.sampled_from([1.0, 2.0]),
+                }
+            ),
+            "configs": st.just([{"name": "a"}, {"name": "b", "noise": 0.1}]),
+        }
+    )
+
+
+@settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(data=_spec_dicts())
+def test_same_spec_same_bytes(data):
+    """Two full runs of one spec produce byte-identical JSON."""
+    spec = from_dict(data)
+    first = canonical_json(run(spec))
+    second = canonical_json(run(spec))
+    assert first == second
+
+
+@settings(
+    max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(data=_spec_dicts(), rnd=st.randoms(use_true_random=False))
+def test_cell_order_and_jobs_never_change_results(data, rnd):
+    """Shuffled execution on two forked workers = canonical serial run."""
+    spec = from_dict(data)
+    cells = plan(spec)
+    shuffled = list(cells)
+    rnd.shuffle(shuffled)
+    serial = build_artifact(spec, cells, run_cells(spec, cells, jobs=1))
+    parallel = build_artifact(spec, cells, run_cells(spec, shuffled, jobs=2))
+    assert canonical_json(serial) == canonical_json(parallel)
+
+
+def test_derived_views_are_functions_of_the_artifact():
+    spec = from_dict(
+        {
+            "name": "views",
+            "seeds": [1],
+            "workloads": ["gc-pause-train/1000"],
+            "defaults": {"span": 2.0, "delay": 1.0},
+            "configs": [{"name": "only"}],
+        }
+    )
+    artifact = run(spec)
+    assert to_csv(artifact) == to_csv(run(spec))
+    assert to_markdown(artifact) == to_markdown(run(spec))
+    header = to_csv(artifact).splitlines()[0].split(",")
+    assert header[:4] == ["index", "config", "workload", "seed"]
+    # Nested metrics flatten to dotted columns.
+    assert any(column.startswith("events.") for column in header)
+
+
+# ---------------------------------------------------------------------------
+# Malformed specs: typed error, exit status 2
+# ---------------------------------------------------------------------------
+
+BAD_SPECS = {
+    "unparsable-toml": "name = [unclosed",
+    "missing-seeds": 'name = "x"\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\n',
+    "empty-seeds": 'name = "x"\nseeds = []\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\n',
+    "unknown-top-key": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\nbogus = 1\n[[configs]]\nname = "a"\n',
+    "unknown-config-key": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\nbogus = 1\n',
+    "unknown-workload": 'name = "x"\nseeds = [1]\nworkloads = ["457.hmmer"]\n[[configs]]\nname = "a"\n',
+    "bad-modifier": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#9"]\n[[configs]]\nname = "a"\n',
+    "bad-harness": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\nharness = "real"\n',
+    "duplicate-config": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\n[[configs]]\nname = "a"\n',
+    "bool-events": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\nevents = true\n',
+    "zero-span-counters": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\nspan = 0.0\n',
+    "negative-delay": 'name = "x"\nseeds = [1]\nworkloads = ["456.hmmer#0"]\n[[configs]]\nname = "a"\ndelay = -1.0\n',
+}
+
+
+@pytest.mark.parametrize("case", sorted(BAD_SPECS), ids=str)
+def test_malformed_spec_exits_2(case, tmp_path, capsys):
+    path = tmp_path / f"{case}.toml"
+    path.write_text(BAD_SPECS[case])
+    assert main(["run", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "error: ExperimentError:" in err
+
+
+def test_error_is_typed():
+    with pytest.raises(ExperimentError) as excinfo:
+        from_dict({"name": "x"})
+    assert isinstance(excinfo.value, ConfigError)
+
+
+def test_unreadable_and_unknown_suffix_exit_2(tmp_path):
+    assert main(["run", str(tmp_path / "missing.toml")]) == 2
+    other = tmp_path / "spec.yaml"
+    other.write_text("name: x\n")
+    assert main(["run", str(other)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI happy paths
+# ---------------------------------------------------------------------------
+
+def test_cli_run_reproduces_committed_smoke_golden(tmp_path, capsys):
+    """The exact contract the CI smoke job enforces, run locally."""
+    spec_path = REPO / "benchmarks" / "specs" / "smoke.toml"
+    assert main(["run", str(spec_path), "--out", str(tmp_path)]) == 0
+    produced = (tmp_path / "smoke" / "results.json").read_text()
+    golden = (REPO / "benchmarks" / "specs" / "smoke.golden.json").read_text()
+    assert produced == golden
+    assert (tmp_path / "smoke" / "results.csv").exists()
+    assert (tmp_path / "smoke" / "results.md").exists()
+    assert "smoke: 8 cell(s)" in capsys.readouterr().out
+
+
+def test_cli_jobs_flag_reproduces_the_same_bytes(tmp_path):
+    spec_path = REPO / "benchmarks" / "specs" / "smoke.toml"
+    assert main(
+        ["run", str(spec_path), "--out", str(tmp_path), "--jobs", "4"]
+    ) == 0
+    produced = (tmp_path / "smoke" / "results.json").read_text()
+    golden = (REPO / "benchmarks" / "specs" / "smoke.golden.json").read_text()
+    assert produced == golden
+
+
+def test_cli_regen_signatures_matches_committed_golden(tmp_path):
+    target = tmp_path / "sig.json"
+    assert main(["--regen-signatures", "--signatures", str(target)]) == 0
+    committed = REPO / "tests" / "data" / "workload_signatures.json"
+    assert target.read_text() == committed.read_text()
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("456.hmmer", "revolve-original", "gc-pause-train"):
+        assert name in out
+
+
+def test_cli_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_artifact_is_strict_json():
+    spec = from_dict(
+        {
+            "name": "strict",
+            "seeds": [5],
+            "workloads": ["fp-x87-finite/10"],
+            "defaults": {"span": 2.0, "delay": 1.0},
+            "configs": [{"name": "only"}],
+        }
+    )
+    text = canonical_json(run(spec))
+    json.loads(text, parse_constant=lambda s: pytest.fail(s))

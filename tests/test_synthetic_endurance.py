@@ -34,13 +34,14 @@ class TestGenerator:
         assert seen == set(synthetic.ARCHETYPES)
 
     def test_build_calibration_holds(self):
-        for spec in synthetic.generate_specs(15, seed=2):
+        """Every archetype's first phase lands on its published multiple
+        of the target (1.0 for single-regime shapes; multi-phase shapes
+        open away from the mean — see ``synthetic.FIRST_PHASE_IPC``)."""
+        for spec in synthetic.generate_specs(30, seed=2):
             workload = synthetic.build(spec)
             ipc = solo_rates(NEHALEM, workload.phases[0]).ipc
-            if spec.archetype == "phased":
-                assert ipc == pytest.approx(spec.target_ipc * 1.2, rel=1e-6)
-            else:
-                assert ipc == pytest.approx(spec.target_ipc, rel=1e-6)
+            factor = synthetic.FIRST_PHASE_IPC[spec.archetype]
+            assert ipc == pytest.approx(spec.target_ipc * factor, rel=1e-6)
 
     def test_services_are_endless(self):
         specs = synthetic.generate_specs(40, seed=3, service_fraction=1.0)

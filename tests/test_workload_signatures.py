@@ -1,0 +1,92 @@
+"""Frozen metric signatures: every library workload, golden-pinned.
+
+The golden file (``tests/data/workload_signatures.json``) holds each
+workload's per-phase IPC/CPI-decomposition/miss/branch vectors rounded
+to 12 significant digits. The models are pure functions, so the
+comparison is *exact* — any calibration drift fails here first, with a
+pointer to the regeneration command.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import library, signatures
+from repro.sim import NEHALEM
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "workload_signatures.json"
+GOLDEN = signatures.load_golden(GOLDEN_PATH)
+
+REGEN_HINT = (
+    "metric signature drifted; if this change is deliberate, run "
+    "`python -m repro.experiments --regen-signatures` and review the "
+    "golden diff like any other behaviour change"
+)
+
+
+def test_golden_covers_the_whole_library():
+    """Full suite, never cherry-picked: one signature per library name
+    (SPEC gcc+icc, revolve, FP microbenchmarks, modern archetypes)."""
+    assert sorted(GOLDEN["workloads"]) == sorted(library.signature_names())
+    assert len(GOLDEN["workloads"]) >= 39
+    assert GOLDEN["arch"] == NEHALEM.name
+    assert GOLDEN["digits"] == signatures.DIGITS == 12
+    assert GOLDEN["schema"] == 1
+
+
+@pytest.mark.parametrize("name", library.signature_names())
+def test_signature_is_frozen(name):
+    """Bitwise comparison: freeze() makes both sides exact floats."""
+    current = signatures.workload_signature(library.resolve(name))
+    assert current == GOLDEN["workloads"][name], f"{name}: {REGEN_HINT}"
+
+
+def test_golden_file_is_canonical():
+    """The committed bytes are exactly what regeneration would write
+    (sorted keys, two-space indent, trailing newline)."""
+    assert signatures.canonical_json(GOLDEN) == GOLDEN_PATH.read_text()
+
+
+def test_regeneration_is_deterministic(tmp_path):
+    a = signatures.write_golden(tmp_path / "a.json").read_text()
+    b = signatures.write_golden(tmp_path / "b.json").read_text()
+    assert a == b == GOLDEN_PATH.read_text()
+
+
+def test_freeze_rounds_to_12_significant_digits():
+    assert signatures.freeze(1.23456789012345678) == 1.23456789012
+    assert signatures.freeze(0.1 + 0.2) == 0.3
+    assert signatures.freeze(-3.0) == -3.0
+    assert signatures.freeze(0.0) == 0.0
+
+
+@pytest.mark.parametrize("name", library.signature_names())
+def test_signatures_are_physical(name):
+    """Sanity independent of the golden: CPI components add up, IPC
+    stays within the issue width, ratios stay in [0, 1]."""
+    sig = GOLDEN["workloads"][name]
+    assert sig["phases"], name
+    for phase in sig["phases"]:
+        assert 0.0 < phase["ipc"] <= NEHALEM.issue_width
+        total = (
+            phase["cpi_exec"] + phase["cpi_memory"]
+            + phase["cpi_branch"] + phase["cpi_assist"]
+        )
+        assert phase["cpi"] == pytest.approx(total, rel=1e-9)
+        assert phase["ipc"] == pytest.approx(1.0 / phase["cpi"], rel=1e-9)
+        for key in ("l1_miss_ratio", "l2_miss_ratio", "l3_miss_ratio",
+                    "mispredict_ratio", "branch_fraction"):
+            assert 0.0 <= phase[key] <= 1.0, (name, phase["name"], key)
+
+
+def test_compiler_variants_differ():
+    """The Figure 9 point: gcc and icc builds of the same benchmark have
+    distinct signatures."""
+    for name in ("456.hmmer", "433.milc", "464.h264ref", "482.sphinx3"):
+        assert GOLDEN["workloads"][name] != GOLDEN["workloads"][f"{name}@icc"]
+
+
+def test_golden_parses_as_plain_json():
+    # No NaN/Infinity smuggled in: strict JSON loads it.
+    json.loads(GOLDEN_PATH.read_text(), parse_constant=lambda s: pytest.fail(s))

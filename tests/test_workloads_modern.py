@@ -1,0 +1,87 @@
+"""The modern workload archetypes (JIT, GC, NUMA, interpreter, io)."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import NEHALEM
+from repro.sim.core import solo_rates
+from repro.sim.workloads import modern
+
+#: Documented per-phase solo-IPC calibration targets (the builders'
+#: literals — the frozen-signature golden pins the full vectors).
+TARGETS = {
+    "jit-warmup-deopt": [0.62, 1.05, 1.90, 0.58, 1.86],
+    "gc-pause-train": [1.28, 0.42],
+    "numa-remote": [0.95, 0.38, 0.95, 0.38],
+    "interp-dispatch": [0.72],
+    "io-syscall": [1.22, 0.52],
+}
+
+
+def test_registry_names():
+    assert modern.available() == list(modern.MODERN)
+    assert len(set(modern.MODERN)) == 5
+
+
+def test_unknown_name_raises():
+    with pytest.raises(WorkloadError, match="unknown modern workload"):
+        modern.workload("jit-warmup")
+
+
+def test_workloads_are_cached():
+    assert modern.workload("gc-pause-train") is modern.workload("gc-pause-train")
+
+
+@pytest.mark.parametrize("name", modern.MODERN)
+def test_calibration_is_exact(name):
+    """Every phase's solo IPC on Nehalem equals its documented target."""
+    workload = modern.workload(name)
+    assert len(workload.phases) == len(TARGETS[name])
+    for phase, target in zip(workload.phases, TARGETS[name]):
+        assert solo_rates(NEHALEM, phase).ipc == pytest.approx(target, rel=1e-9)
+
+
+@pytest.mark.parametrize("name", modern.MODERN)
+def test_budgets_are_finite_and_positive(name):
+    workload = modern.workload(name)
+    assert math.isfinite(workload.total_instructions)
+    assert all(p.instructions > 0 for p in workload.phases)
+
+
+def test_gc_train_repeats():
+    workload = modern.workload("gc-pause-train")
+    assert workload.repeat == modern.GC_TRAIN_LENGTH
+    mutator, gc_mark = workload.phases
+    period = mutator.instructions + gc_mark.instructions
+    assert gc_mark.instructions / period == pytest.approx(
+        modern.GC_PAUSE_FRACTION
+    )
+
+
+def test_io_service_bursts():
+    workload = modern.workload("io-syscall")
+    assert workload.repeat == modern.IO_BURSTS
+
+
+def test_phases_contrast():
+    """The shapes that define each archetype: warm JIT runs far faster
+    than its interpreter phases; GC marks stall on memory; remote NUMA
+    scans stall harder than local ones; the interpreter is
+    mispredict-limited."""
+    jit = modern.workload("jit-warmup-deopt")
+    ipc = {p.name: solo_rates(NEHALEM, p).ipc for p in jit.phases}
+    assert ipc["opt-steady"] > 2.5 * ipc["interp-warmup"]
+    assert ipc["deopt-storm"] < ipc["compile"]
+
+    gc = modern.workload("gc-pause-train")
+    mark = solo_rates(NEHALEM, gc.phases[1])
+    assert mark.cpi_memory > mark.cpi_exec
+
+    numa = modern.workload("numa-remote")
+    local, remote = (solo_rates(NEHALEM, p) for p in numa.phases[:2])
+    assert remote.cpi_memory > 2.0 * local.cpi_memory
+
+    interp = solo_rates(NEHALEM, modern.workload("interp-dispatch").phases[0])
+    assert interp.cpi_branch > interp.cpi_memory
