@@ -63,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "supervised engine; the same seed replays the "
                              "same failures and recoveries byte-for-byte "
                              "(requires --sim and --grid-workers)")
+    parser.add_argument("--net-chaos", type=int, default=None, metavar="SEED",
+                        help="inject a seeded schedule of network faults "
+                             "(partitions, dropped/duplicated messages, "
+                             "half-open links, delay) at the grid's shard "
+                             "transport boundary; epoch fencing keeps the "
+                             "output byte-identical to an unpartitioned "
+                             "run, and the same seed replays the same "
+                             "cuts and heals byte-for-byte (requires "
+                             "--sim and --grid-workers)")
     parser.add_argument("--grid-transport", default=None,
                         metavar="{inproc,fork,socket}",
                         help="how grid shards talk to their workers: inproc "
@@ -107,7 +116,7 @@ def _run_grid(options: Options) -> int:
 
     span = options.delay * (options.iterations or 10)
     supervision = None
-    if options.grid_chaos is not None:
+    if options.grid_chaos is not None or options.net_chaos is not None:
         from repro.sim.supervisor import Supervision
 
         # Chaos runs recover many times; a tight deadline and no backoff
@@ -119,6 +128,7 @@ def _run_grid(options: Options) -> int:
         workers=options.grid_workers,
         profile=options.profile,
         grid_chaos=options.grid_chaos,
+        net_chaos=options.net_chaos,
         supervision=supervision,
         transport=options.grid_transport,
         hosts=options.grid_hosts,
@@ -157,6 +167,21 @@ def _run_grid(options: Options) -> int:
                     f"{k}={event[k]}" for k in sorted(event) if k != "event"
                 )
                 print(f"  {event['event']:8s} {fields}")
+        if options.net_chaos is not None:
+            # The whole point of --net-chaos is that stdout stays
+            # byte-identical to an unpartitioned run (CI diffs it), so
+            # the recovery summary goes to stderr.
+            engine_obj = grid.engine
+            stats = grid.stats
+            print(
+                f"netchaos: faults={engine_obj.net_faults()} "
+                f"failures={stats['worker_failures']} "
+                f"fenced={engine_obj.fenced_replies()} "
+                f"restarts={stats['restarts']} "
+                f"adopted={stats['adopted_shards']} "
+                f"degraded={'yes' if stats['degraded'] else 'no'}",
+                file=sys.stderr,
+            )
         if options.profile:
             stats = grid.stats
             print(
@@ -296,6 +321,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.net_chaos is not None and (
+        not args.sim or args.grid_workers is None
+    ):
+        print(
+            "tiptop: --net-chaos injects network faults into the "
+            "simulated grid and requires --sim and --grid-workers",
+            file=sys.stderr,
+        )
+        return 2
     if args.grid_transport is not None and args.grid_transport not in (
         "inproc", "fork", "socket"
     ):
@@ -336,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
             chaos=args.chaos,
             grid_workers=args.grid_workers or 1,
             grid_chaos=args.grid_chaos,
+            net_chaos=args.net_chaos,
             grid_transport=args.grid_transport,
             grid_hosts=args.grid_hosts,
             serve_port=args.serve,

@@ -56,6 +56,12 @@ class Options:
             crashes, hangs, garbled replies) executed under the
             supervised grid engine — the same seed replays the same
             failures and recoveries byte-identically.
+        net_chaos: network-fault injection seed (``--net-chaos SEED``).
+            None disables injection; any int seeds a replayable
+            :class:`~repro.sim.netchaos.NetChaosPlan` (partitions, lost
+            and duplicated messages, half-open links, delay) at the shard
+            transport boundary — the supervised engine's epoch fencing
+            keeps grid output byte-identical to an unpartitioned run.
         grid_transport: how grid shards talk to their workers
             (``--grid-transport``): "inproc", "fork" or "socket". None
             keeps the engine default (fork). A pure performance knob —
@@ -89,6 +95,7 @@ class Options:
     retry_backoff: float = 0.0
     grid_workers: int = 1
     grid_chaos: int | None = None
+    net_chaos: int | None = None
     grid_transport: str | None = None
     grid_hosts: int | None = None
     serve_port: int | None = None

@@ -128,9 +128,52 @@ class WireOversizeError(WireError):
     """
 
 
+class WireSequenceError(WireError):
+    """A frame stream violated its strictly-increasing sequence contract.
+
+    Raised by :class:`~repro.serve.client.ServeClient` when a frame
+    arrives with a sequence number at or below the last one seen — a
+    duplicate or reordered delivery the resume protocol must never let
+    through. A *forward* gap is not this error: frames legitimately go
+    missing to backpressure drops or retention aging, and the client
+    counts those in ``gaps`` instead. Being a typed exception (not an
+    ``assert``) the check survives ``python -O``.
+
+    Attributes:
+        expected: the lowest acceptable sequence (last seen + 1).
+        actual: the sequence the peer actually sent.
+    """
+
+    def __init__(self, message: str, *, expected: int, actual: int) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
 class SessionError(ReproError):
     """A serve-session contract was violated (bad subscription, an
     out-of-order publish, an unknown resume point)."""
+
+
+class ResumeGapError(SessionError):
+    """A resume point fell off the daemon's retention ring.
+
+    Raised by the auto-reconnecting client when the server's HELLO shows
+    the oldest retained frame is newer than ``last seen + 1``: the ring
+    rotated past the client while it was partitioned, so a bitwise-exact
+    reassembly of the stream is no longer possible. Callers that can
+    tolerate a lossy stream catch this and resubscribe without a resume
+    point; callers that promised exactness must surface it.
+
+    Attributes:
+        requested: the client's last-seen sequence number.
+        oldest: the oldest sequence the server still retains.
+    """
+
+    def __init__(self, message: str, *, requested: int, oldest: int) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.oldest = oldest
 
 
 class ConfigError(ReproError):
@@ -163,16 +206,23 @@ class WorkerFailure(SimulationError):
 
     Raised by the sharded engines when a worker crashes (pipe closed,
     process exited), misses its epoch deadline (hang), replies with a
-    message that does not parse as an epoch report (garbled), or is
-    spoken to after the transport was deliberately shut down (closed —
-    e.g. a send racing :meth:`close` during interpreter teardown). The
-    supervised engine catches this internally and recovers; the
-    unsupervised :class:`~repro.sim.parallel.ShardedEngine` lets it
-    propagate instead of leaking a raw ``EOFError``/``BrokenPipeError``.
+    message that does not parse as an epoch report (garbled), is cut off
+    by a network partition while possibly still alive (unreachable —
+    the supervisor must fence, not double-apply), or is spoken to after
+    the transport was deliberately shut down (closed — e.g. a send
+    racing :meth:`close` during interpreter teardown). The supervised
+    engine catches this internally and recovers; the unsupervised
+    :class:`~repro.sim.parallel.ShardedEngine` lets it propagate instead
+    of leaking a raw ``EOFError``/``BrokenPipeError``.
+
+    ``"unreachable"`` is deliberately distinct from ``"crash"``: a
+    partitioned worker may be slow-but-alive, so its late replies carry
+    a stale incarnation fence and are rejected rather than merged.
 
     Attributes:
         worker: index of the failing worker.
-        kind: one of ``"crash"``, ``"hang"``, ``"garbled"``, ``"closed"``.
+        kind: one of ``"crash"``, ``"hang"``, ``"garbled"``,
+            ``"unreachable"``, ``"closed"``.
         exitcode: the worker's exit code, when known.
     """
 

@@ -6,13 +6,24 @@ derived column), then run the identical node solo through the same
 cadence and require every client's reassembled stream to match the solo
 frames bitwise (by canonical frame digest). Exact backpressure
 accounting is asserted on the way out.
+
+``--partition-smoke`` is the same bar under network failure: the daemon
+runs with a seeded :class:`~repro.sim.netchaos.NetChaosPlan` that cuts
+one client's connection mid-stream (abort, not close — bytes in flight
+are lost), while a second client's link never fires. The cut client
+auto-reconnects and resumes by sequence against the retention ring; both
+clients' reassembled streams must match the solo run bitwise, and the
+smoke asserts the cuts actually happened (a schedule that fired nothing
+would vacuously pass).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import itertools
 import sys
+import zlib
 
 from repro.core.app import SimHost
 from repro.core.options import Options
@@ -27,6 +38,11 @@ from repro.sim.workloads import datacenter
 _DELAY = 0.5
 _ITERATIONS = 4
 _SEED = 7
+#: Partition smoke: enough frames that a cut lands mid-stream, and a
+#: chaos intensity high enough that the searched-for client ids (one
+#: that gets cut, one that never does) are found within a few tries.
+_PARTITION_ITERATIONS = 6
+_PARTITION_INTENSITY = 6.0
 
 
 def _solo_frames(delay: float, iterations: int) -> list:
@@ -106,6 +122,88 @@ async def _serve_smoke(delay: float, iterations: int) -> int:
     return 1 if failures else 0
 
 
+def _chaos_client_ids(plan, iterations: int) -> tuple[str, str]:
+    """Deterministically pick one client id the plan cuts within the
+    run and one it never touches (link = crc32 of the id, like the
+    daemon derives it)."""
+
+    def cuts(client_id: str) -> int:
+        link = zlib.crc32(client_id.encode()) & 0x7FFFFFFF
+        return sum(1 for s in range(iterations) if plan.cut(link, s, 0))
+
+    chaos = next(
+        f"chaos-{i}" for i in itertools.count() if cuts(f"chaos-{i}")
+    )
+    steady = next(
+        f"steady-{i}" for i in itertools.count() if not cuts(f"steady-{i}")
+    )
+    return chaos, steady
+
+
+async def _partition_smoke(delay: float, iterations: int) -> int:
+    from repro.sim.netchaos import NetChaosPlan
+    from repro.util.backoff import BackoffPolicy
+
+    plan = NetChaosPlan.from_seed(_SEED, intensity=_PARTITION_INTENSITY)
+    chaos_id, steady_id = _chaos_client_ids(plan, iterations)
+    machine = datacenter.make_node(tick=min(0.5, delay / 4), seed=_SEED)
+    datacenter.populate_fig1(machine)
+    host = SimHost(machine)
+    sampler = Sampler(
+        host.backend, host.tasks, get_screen("default"), Options(delay=delay)
+    )
+    daemon = CollectorDaemon(
+        sampler,
+        advance=lambda: host.sleep(delay),
+        iterations=iterations,
+        min_clients=2,
+        netchaos=plan,
+    )
+    port = await daemon.start()
+    ladder = BackoffPolicy(base=0.0)  # in-process: no wall-clock to wait out
+    results, _ = await asyncio.gather(
+        asyncio.gather(
+            collect(
+                "127.0.0.1", port, client_id=chaos_id,
+                reconnect=True, backoff=ladder, max_reconnects=32,
+            ),
+            collect("127.0.0.1", port, client_id=steady_id),
+        ),
+        daemon.run(),
+    )
+    await daemon.close()
+
+    solo = [frame_digest(f) for f in _solo_frames(delay, iterations)]
+    (chaos_frames, chaos_client), (steady_frames, steady_client) = results
+    failures = []
+    for name, frames in (
+        (chaos_id, chaos_frames), (steady_id, steady_frames)
+    ):
+        got = [frame_digest(frame) for _, frame in frames]
+        if got != solo:
+            failures.append(
+                f"{name}: reassembled stream diverges from solo run "
+                f"({len(got)}/{len(solo)} frames)"
+            )
+    if daemon.net_cuts < 1:
+        failures.append("schedule fired no cuts: the smoke tested nothing")
+    if chaos_client.reconnects < 1:
+        failures.append(f"{chaos_id}: never reconnected despite cuts")
+    if steady_client.reconnects != 0:
+        failures.append(f"{steady_id}: reconnected on an uncut link")
+    if chaos_client.gaps or steady_client.gaps:
+        failures.append("resume left sequence gaps; retention should hold")
+    for line in failures:
+        print(f"partition smoke: FAIL {line}", file=sys.stderr)
+    if not failures:
+        print(
+            f"partition smoke: OK {daemon.net_cuts} cut(s), "
+            f"{chaos_client.reconnects} reconnect(s), both streams "
+            "bitwise-equal to solo run"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.serve")
     parser.add_argument(
@@ -113,13 +211,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="daemon + 3 clients + digest compare against a solo run",
     )
+    parser.add_argument(
+        "--partition-smoke",
+        action="store_true",
+        help="seeded link cuts + auto-reconnect resume vs a solo run",
+    )
     parser.add_argument("--delay", type=float, default=_DELAY)
-    parser.add_argument("--iterations", type=int, default=_ITERATIONS)
+    parser.add_argument("--iterations", type=int, default=None)
     args = parser.parse_args(argv)
+    if args.partition_smoke:
+        return asyncio.run(
+            _partition_smoke(
+                args.delay, args.iterations or _PARTITION_ITERATIONS
+            )
+        )
     if not args.smoke:
         parser.print_help()
         return 2
-    return asyncio.run(_serve_smoke(args.delay, args.iterations))
+    return asyncio.run(_serve_smoke(args.delay, args.iterations or _ITERATIONS))
 
 
 if __name__ == "__main__":  # pragma: no cover

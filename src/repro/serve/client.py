@@ -7,6 +7,16 @@ pipeline (screen rendering, the CSV recorder, analysis) runs unchanged
 on served frames. The client checks what the protocol guarantees:
 sequence numbers strictly increase, and a gap after a resume means
 frames aged out of the daemon's retention (reported, not invented).
+
+With ``reconnect=True`` a cut connection (reset, mid-message EOF, a
+clean EOF that never carried the server's BYE) is survived instead of
+surfaced: the client redials on a shared
+:class:`~repro.util.backoff.BackoffPolicy` ladder and resumes from its
+last fully received sequence, so the reassembled stream is bitwise
+identical to an uninterrupted subscriber's — or, when the daemon's
+retention ring rotated past the resume point while the link was down, a
+typed :class:`~repro.errors.ResumeGapError` says exactly which frames
+are gone rather than silently splicing a lossy stream.
 """
 
 from __future__ import annotations
@@ -14,10 +24,19 @@ from __future__ import annotations
 import asyncio
 
 from repro.core.frame import SnapshotFrame
-from repro.errors import SessionError, WireError
+from repro.errors import (
+    ResumeGapError,
+    SessionError,
+    WireError,
+    WireSequenceError,
+)
 from repro.serve import protocol
 from repro.serve.session import Subscription
 from repro.serve.stream import MessageStream
+from repro.util.backoff import BackoffPolicy
+
+#: Distinguishes "resume from None" (fresh stream) from "not given".
+_UNSET = object()
 
 
 class ServeClient:
@@ -31,6 +50,16 @@ class ServeClient:
         last_seq: highest sequence received (-1 before the first frame).
         gaps: count of sequence discontinuities observed (non-zero only
             after drops or a resume past retention).
+        reconnects: redials performed (0 on an uninterrupted stream).
+
+    Args (beyond the obvious):
+        reconnect: survive cut connections by redialing and resuming
+            from ``last_seq`` (False keeps the old die-on-cut shape).
+        backoff: retry ladder shared with the grid supervisor (None =
+            the stock :class:`~repro.util.backoff.BackoffPolicy`).
+        max_reconnects: total redial budget for the stream's lifetime —
+            outages and failed dials both count — before giving up with
+            :class:`~repro.errors.SessionError`.
     """
 
     def __init__(
@@ -41,31 +70,53 @@ class ServeClient:
         client_id: str | None = None,
         subscription: Subscription | None = None,
         resume_from: int | None = None,
+        reconnect: bool = False,
+        backoff: BackoffPolicy | None = None,
+        max_reconnects: int = 8,
     ) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
         self.subscription = subscription or Subscription()
         self.resume_from = resume_from
+        self.reconnect = reconnect
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.max_reconnects = max_reconnects
         self.hello: dict | None = None
         self.bye: dict | None = None
+        #: Next sequence promised by the FIRST HELLO — the resume floor
+        #: for a client cut before it received any frame at all.
+        self._first_seq: int | None = None
         self.last_seq = -1
         self.gaps = 0
+        self.reconnects = 0
         self._stream: MessageStream | None = None
 
-    async def connect(self) -> dict:
+    async def connect(
+        self, *, resume_from: object = _UNSET, takeover: bool = False
+    ) -> dict:
         """Dial, handshake, subscribe; returns the server's HELLO body.
+
+        ``resume_from`` overrides the constructor's resume point for
+        this dial (the reconnect path passes ``last_seq`` here).
+        ``takeover`` claims the client id even if the server still
+        holds a session for it — the redial-after-cut case, where the
+        old connection is dead but its handler may not have unwound
+        yet. Without the claim a duplicate id is rejected.
 
         Raises :class:`~repro.errors.SessionError` when the server
         rejects the subscription (its BYE ``error`` becomes the message).
         """
+        resume = (
+            self.resume_from if resume_from is _UNSET else resume_from
+        )
+        hello: dict = {"client": self.client_id, "resume": resume}
+        if takeover:
+            hello["takeover"] = True
         reader, writer = await asyncio.open_connection(self.host, self.port)
         self._stream = MessageStream(reader, writer)
         self._stream.send(
-            protocol.encode_control(
-                protocol.MSG_HELLO,
-                {"client": self.client_id, "resume": self.resume_from},
-            )
+            protocol.encode_control(protocol.MSG_HELLO, hello)
         )
         self._stream.send(
             protocol.encode_control(
@@ -77,6 +128,8 @@ class ServeClient:
         if msg is None or msg[0] != protocol.MSG_HELLO:
             raise SessionError("server did not answer HELLO")
         self.hello = msg[1]
+        if self._first_seq is None:
+            self._first_seq = int(self.hello.get("seq", 0))
         return self.hello
 
     async def frames(self):
@@ -85,16 +138,32 @@ class ServeClient:
         An early server BYE carrying ``error`` raises
         :class:`~repro.errors.SessionError`; a connection that dies
         mid-message propagates the transport's
-        :class:`~repro.errors.WireError`.
+        :class:`~repro.errors.WireError` — unless ``reconnect`` is on,
+        in which case the client redials, resumes from ``last_seq``,
+        and the iterator keeps yielding as if the cut never happened.
+        A duplicated or reordered delivery raises
+        :class:`~repro.errors.WireSequenceError`.
         """
         if self._stream is None:
             raise SessionError("not connected")
         if self.resume_from is not None:
             self.last_seq = self.resume_from
         while True:
-            msg = await self._stream.recv()
+            try:
+                msg = await self._stream.recv()
+            except (WireError, ConnectionError, OSError):
+                if not self.reconnect:
+                    raise
+                await self._reconnect()
+                continue
             if msg is None:
-                break  # EOF between messages: server is simply gone
+                # EOF between messages. Without the server's BYE this
+                # is a cut, not an ending — the daemon always accounts
+                # for a stream it finished.
+                if self.reconnect and self.bye is None:
+                    await self._reconnect()
+                    continue
+                break
             msg_type, obj = msg
             if msg_type == protocol.MSG_BYE:
                 self.bye = obj
@@ -105,19 +174,75 @@ class ServeClient:
                 raise SessionError(f"unexpected message type {msg_type}")
             seq, frame = obj
             if seq <= self.last_seq:
-                raise SessionError(
-                    f"sequence went backwards: {seq} after {self.last_seq}"
+                raise WireSequenceError(
+                    f"sequence went backwards: {seq} after {self.last_seq}",
+                    expected=self.last_seq + 1,
+                    actual=seq,
                 )
             if self.last_seq >= 0 and seq != self.last_seq + 1:
                 self.gaps += 1
             self.last_seq = seq
             yield seq, frame
 
+    async def _reconnect(self) -> None:
+        """Redial and resume after a cut, on the backoff ladder.
+
+        Raises :class:`~repro.errors.ResumeGapError` when the server's
+        HELLO shows the retention ring rotated past our resume point
+        (the stream can no longer be reassembled exactly), and
+        :class:`~repro.errors.SessionError` when the redial budget is
+        exhausted.
+        """
+        await self.close()
+        if self.last_seq >= 0:
+            resume = self.last_seq
+        elif self.resume_from is not None:
+            resume = self.resume_from
+        elif self._first_seq is not None:
+            # Cut before the first frame arrived: resume from the
+            # position the original HELLO promised, not from "live" —
+            # the daemon may have published the whole backlog since.
+            resume = self._first_seq - 1
+        else:
+            resume = None
+        attempt = 0
+        while True:
+            self.reconnects += 1
+            if self.reconnects > self.max_reconnects:
+                raise SessionError(
+                    f"gave up after {self.max_reconnects} reconnects "
+                    f"(last seq {self.last_seq})"
+                )
+            attempt += 1
+            delay = self.backoff.delay(attempt)
+            if delay:
+                await asyncio.sleep(delay)
+            try:
+                hello = await self.connect(resume_from=resume, takeover=True)
+            except (ConnectionError, OSError):
+                continue  # server not back yet: climb the ladder
+            break
+        if resume is not None:
+            retained = hello.get("retained")
+            oldest = retained[0] if retained else hello["seq"]
+            if oldest > resume + 1:
+                raise ResumeGapError(
+                    f"retention rotated past resume: asked to resume "
+                    f"after {resume}, oldest retained is {oldest}",
+                    requested=resume,
+                    oldest=oldest,
+                )
+
     async def leave(self) -> None:
         """Tell the server we are done (it answers with accounting)."""
         if self._stream is not None:
-            self._stream.send(protocol.encode_control(protocol.MSG_BYE, {}))
-            await self._stream.drain()
+            try:
+                self._stream.send(
+                    protocol.encode_control(protocol.MSG_BYE, {})
+                )
+                await self._stream.drain()
+            except (ConnectionError, OSError):
+                pass  # the link died first; closing is all that is left
 
     async def close(self) -> None:
         if self._stream is not None:
@@ -133,6 +258,9 @@ async def collect(
     subscription: Subscription | None = None,
     resume_from: int | None = None,
     limit: int | None = None,
+    reconnect: bool = False,
+    backoff: BackoffPolicy | None = None,
+    max_reconnects: int = 8,
 ) -> tuple[list[tuple[int, SnapshotFrame]], ServeClient]:
     """Subscribe and gather the whole stream (or the first ``limit``
     frames); returns the frames plus the client for its accounting."""
@@ -142,6 +270,9 @@ async def collect(
         client_id=client_id,
         subscription=subscription,
         resume_from=resume_from,
+        reconnect=reconnect,
+        backoff=backoff,
+        max_reconnects=max_reconnects,
     )
     await client.connect()
     received: list[tuple[int, SnapshotFrame]] = []

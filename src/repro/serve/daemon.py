@@ -20,19 +20,36 @@ Handshake (client speaks first)::
 A malformed subscription (bad expr syntax, wrong shapes) gets a BYE
 carrying ``"error"`` instead of a stream. A client may send BYE at any
 time to leave early and still receive its accounting.
+
+Network chaos. When built with a
+:class:`~repro.sim.netchaos.NetChaosPlan` the daemon consults it before
+every frame send: the plan's :meth:`~repro.sim.netchaos.NetChaosPlan.cut`
+decides per ``(client link, frame seq)`` whether the connection is
+severed mid-stream (the write transport is aborted, not closed — bytes
+in flight are lost like on a real cut). A client's link id is the crc32
+of its client id, so each client's cut schedule is independent and
+stable across reconnects. Attempt counts per ``(link, seq)`` live on
+the daemon (not the session, which dies with the connection), so a
+multi-attempt partition heals after its scheduled duration instead of
+cutting the replayed frame forever.
 """
 
 from __future__ import annotations
 
 import asyncio
+import zlib
 from collections.abc import Callable
 from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.core.sampler import Sampler
 from repro.errors import SessionError, WireError
 from repro.serve import protocol
 from repro.serve.session import FanoutHub, Subscription
 from repro.serve.stream import MessageStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.netchaos import NetChaosPlan
 
 
 class CollectorDaemon:
@@ -54,6 +71,9 @@ class CollectorDaemon:
         compress: forwarded to the codec (None = auto by block width).
         profile: per-refresh observability sink (a callable taking one
             formatted line); the CLI's ``--profile`` wires stderr here.
+        netchaos: seeded link-fault schedule; cuts client connections
+            mid-stream per (client link, frame seq). None disables
+            injection (production shape).
     """
 
     def __init__(
@@ -68,6 +88,7 @@ class CollectorDaemon:
         retention: int = 256,
         compress: bool | None = None,
         profile: Callable[[str], None] | None = None,
+        netchaos: "NetChaosPlan | None" = None,
     ) -> None:
         self.sampler = sampler
         self.advance = advance
@@ -75,6 +96,12 @@ class CollectorDaemon:
         self.pace = pace
         self.min_clients = min_clients
         self.profile = profile
+        self.netchaos = netchaos
+        #: Cut connections so far (observability for tests and smoke).
+        self.net_cuts = 0
+        #: Send attempts per (link, seq). Daemon-level on purpose: the
+        #: heal schedule must survive the reconnects it causes.
+        self._net_attempts: dict[tuple[int, int], int] = {}
         self.hub = FanoutHub(
             queue_limit=queue_limit, retention=retention, compress=compress
         )
@@ -196,6 +223,18 @@ class CollectorDaemon:
         if msg[0] != protocol.MSG_SUBSCRIBE:
             raise SessionError(f"expected SUBSCRIBE, got type {msg[0]}")
         event = asyncio.Event()
+        if hello.get("takeover") and client_id in self.hub.sessions:
+            # A reconnect raced its predecessor's teardown: the old
+            # connection is dead but its handler has not unwound yet.
+            # The redial claims the id explicitly (its HELLO carries
+            # ``takeover``), so the newest connection wins and the
+            # zombie's pump is woken to notice the closed session and
+            # exit. A duplicate id *without* the claim still gets the
+            # "already subscribed" BYE below.
+            self.hub.remove_session(client_id)
+            stale = self._client_events.pop(client_id, None)
+            if stale is not None:
+                stale.set()
         try:
             subscription = Subscription.from_dict(msg[1])
             session = self.hub.add_session(
@@ -211,28 +250,38 @@ class CollectorDaemon:
             await stream.drain()
             return None
         self._client_events[client_id] = event
-        if session.lag or self.finished:
-            event.set()  # resumed backlog (or a post-run join) flushes now
-        if (
-            not self._ready.is_set()
-            and len(self.hub.sessions) >= self.min_clients
-        ):
-            self._ready.set()
-        bye_seen = asyncio.Event()
-        watcher = asyncio.ensure_future(
-            self._watch_for_bye(stream, bye_seen, event)
-        )
         try:
-            await self._pump(session, stream, event, bye_seen)
-        finally:
-            watcher.cancel()
-        stream.send(
-            protocol.encode_control(
-                protocol.MSG_BYE, {"stats": session.stats()}
+            if session.lag or self.finished:
+                event.set()  # resumed backlog (or post-run join) flushes now
+            if (
+                not self._ready.is_set()
+                and len(self.hub.sessions) >= self.min_clients
+            ):
+                self._ready.set()
+            bye_seen = asyncio.Event()
+            watcher = asyncio.ensure_future(
+                self._watch_for_bye(stream, bye_seen, event)
             )
-        )
-        await stream.drain()
-        return client_id
+            try:
+                await self._pump(session, stream, event, bye_seen)
+            finally:
+                watcher.cancel()
+            stream.send(
+                protocol.encode_control(
+                    protocol.MSG_BYE, {"stats": session.stats()}
+                )
+            )
+            await stream.drain()
+            return client_id
+        finally:
+            # Identity-guarded: a handler that died mid-pump must clean
+            # up its own session here (its id never reaches _accept),
+            # but must never tear down a successor that took the id
+            # over while this handler was unwinding.
+            if self.hub.sessions.get(client_id) is session:
+                self.hub.remove_session(client_id)
+            if self._client_events.get(client_id) is event:
+                del self._client_events[client_id]
 
     async def _watch_for_bye(
         self,
@@ -259,12 +308,28 @@ class CollectorDaemon:
         bye_seen: asyncio.Event,
     ) -> None:
         """Drain one session's queue to its socket until the run ends."""
-        while not bye_seen.is_set():
+        link = zlib.crc32(session.client_id.encode()) & 0x7FFFFFFF
+        while not (bye_seen.is_set() or session.closed):
             await event.wait()
             event.clear()
-            if bye_seen.is_set():
+            if bye_seen.is_set() or session.closed:
                 break
             while (item := session.pop()) is not None:
+                if self.netchaos is not None:
+                    seq = item[0]
+                    attempt = self._net_attempts.get((link, seq), 0)
+                    self._net_attempts[(link, seq)] = attempt + 1
+                    if self.netchaos.cut(link, seq, attempt):
+                        # The cut link loses whatever was in flight:
+                        # abort (no FIN, no flush), so the client sees
+                        # a reset or a truncated frame, never a clean
+                        # end it could mistake for the server's BYE.
+                        self.net_cuts += 1
+                        stream.abort()
+                        raise ConnectionResetError(
+                            f"net chaos cut client "
+                            f"{session.client_id!r} at seq {seq}"
+                        )
                 stream.send(item[1])
             await stream.drain()
             if self.finished and session.lag == 0:

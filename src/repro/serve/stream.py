@@ -62,6 +62,16 @@ class MessageStream:
     async def drain(self) -> None:
         await self._writer.drain()
 
+    def abort(self) -> None:
+        """Sever the connection immediately, discarding queued writes.
+
+        This is the network-partition shape of a close: no FIN
+        handshake, no flush — whatever bytes were in flight are simply
+        gone, exactly what a cut link does to a TCP stream. The peer
+        observes a reset or a mid-message EOF, never a clean end.
+        """
+        self._writer.transport.abort()
+
     async def close(self) -> None:
         try:
             self._writer.close()

@@ -37,6 +37,7 @@ from repro.sim.supervisor import SupervisedShardedEngine, Supervision
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.grid import NodeSpec
+    from repro.sim.netchaos import NetChaosPlan
     from repro.sim.supervisor import GridFaultPlan
 
 __all__ = ["FleetEngine", "FleetSupervision"]
@@ -99,6 +100,7 @@ class FleetEngine:
         config: Supervision | None = None,
         seeds: list[int] | None = None,
         fleet: FleetSupervision | None = None,
+        netchaos: "NetChaosPlan | None" = None,
     ) -> None:
         if hosts < 1:
             raise SimulationError(f"fleet needs >= 1 host, got {hosts}")
@@ -111,6 +113,7 @@ class FleetEngine:
         self.tick = tick
         self.transport_name = transport
         self.chaos = chaos
+        self.netchaos = netchaos
         self.config = config if config is not None else Supervision()
         self.fleet_config = fleet if fleet is not None else FleetSupervision()
         self.hosts = min(hosts, len(specs)) if specs else hosts
@@ -122,10 +125,14 @@ class FleetEngine:
             "restarts": 0,
             "replayed_epochs": 0,
             "adopted_shards": 0,
-            "failures": {"crash": 0, "hang": 0, "garbled": 0},
+            "failures": {
+                "crash": 0, "hang": 0, "garbled": 0, "unreachable": 0,
+            },
         }
         self._retired_bytes = [0, 0]  # sent, received
         self._retired_messages = 0
+        self._retired_fenced = 0
+        self._retired_net_faults = 0
         #: Host-tagged events from retired engines + fleet-level events,
         #: in emission order; current engines' events append after these.
         self._event_base: list[dict[str, Any]] = []
@@ -149,6 +156,7 @@ class FleetEngine:
             config=self.config,
             worker_base=host.index * self.host_workers,
             prior_epochs=list(host.journal),
+            netchaos=self.netchaos,
         )
 
     # -- engine protocol ----------------------------------------------------
@@ -206,6 +214,8 @@ class FleetEngine:
         self._retired_bytes[0] += engine.bytes_sent
         self._retired_bytes[1] += engine.bytes_received
         self._retired_messages += engine.messages
+        self._retired_fenced += engine.fenced_replies()
+        self._retired_net_faults += engine.net_faults()
         for event in engine.events:
             self._event_base.append({**event, "host": host.index})
 
@@ -283,6 +293,19 @@ class FleetEngine:
 
     def live_workers(self) -> int:
         return sum(h.engine.live_workers() for h in self._hosts)
+
+    def fenced_replies(self) -> int:
+        """Stale replies rejected across every host, including hosts
+        since retired — the fleet-wide split-brain rejection count."""
+        return self._retired_fenced + sum(
+            h.engine.fenced_replies() for h in self._hosts
+        )
+
+    def net_faults(self) -> int:
+        """Net-chaos faults injected across every host's links."""
+        return self._retired_net_faults + sum(
+            h.engine.net_faults() for h in self._hosts
+        )
 
     def close(self) -> None:
         for host in self._hosts:

@@ -1,0 +1,232 @@
+"""Seeded network-fault kernel for the shard transports and the daemon.
+
+:class:`~repro.sim.supervisor.GridFaultPlan` breaks *processes* (crash,
+hang, garble inside the agent); this module breaks the *links between*
+them. A :class:`NetChaosPlan` is the same shape of object — a frozen,
+stateless, picklable schedule seeded once and queried as a pure function
+— but its decisions model the message layer: partition/heal windows,
+lost requests, replies that arrive late with a stale incarnation,
+duplicated replies, and per-link delay.
+
+Determinism contract (mirroring :mod:`repro.perf.faults`): every
+decision hashes ``(seed, link, epoch)`` through crc32 into one uniform
+variate, so the schedule is platform-stable and **independent per
+link** — faults on one link never shift another link's schedule, and
+``--net-chaos SEED`` replays byte-identically. The third ``attempt``
+axis is how a partition *heals*: a fault with ``duration`` ``d`` keeps
+firing while the round-trip for that (link, epoch) has been attempted
+fewer than ``d`` times, then clears. Retries are driven by the
+supervisor's restart ladder, so "heal after d failed attempts" is itself
+a pure function of the schedule and the supervision policy — no
+wall-clock enters the replay.
+
+Fault kinds and how the transport layer realises them::
+
+    partition   the request never crosses the cut; the reply deadline
+                expires -> WorkerFailure(kind="unreachable"). Lasts
+                ``duration`` attempts (the heal schedule).
+    drop        a single lost request message (a 1-attempt partition).
+    half_open   the request is delivered and *applied*, but the reply is
+                lost to the cut; after heal the stale reply surfaces and
+                is rejected by its incarnation fence (the split-brain
+                case: without fencing this epoch would be double-counted).
+    reorder     the reply is held back past its round-trip and delivered
+                ahead of a later reply; the epoch fence rejects it.
+    duplicate   the reply is delivered twice; the second copy's epoch
+                fence fails and it is discarded, not merged.
+    delay       ``latency`` seconds of injected link latency; a delay at
+                or beyond the round-trip deadline becomes "unreachable".
+
+At the serve daemon's stream layer the same plan decides per
+``(link, frame seq)`` whether the connection is severed mid-stream
+(:meth:`NetChaosPlan.cut`); the auto-reconnecting client then exercises
+resume-by-seq against the retention ring.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "CUT_KINDS",
+    "NET_FAULT_KINDS",
+    "NetChaosPlan",
+    "NetFaultSpec",
+    "default_net_specs",
+]
+
+#: Fault kinds a link can be ordered to exhibit.
+NET_FAULT_KINDS = (
+    "partition",
+    "drop",
+    "half_open",
+    "reorder",
+    "duplicate",
+    "delay",
+)
+
+#: Kinds that sever a byte stream outright (the serve layer's view: a
+#: duplicated or delayed frame cannot happen on one healthy TCP stream,
+#: but a cut connection can).
+CUT_KINDS = frozenset({"partition", "drop", "half_open", "reorder"})
+
+
+@dataclass(frozen=True)
+class NetFaultSpec:
+    """One chaos behaviour for a network link.
+
+    Attributes:
+        kind: one of :data:`NET_FAULT_KINDS`.
+        rate: probability per (link, epoch) draw.
+        at_epochs: exact epoch indices to fire at (overrides ``rate``).
+        link: restrict to one link id (None = all links).
+        duration: how many *attempts* of the same (link, epoch)
+            round-trip the fault keeps firing for before the link heals.
+            1 means a transient blip the first retry survives; a value
+            at or beyond the supervisor's poison limit models a
+            partition that outlives the ladder (the adopt path).
+        latency: injected one-way delay in seconds (``delay`` kind only).
+    """
+
+    kind: str
+    rate: float = 0.0
+    at_epochs: frozenset[int] | None = None
+    link: int | None = None
+    duration: int = 1
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown net fault kind {self.kind!r} "
+                f"(have: {', '.join(NET_FAULT_KINDS)})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.at_epochs is not None:
+            object.__setattr__(self, "at_epochs", frozenset(self.at_epochs))
+            if any(e < 0 for e in self.at_epochs):
+                raise ConfigError("at_epochs indices must be >= 0")
+        if self.link is not None and self.link < 0:
+            raise ConfigError("link id must be >= 0")
+        if self.duration < 1:
+            raise ConfigError(f"duration must be >= 1, got {self.duration}")
+        if self.latency < 0:
+            raise ConfigError(f"latency must be >= 0, got {self.latency}")
+        if self.kind != "delay" and self.latency:
+            raise ConfigError(
+                f"latency only applies to 'delay' faults, not {self.kind!r}"
+            )
+
+
+def default_net_specs(intensity: float = 1.0) -> tuple[NetFaultSpec, ...]:
+    """The stock network-chaos mix.
+
+    Mostly transient single-message losses (cheap: one restart each),
+    some two-attempt partitions (the heal path), a sprinkle of the
+    split-brain shapes (half-open and duplicate) because those are the
+    ones fencing exists for.
+    """
+    if intensity < 0:
+        raise ConfigError(f"chaos intensity must be >= 0, got {intensity}")
+    cap = 1.0 / len(NET_FAULT_KINDS)
+
+    def r(rate: float) -> float:
+        return min(rate * intensity, cap)
+
+    return (
+        NetFaultSpec("partition", rate=r(0.03), duration=2),
+        NetFaultSpec("drop", rate=r(0.03)),
+        NetFaultSpec("half_open", rate=r(0.02)),
+        NetFaultSpec("reorder", rate=r(0.015)),
+        NetFaultSpec("duplicate", rate=r(0.02)),
+        NetFaultSpec("delay", rate=r(0.02), latency=0.002),
+    )
+
+
+@dataclass(frozen=True)
+class NetChaosPlan:
+    """A seeded, stateless schedule of link faults.
+
+    Decisions hash ``(seed, link, epoch)`` through crc32 into one
+    uniform variate walked across the rate specs (exactly the
+    :class:`repro.perf.faults.FaultPlan` shape), so at most one fault
+    fires per (link, epoch) and the schedule for one link is
+    independent of every other link's.
+    """
+
+    seed: int
+    specs: tuple[NetFaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(s.rate for s in self.specs if s.at_epochs is None)
+        if total > 1.0 + 1e-9:
+            raise ConfigError(
+                f"net fault rates sum to {total:.3f} > 1; they partition "
+                "one uniform draw and cannot overlap"
+            )
+
+    @classmethod
+    def from_seed(cls, seed: int, intensity: float = 1.0) -> "NetChaosPlan":
+        return cls(seed=seed, specs=default_net_specs(intensity))
+
+    def _unit(self, link: int, epoch: int) -> float:
+        # crc32 is linear, so keys differing in one mid-string character
+        # (adjacent links) land on correlated values; feeding the first
+        # digest through a second crc32 restores avalanche while staying
+        # platform-stable and hash()-free.
+        key = f"{self.seed}:net:{link}:{epoch}"
+        inner = zlib.crc32(key.encode())
+        return zlib.crc32(str(inner).encode()) / 2**32
+
+    def _pick(self, link: int, epoch: int) -> NetFaultSpec | None:
+        """The spec (if any) scheduled for this (link, epoch)."""
+        for spec in self.specs:
+            if spec.at_epochs is None:
+                continue
+            if spec.link is not None and spec.link != link:
+                continue
+            if epoch in spec.at_epochs:
+                return spec
+        u = self._unit(link, epoch)
+        edge = 0.0
+        for spec in self.specs:
+            if spec.at_epochs is not None:
+                continue
+            if spec.link is not None and spec.link != link:
+                continue
+            edge += spec.rate
+            if u < edge:
+                return spec
+        return None
+
+    def decide(self, link: int, epoch: int, attempt: int) -> str | None:
+        """The fault (if any) this link exhibits on this round-trip.
+
+        ``attempt`` counts retries of the same (link, epoch) round-trip
+        (0 on the first try); a fault stops firing once ``attempt``
+        reaches its ``duration`` — that is the heal schedule. The
+        *choice* of fault depends only on ``(seed, link, epoch)``, so
+        recovery activity on other links can never shift it.
+        """
+        spec = self._pick(link, epoch)
+        if spec is None or attempt >= spec.duration:
+            return None
+        return spec.kind
+
+    def latency_of(self, link: int, epoch: int) -> float:
+        """The injected latency when :meth:`decide` said ``"delay"``."""
+        spec = self._pick(link, epoch)
+        return spec.latency if spec is not None else 0.0
+
+    def cut(self, link: int, epoch: int, attempt: int) -> bool:
+        """Does this (link, epoch) round-trip lose its connection?
+
+        The serve daemon's stream layer asks this per (client link,
+        frame seq): a True severs the socket before the frame is
+        written, and the client must reconnect and resume.
+        """
+        return self.decide(link, epoch, attempt) in CUT_KINDS

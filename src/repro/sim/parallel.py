@@ -69,6 +69,7 @@ from repro.sim.machine import SimMachine
 if TYPE_CHECKING:
     from repro.sim.grid import Grid, NodeSpec
     from repro.sim.process import SimProcess
+    from repro.sim.netchaos import NetChaosPlan
     from repro.sim.supervisor import GridFaultPlan, Supervision
     from repro.sim.workload import Workload
 
@@ -597,11 +598,17 @@ def create_engine(
     transport: str | None = None,
     hosts: int | None = None,
     seeds: list[int] | None = None,
+    net_chaos: "NetChaosPlan | None" = None,
 ):
     """Engine factory used by :class:`~repro.sim.grid.Grid`."""
     if chaos is not None and engine not in ("supervised", "fleet"):
         raise SimulationError(
             f"grid chaos requires the supervised engine, not {engine!r}"
+        )
+    if net_chaos is not None and engine not in ("supervised", "fleet"):
+        raise SimulationError(
+            f"net chaos requires a supervised engine, not {engine!r} "
+            "(an unsupervised engine has no recovery ladder to heal with)"
         )
     if supervision is not None and engine not in ("supervised", "fleet"):
         raise SimulationError(
@@ -629,6 +636,7 @@ def create_engine(
             specs, tick, seed, workers,
             chaos=chaos, supervision=supervision,
             transport=transport or "fork", seeds=seeds,
+            net_chaos=net_chaos,
         )
     if engine == "fleet":
         from repro.sim.fleet import FleetEngine
@@ -638,6 +646,7 @@ def create_engine(
             hosts=hosts if hosts is not None else 2,
             transport=transport or "fork",
             chaos=chaos, config=supervision, seeds=seeds,
+            netchaos=net_chaos,
         )
     raise SimulationError(
         f"unknown grid engine {engine!r} (have: {', '.join(ENGINE_NAMES)})"
@@ -645,11 +654,13 @@ def create_engine(
 
 
 def _make_supervised(
-    specs, tick, seed, workers, *, chaos, supervision, transport, seeds
+    specs, tick, seed, workers, *, chaos, supervision, transport, seeds,
+    net_chaos=None,
 ):
     from repro.sim.supervisor import SupervisedShardedEngine
 
     return SupervisedShardedEngine(
         specs, tick, seed, workers,
         chaos=chaos, config=supervision, transport=transport, seeds=seeds,
+        netchaos=net_chaos,
     )

@@ -23,8 +23,16 @@ reserves for them (16+)::
     MSG_SHARD_ADVANCE   parent -> agent  {"cmds", "n_ticks", "frac", "intern"}
     MSG_SHARD_SNAPSHOT  parent -> agent  [node names]
     MSG_SHARD_CLOSE     parent -> agent  None
-    MSG_SHARD_OK        agent -> parent  reply value
-    MSG_SHARD_ERR       agent -> parent  error text
+    MSG_SHARD_OK        agent -> parent  (incarnation, epoch, reply value)
+    MSG_SHARD_ERR       agent -> parent  (incarnation, epoch, error text)
+
+Every agent reply is **fenced**: it carries the incarnation token the
+agent was spawned with and the epoch it answers, as a plain
+``(incarnation, epoch, payload)`` tuple wrapped by :func:`pack_fenced`
+and checked by :func:`split_fenced`. The fence is what makes recovery
+split-brain-safe under network partitions — a healed link can deliver a
+reply computed by a stale incarnation, and the parent rejects it by
+token instead of double-applying the epoch.
 """
 
 from __future__ import annotations
@@ -226,3 +234,32 @@ def decode_shard(payload: bytes | memoryview) -> tuple[int, object]:
     if zlib.crc32(body) != crc:
         raise WireCorruptError("shard message checksum mismatch")
     return msg_type, decode_value(body)
+
+
+def pack_fenced(
+    msg_type: int, incarnation: int, epoch: int, payload: object
+) -> bytes:
+    """One fenced agent reply: ``(incarnation, epoch, payload)``."""
+    return pack_shard(msg_type, (incarnation, epoch, payload))
+
+
+def split_fenced(value: object) -> tuple[int, int, object]:
+    """Validate and unpack a fenced reply value.
+
+    Raises:
+        WireCorruptError: the value is not an ``(int, int, payload)``
+            triple — an unfenced or garbled reply.
+    """
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 3
+        or not isinstance(value[0], int)
+        or not isinstance(value[1], int)
+        or isinstance(value[0], bool)
+        or isinstance(value[1], bool)
+    ):
+        raise WireCorruptError(
+            f"reply is not a fenced (incarnation, epoch, payload) "
+            f"triple: {value!r:.120}"
+        )
+    return value[0], value[1], value[2]

@@ -35,6 +35,18 @@ variate per incarnation, so a restarted worker normally survives the
 retry (transient faults); ``at_epochs`` faults marked ``persistent``
 refire on every incarnation, which is exactly the poison-epoch path.
 
+Network chaos. :class:`~repro.sim.netchaos.NetChaosPlan` breaks the
+*links* instead of the workers: requests lost to a partition surface as
+``WorkerFailure(kind="unreachable")`` and walk the same
+restart/replay/adopt/degrade ladder — a partition that outlives
+``poison_limit`` attempts is adopted exactly like a poison epoch. The
+split-brain hazard (a half-open link where the old agent *applied* the
+epoch before the supervisor retried it through a new incarnation) is
+closed by epoch fencing in the transport layer: the stale reply is
+rejected by its ``(incarnation, epoch)`` token, counted in
+:meth:`SupervisedShardedEngine.fenced_replies`, and the conformance
+digest stays bitwise-equal to the serial engine's.
+
 Determinism of the event log. Supervisor events carry only values that
 are pure functions of (scenario, seed, chaos plan): worker index, epoch
 number, failure kind, incarnation, replayed-epoch counts, configured
@@ -44,7 +56,6 @@ the same chaos seed produce identical logs.
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -52,9 +63,11 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import ConfigError, SimulationError, WorkerFailure
 from repro.sim.parallel import Shard, _entry_list
 from repro.sim.transport import CRASH_EXIT, make_transport
+from repro.util.backoff import BackoffPolicy
 
 if TYPE_CHECKING:
     from repro.sim.grid import NodeSpec
+    from repro.sim.netchaos import NetChaosPlan
 
 __all__ = [
     "CRASH_EXIT",
@@ -203,6 +216,18 @@ class Supervision:
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ConfigError("backoff values must be >= 0")
 
+    def policy(self) -> BackoffPolicy:
+        """The restart ladder as the shared retry shape.
+
+        The supervisor, the fleet and the serve client all sleep through
+        :class:`~repro.util.backoff.BackoffPolicy`, so the ladders cannot
+        drift apart; the values recorded in the event log are exactly
+        ``policy().delay(attempt)``.
+        """
+        return BackoffPolicy(
+            base=self.backoff_base, factor=2.0, cap=self.backoff_cap
+        )
+
 
 #: Keys every well-formed epoch report carries (garble detection).
 _REPORT_KEYS = frozenset(
@@ -260,6 +285,7 @@ class SupervisedShardedEngine:
         seeds: list[int] | None = None,
         prior_epochs: list[tuple[list, int, float]] | None = None,
         worker_base: int = 0,
+        netchaos: "NetChaosPlan | None" = None,
     ) -> None:
         if workers < 1:
             raise SimulationError(
@@ -268,8 +294,10 @@ class SupervisedShardedEngine:
         self.workers = min(workers, len(specs))
         self.config = config if config is not None else Supervision()
         self.chaos = chaos
+        self.netchaos = netchaos
         self.tick = tick
         self.transport_name = transport
+        self._policy = self.config.policy()
         #: Offset added to each slot index to form the *global* worker id
         #: (a fleet supervisor numbers workers across hosts): chaos
         #: schedules, failure messages and event logs all use global ids,
@@ -288,7 +316,9 @@ class SupervisedShardedEngine:
             "replayed_epochs": 0,
             "adopted_shards": 0,
             "degraded": False,
-            "failures": {"crash": 0, "hang": 0, "garbled": 0},
+            "failures": {
+                "crash": 0, "hang": 0, "garbled": 0, "unreachable": 0,
+            },
         }
         self.degraded = False
         self._send_failures: dict[int, WorkerFailure] = {}
@@ -302,7 +332,7 @@ class SupervisedShardedEngine:
                     self._node_worker[entry[0].name] = w
             state = _WorkerState(index=w, entries=entries)
             state.transport = make_transport(
-                transport, worker_base + w, entries, tick, chaos
+                transport, worker_base + w, entries, tick, chaos, netchaos
             )
             self._states.append(state)
         # A fleet supervisor resurrecting a whole host passes the host's
@@ -467,12 +497,7 @@ class SupervisedShardedEngine:
             if self.stats["restarts"] >= self.config.restart_budget:
                 self._degrade(self._gid(state), epoch)
                 return self._adopt(state, need_report, reason="degrade")
-            backoff = min(
-                self.config.backoff_base * (2 ** (attempts - 1)),
-                self.config.backoff_cap,
-            )
-            if backoff > 0:
-                time.sleep(backoff)
+            backoff = self._policy.sleep(attempts)
             self.stats["restarts"] += 1
             state.incarnation += 1
             replay = state.journal[:-1] if need_report else list(state.journal)
@@ -623,6 +648,19 @@ class SupervisedShardedEngine:
             for s in self._states
             if s.shard is None and s.transport.is_alive()
         )
+
+    def fenced_replies(self) -> int:
+        """Stale replies rejected by their incarnation/epoch fence.
+
+        Each one is a split-brain straggler — an answer computed behind a
+        healed partition by a superseded incarnation — that without
+        fencing would have been merged as a second application of its
+        epoch."""
+        return sum(s.transport.fenced_rejected for s in self._states)
+
+    def net_faults(self) -> int:
+        """Round-trips the net-chaos plan faulted across all links."""
+        return sum(s.transport.net_faults for s in self._states)
 
     def close(self) -> None:
         for state in self._states:

@@ -23,13 +23,34 @@ process/SSH/cluster ``Pool`` ladder of vusec's instrumentation-infra:
 
 Every transport enforces the same failure taxonomy: a round-trip against
 a dead peer raises :class:`~repro.errors.WorkerFailure` ``kind="crash"``,
-a missed deadline ``"hang"``, an unparseable reply ``"garbled"``, and any
-operation after :meth:`ShardTransport.close` ``"closed"`` (so a send
-racing engine teardown is a typed event, not a stray
-``BrokenPipeError``). Chaos (:class:`~repro.sim.supervisor.GridFaultPlan`)
-runs inside the agent for process transports and is emulated
-deterministically by the in-process transport, so fault schedules and
-supervisor event logs are transport-invariant.
+a missed deadline ``"hang"``, an unparseable reply ``"garbled"``, a
+message lost to a network fault ``"unreachable"``, and any operation
+after :meth:`ShardTransport.close` ``"closed"`` (so a send racing engine
+teardown is a typed event, not a stray ``BrokenPipeError``). Chaos
+(:class:`~repro.sim.supervisor.GridFaultPlan`) runs inside the agent for
+process transports and is emulated deterministically by the in-process
+transport, so fault schedules and supervisor event logs are
+transport-invariant.
+
+Two concerns ride on the round-trip uniformly across fabrics, both
+implemented once in :class:`ShardTransport` around the subclasses' raw
+``_spawn_raw``/``_send_raw``/``_recv_raw`` primitives:
+
+* **Network chaos** (:class:`~repro.sim.netchaos.NetChaosPlan`): the
+  parent-side message layer is where partitions bite, so the base class
+  consults the plan per (worker link, epoch, attempt) before a request
+  touches the wire. A partitioned or dropped request is simply never
+  sent; the reply deadline collapses into
+  ``WorkerFailure(kind="unreachable")``. A half-open or reordered link
+  delivers the request — the agent *applies* the epoch — but the genuine
+  reply is stranded parent-side in a stash, surfacing only after the
+  link heals (the split-brain shape).
+
+* **Epoch fencing**: every agent reply carries ``(incarnation, epoch)``
+  and the parent tracks the one fence the in-flight round-trip may
+  match. Stashed or duplicated replies from a stale incarnation are
+  rejected and counted (``fenced_rejected``) instead of being merged, so
+  a healed partition can never double-apply an epoch.
 """
 
 from __future__ import annotations
@@ -53,16 +74,25 @@ from repro.sim.shardwire import (
     MSG_SHARD_OK,
     MSG_SHARD_SNAPSHOT,
     decode_shard,
+    pack_fenced,
     pack_shard,
+    split_fenced,
 )
 
 if TYPE_CHECKING:
     from repro.sim.grid import NodeSpec
+    from repro.sim.netchaos import NetChaosPlan
     from repro.sim.supervisor import GridFaultPlan
 
 
 #: Exit code of a chaos-crashed worker (deterministic, unlike a signal).
 CRASH_EXIT = 17
+
+#: Net-fault kinds where the request is lost before it touches the wire.
+_LOST_REQUEST = frozenset({"partition", "drop"})
+
+#: Net-fault kinds where the request lands but the reply is stranded.
+_LOST_REPLY = frozenset({"half_open", "reorder"})
 
 
 def _hang() -> None:  # pragma: no cover - runs in a worker process
@@ -91,12 +121,17 @@ def _agent_loop(
     epoch counter starting past the replayed entries, so fault schedules
     line up with the supervisor's global epoch numbering and replay itself
     is never faulted.
+
+    Every reply is fenced with ``(incarnation, reply epoch)`` — captured
+    *before* dispatch, so an advance that raises still fences with the
+    epoch it was answering, and the parent can tell a genuine error reply
+    from a stale straggler.
     """
     shard = Shard(entries, tick)
     for commands, n_ticks, frac in journal:
         shard.advance(commands, n_ticks, frac)
     epoch = len(journal)
-    channel.send(("ok", "ready"))
+    channel.send(("ok", "ready", incarnation, epoch))
     while True:
         try:
             msg = channel.recv()
@@ -105,6 +140,7 @@ def _agent_loop(
         tag = msg[0]
         if tag == "close":
             break
+        reply_epoch = epoch
         try:
             if tag == "advance":
                 _, commands, n_ticks, frac = msg
@@ -117,18 +153,32 @@ def _agent_loop(
                     os._exit(CRASH_EXIT)
                 if fault == "hang":
                     _hang()
-                if fault == "garble":
-                    channel.send(("ok", {"garbled": epoch}))
-                    epoch += 1
-                    continue
                 epoch += 1
-                channel.send(("ok", shard.advance(commands, n_ticks, frac)))
+                if fault == "garble":
+                    channel.send(
+                        ("ok", {"garbled": reply_epoch}, incarnation,
+                         reply_epoch)
+                    )
+                    continue
+                channel.send(
+                    ("ok", shard.advance(commands, n_ticks, frac),
+                     incarnation, reply_epoch)
+                )
             elif tag == "snapshot":
-                channel.send(("ok", shard.snapshot_many(msg[1])))
+                channel.send(
+                    ("ok", shard.snapshot_many(msg[1]), incarnation,
+                     reply_epoch)
+                )
             else:
-                channel.send(("error", f"unknown message {tag!r}"))
+                channel.send(
+                    ("error", f"unknown message {tag!r}", incarnation,
+                     reply_epoch)
+                )
         except Exception as exc:
-            channel.send(("error", f"{type(exc).__name__}: {exc}"))
+            channel.send(
+                ("error", f"{type(exc).__name__}: {exc}", incarnation,
+                 reply_epoch)
+            )
     channel.close()
 
 
@@ -139,7 +189,14 @@ class _PipeChannel:  # pragma: no cover - runs in a worker process
         self.conn = conn
 
     def send(self, msg: tuple) -> None:
-        self.conn.send_bytes(pickle.dumps(msg))
+        try:
+            self.conn.send_bytes(pickle.dumps(msg))
+        except OSError:
+            # Half-closed parent (teardown race, partition heal): the
+            # reply is undeliverable; dropping it lets the loop reach
+            # the EOF on its next recv and exit cleanly instead of
+            # dying with a BrokenPipeError traceback.
+            pass
 
     def recv(self) -> tuple:
         try:
@@ -161,9 +218,12 @@ class _SocketChannel:  # pragma: no cover - runs in a worker process
         self._intern: dict[int, Any] = {}
 
     def send(self, msg: tuple) -> None:
-        tag, payload = msg
+        tag, payload, inc, epoch = msg
         msg_type = MSG_SHARD_OK if tag == "ok" else MSG_SHARD_ERR
-        self.sock.sendall(pack_shard(msg_type, payload))
+        try:
+            self.sock.sendall(pack_fenced(msg_type, inc, epoch, payload))
+        except OSError:
+            pass  # half-closed parent: see _PipeChannel.send
 
     def recv(self) -> tuple:
         while not self.queue:
@@ -236,10 +296,14 @@ def _socket_agent_main(
 class ShardTransport:
     """One worker slot's link: spawn/replay, guarded round-trips, teardown.
 
-    Subclasses implement the fabric; the failure taxonomy, byte/message
-    accounting and the closed-state contract are shared. ``worker_id`` is
-    the *global* worker index (fleet supervisors offset it per host) used
-    in failure messages and chaos decisions.
+    Subclasses implement the fabric through ``_spawn_raw``, ``_send_raw``
+    and ``_recv_raw`` (raw replies are fenced 4-tuples ``(tag, payload,
+    incarnation, epoch)``); the failure taxonomy, byte/message
+    accounting, the closed-state contract, network-chaos injection and
+    epoch fencing are shared and live in the public :meth:`spawn` /
+    :meth:`send` / :meth:`recv` wrappers. ``worker_id`` is the *global*
+    worker index (fleet supervisors offset it per host) used in failure
+    messages and as the chaos *link* id.
     """
 
     kind = "base"
@@ -250,16 +314,42 @@ class ShardTransport:
         entries: list[tuple["NodeSpec", int]],
         tick: float,
         chaos: "GridFaultPlan | None" = None,
+        netchaos: "NetChaosPlan | None" = None,
     ) -> None:
         self.worker_id = worker_id
         self.entries = entries
         self.tick = tick
         self.chaos = chaos
+        self.netchaos = netchaos
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages = 0
         self.proc: Any = None
+        # -- fencing state ----------------------------------------------------
+        #: Incarnation of the agent currently holding this slot.
+        self.incarnation = 0
+        #: Replies rejected because their fence was stale (split-brain
+        #: stragglers that would otherwise double-apply an epoch).
+        self.fenced_rejected = 0
+        #: Round-trips the net-chaos plan faulted on this link.
+        self.net_faults = 0
+        #: The one ``(incarnation, epoch)`` the in-flight reply may carry.
+        self._expect: tuple[int, int] = (0, 0)
+        #: Next advance's global epoch number (journal length + live sends).
+        self._net_epoch = 0
+        # Attempt axis of the heal schedule: how many times the same
+        # epoch's round-trip has been tried on this link. Survives
+        # respawns — a partition heals after `duration` *attempts*, and
+        # every attempt rides a fresh incarnation.
+        self._attempt_epoch = -1
+        self._attempt_count = 0
+        #: Fault armed by :meth:`send`, resolved by the matching recv.
+        self._pending_fault: tuple[str, int] | None = None
+        #: Replies stranded by a cut link, delivered (and fence-rejected)
+        #: after it heals. Parent-side, so it survives agent respawns —
+        #: exactly like bytes buffered in a real healed TCP stream.
+        self._stash: list[tuple] = []
 
     # -- failure constructors -----------------------------------------------
     def _closed_failure(self) -> WorkerFailure:
@@ -296,16 +386,123 @@ class ShardTransport:
             kind="garbled",
         )
 
+    def _unreachable_failure(
+        self, net_kind: str, epoch: int, timeout: float
+    ) -> WorkerFailure:
+        return WorkerFailure(
+            f"grid worker {self.worker_id} is unreachable "
+            f"(net {net_kind} on epoch {epoch}, {timeout:g}s deadline)",
+            worker=self.worker_id,
+            kind="unreachable",
+        )
+
     # -- the contract ---------------------------------------------------------
     def spawn(self, replay: list, incarnation: int) -> None:
-        """(Re)start the agent, resurrecting the shard from ``replay``."""
-        raise NotImplementedError
+        """(Re)start the agent, resurrecting the shard from ``replay``.
+
+        Sets the fence the ready handshake must carry; the stranded-reply
+        stash deliberately survives into the new incarnation (that is the
+        split-brain scenario fencing exists for).
+        """
+        self.incarnation = incarnation
+        self._net_epoch = len(replay)
+        self._expect = (incarnation, len(replay))
+        self._pending_fault = None
+        self._spawn_raw(replay, incarnation)
 
     def send(self, msg: tuple) -> None:
-        raise NotImplementedError
+        """Send one request, consulting the net-chaos plan first.
+
+        A faulted advance may never touch the wire at all (partition /
+        drop): the request is lost exactly as a cut link loses it, and
+        the paired :meth:`recv` raises ``kind="unreachable"`` instead of
+        waiting out the deadline.
+        """
+        if self.closed:
+            raise self._closed_failure()
+        tag = msg[0]
+        if tag == "advance":
+            epoch = self._net_epoch
+            self._expect = (self.incarnation, epoch)
+            self._net_epoch = epoch + 1
+            fault = self._net_decide(epoch)
+            if fault is not None:
+                self.net_faults += 1
+                self._pending_fault = (fault, epoch)
+                if fault in _LOST_REQUEST:
+                    return
+        elif tag == "snapshot":
+            self._expect = (self.incarnation, self._net_epoch)
+        self._send_raw(msg)
 
     def recv(self, timeout: float) -> tuple[str, Any]:
-        """One reply ``(tag, payload)`` under a deadline."""
+        """One reply ``(tag, payload)`` under a deadline, fence-checked.
+
+        Replies whose ``(incarnation, epoch)`` fence does not match the
+        in-flight round-trip — stragglers from a healed cut, duplicates,
+        answers computed by a superseded incarnation — are discarded and
+        counted in ``fenced_rejected``, never surfaced to the engine.
+        """
+        if self.closed:
+            raise self._closed_failure()
+        reply = self._next_reply(timeout)
+        while (reply[2], reply[3]) != self._expect:
+            self.fenced_rejected += 1
+            reply = self._next_reply(timeout)
+        return reply[0], reply[1]
+
+    def _net_decide(self, epoch: int) -> str | None:
+        """One heal-schedule step: the fault (if any) for this attempt."""
+        if self.netchaos is None:
+            return None
+        if self._attempt_epoch != epoch:
+            self._attempt_epoch = epoch
+            self._attempt_count = 0
+        attempt = self._attempt_count
+        self._attempt_count += 1
+        return self.netchaos.decide(self.worker_id, epoch, attempt)
+
+    def _next_reply(self, timeout: float) -> tuple:
+        """Next raw reply: resolve the armed fault, then stash, then wire."""
+        fault = self._pending_fault
+        if fault is not None:
+            self._pending_fault = None
+            net_kind, epoch = fault
+            if net_kind in _LOST_REQUEST:
+                raise self._unreachable_failure(net_kind, epoch, timeout)
+            if net_kind in _LOST_REPLY:
+                # The agent got the request and applied the epoch, but
+                # the reply is stranded behind the cut: capture it for
+                # post-heal delivery, then fail the round-trip.
+                try:
+                    self._stash.append(self._recv_raw(timeout))
+                except WorkerFailure:
+                    pass  # the agent also died; the cut adds nothing
+                raise self._unreachable_failure(net_kind, epoch, timeout)
+            if net_kind == "duplicate":
+                reply = self._recv_raw(timeout)
+                self._stash.append(reply)
+                return reply
+            # "delay": injected link latency; at or past the deadline it
+            # is indistinguishable from a partition.
+            latency = self.netchaos.latency_of(self.worker_id, epoch)
+            if latency >= timeout:
+                raise self._unreachable_failure(net_kind, epoch, timeout)
+            if latency > 0.0:
+                time.sleep(latency)
+        if self._stash:
+            return self._stash.pop(0)
+        return self._recv_raw(timeout)
+
+    # -- fabric primitives ----------------------------------------------------
+    def _spawn_raw(self, replay: list, incarnation: int) -> None:
+        raise NotImplementedError
+
+    def _send_raw(self, msg: tuple) -> None:
+        raise NotImplementedError
+
+    def _recv_raw(self, timeout: float) -> tuple:
+        """One fenced reply ``(tag, payload, incarnation, epoch)``."""
         raise NotImplementedError
 
     def is_alive(self) -> bool:
@@ -328,7 +525,16 @@ class ShardTransport:
         """Join (then escalate) and release every OS resource."""
 
     def close(self, grace: float = 5.0) -> None:
-        self.request_close()
+        """Full teardown; never raises a transport error.
+
+        Teardown runs on failure paths — an ECONNRESET or BrokenPipeError
+        from a half-closed peer during the BYE exchange must not mask the
+        original :class:`WorkerFailure` the caller is unwinding with.
+        """
+        try:
+            self.request_close()
+        except (WorkerFailure, ConnectionError, OSError):
+            pass
         self.finish_close(grace)
 
     # shared process teardown helper
@@ -354,41 +560,39 @@ class InprocTransport(ShardTransport):
     failure kinds at the same epochs as a process transport would, minus
     the OS: a "crash" marks the slot dead and raises, a "hang" raises
     without sleeping out a deadline, a "garble" returns the same
-    malformed reply the real agent sends.
+    malformed reply the real agent sends. Net chaos needs no emulation
+    at all: it lives entirely in the base class, so the in-process
+    transport exhibits byte-for-byte the same unreachable/stale-reply
+    schedule as the process fabrics.
     """
 
     kind = "inproc"
 
-    def __init__(self, worker_id, entries, tick, chaos=None) -> None:
-        super().__init__(worker_id, entries, tick, chaos)
+    def __init__(self, worker_id, entries, tick, chaos=None,
+                 netchaos=None) -> None:
+        super().__init__(worker_id, entries, tick, chaos, netchaos)
         self.shard: Shard | None = None
-        self.incarnation = 0
         self._epoch = 0
         self._dead = False
         self._inbox: list[tuple] = []
         self._pending: list[tuple] = []
 
-    def spawn(self, replay: list, incarnation: int) -> None:
+    def _spawn_raw(self, replay: list, incarnation: int) -> None:
         self.shard = Shard(self.entries, self.tick)
         for commands, n_ticks, frac in replay:
             self.shard.advance(commands, n_ticks, frac)
         self._epoch = len(replay)
-        self.incarnation = incarnation
         self._dead = False
         self._inbox = []
-        self._pending = [("ok", "ready")]
+        self._pending = [("ok", "ready", incarnation, len(replay))]
 
-    def send(self, msg: tuple) -> None:
-        if self.closed:
-            raise self._closed_failure()
+    def _send_raw(self, msg: tuple) -> None:
         if self._dead:
             raise self._crash_failure()
         self._inbox.append(msg)
         self.messages += 1
 
-    def recv(self, timeout: float) -> tuple[str, Any]:
-        if self.closed:
-            raise self._closed_failure()
+    def _recv_raw(self, timeout: float) -> tuple:
         if self._pending:
             return self._pending.pop(0)
         if self._dead:
@@ -397,12 +601,15 @@ class InprocTransport(ShardTransport):
             raise self._hang_failure(timeout)
         msg = self._inbox.pop(0)
         tag = msg[0]
+        inc = self.incarnation
+        # Fence with the pre-dispatch epoch, like the real agent loop: an
+        # advance that raises must still answer the epoch it was asked.
+        reply_epoch = self._epoch
         try:
             if tag == "advance":
                 _, commands, n_ticks, frac = msg
-                epoch = self._epoch
                 fault = (
-                    self.chaos.decide(self.worker_id, epoch, self.incarnation)
+                    self.chaos.decide(self.worker_id, reply_epoch, inc)
                     if self.chaos is not None
                     else None
                 )
@@ -411,17 +618,22 @@ class InprocTransport(ShardTransport):
                     raise self._crash_failure()
                 if fault == "hang":
                     raise self._hang_failure(timeout)
-                self._epoch = epoch + 1
+                self._epoch = reply_epoch + 1
                 if fault == "garble":
-                    return ("ok", {"garbled": epoch})
-                return ("ok", self.shard.advance(commands, n_ticks, frac))
+                    return ("ok", {"garbled": reply_epoch}, inc, reply_epoch)
+                return (
+                    "ok", self.shard.advance(commands, n_ticks, frac),
+                    inc, reply_epoch,
+                )
             if tag == "snapshot":
-                return ("ok", self.shard.snapshot_many(msg[1]))
-            return ("error", f"unknown message {tag!r}")
+                return ("ok", self.shard.snapshot_many(msg[1]), inc,
+                        reply_epoch)
+            return ("error", f"unknown message {tag!r}", inc, reply_epoch)
         except WorkerFailure:
             raise
         except Exception as exc:
-            return ("error", f"{type(exc).__name__}: {exc}")
+            return ("error", f"{type(exc).__name__}: {exc}", inc,
+                    reply_epoch)
 
     def is_alive(self) -> bool:
         return self.shard is not None and not self._dead and not self.closed
@@ -451,12 +663,13 @@ class ForkTransport(ShardTransport):
 
     kind = "fork"
 
-    def __init__(self, worker_id, entries, tick, chaos=None) -> None:
-        super().__init__(worker_id, entries, tick, chaos)
+    def __init__(self, worker_id, entries, tick, chaos=None,
+                 netchaos=None) -> None:
+        super().__init__(worker_id, entries, tick, chaos, netchaos)
         self._ctx = multiprocessing.get_context()
         self.conn = None
 
-    def spawn(self, replay: list, incarnation: int) -> None:
+    def _spawn_raw(self, replay: list, incarnation: int) -> None:
         parent, child = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_fork_agent_main,
@@ -471,8 +684,8 @@ class ForkTransport(ShardTransport):
         self.conn = parent
         self.proc = proc
 
-    def send(self, msg: tuple) -> None:
-        if self.closed or self.conn is None:
+    def _send_raw(self, msg: tuple) -> None:
+        if self.conn is None:
             raise self._closed_failure()
         blob = pickle.dumps(msg)
         try:
@@ -484,8 +697,8 @@ class ForkTransport(ShardTransport):
         self.bytes_sent += len(blob)
         self.messages += 1
 
-    def recv(self, timeout: float) -> tuple[str, Any]:
-        if self.closed or self.conn is None:
+    def _recv_raw(self, timeout: float) -> tuple:
+        if self.conn is None:
             raise self._closed_failure()
         conn, proc = self.conn, self.proc
         remaining = timeout
@@ -512,7 +725,12 @@ class ForkTransport(ShardTransport):
             raise self._garbled_failure(
                 f"sent an unpicklable reply: {exc}"
             ) from exc
-        if not (isinstance(msg, tuple) and len(msg) == 2):
+        if not (
+            isinstance(msg, tuple)
+            and len(msg) == 4
+            and isinstance(msg[2], int)
+            and isinstance(msg[3], int)
+        ):
             raise self._garbled_failure(f"sent a malformed reply: {msg!r}")
         return msg
 
@@ -562,8 +780,9 @@ class SocketTransport(ShardTransport):
 
     kind = "socket"
 
-    def __init__(self, worker_id, entries, tick, chaos=None) -> None:
-        super().__init__(worker_id, entries, tick, chaos)
+    def __init__(self, worker_id, entries, tick, chaos=None,
+                 netchaos=None) -> None:
+        super().__init__(worker_id, entries, tick, chaos, netchaos)
         self._ctx = multiprocessing.get_context()
         self.sock: socket.socket | None = None
         self._reader = MessageReader()
@@ -591,7 +810,7 @@ class SocketTransport(ShardTransport):
         listener.settimeout(0.05)
         self.listener: socket.socket | None = listener
 
-    def spawn(self, replay: list, incarnation: int) -> None:
+    def _spawn_raw(self, replay: list, incarnation: int) -> None:
         if self.sock is not None:
             try:
                 self.sock.close()
@@ -668,8 +887,8 @@ class SocketTransport(ShardTransport):
             return pack_shard(MSG_SHARD_CLOSE, None)
         raise SimulationError(f"unknown transport message {tag!r}")
 
-    def send(self, msg: tuple) -> None:
-        if self.closed or self.sock is None:
+    def _send_raw(self, msg: tuple) -> None:
+        if self.sock is None:
             raise self._closed_failure()
         data = self._encode(msg)
         try:
@@ -681,8 +900,8 @@ class SocketTransport(ShardTransport):
         self.bytes_sent += len(data)
         self.messages += 1
 
-    def recv(self, timeout: float) -> tuple[str, Any]:
-        if self.closed or self.sock is None:
+    def _recv_raw(self, timeout: float) -> tuple:
+        if self.sock is None:
             raise self._closed_failure()
         remaining = timeout
         while not self._queue:
@@ -713,14 +932,15 @@ class SocketTransport(ShardTransport):
                 ) from exc
         try:
             msg_type, value = decode_shard(self._queue.pop(0))
+            inc, epoch, payload = split_fenced(value)
         except WireError as exc:
             raise self._garbled_failure(
                 f"sent an undecodable message: {exc}"
             ) from exc
         if msg_type == MSG_SHARD_OK:
-            return ("ok", value)
+            return ("ok", payload, inc, epoch)
         if msg_type == MSG_SHARD_ERR:
-            return ("error", value)
+            return ("error", payload, inc, epoch)
         raise self._garbled_failure(
             f"sent an unexpected message type {msg_type}"
         )
@@ -747,6 +967,9 @@ class SocketTransport(ShardTransport):
             try:
                 self.sock.sendall(pack_shard(MSG_SHARD_CLOSE, None))
             except OSError:
+                # A peer that half-closed first answers the BYE with
+                # ECONNRESET/EPIPE; swallowing it here keeps teardown
+                # from masking whatever failure triggered it.
                 pass
 
     def finish_close(self, grace: float = 5.0) -> None:
@@ -781,14 +1004,15 @@ def make_transport(
     entries: list[tuple["NodeSpec", int]],
     tick: float,
     chaos: "GridFaultPlan | None" = None,
+    netchaos: "NetChaosPlan | None" = None,
 ) -> ShardTransport:
     """Transport factory used by the sharded engines."""
     if name == "inproc":
-        return InprocTransport(worker_id, entries, tick, chaos)
+        return InprocTransport(worker_id, entries, tick, chaos, netchaos)
     if name == "fork":
-        return ForkTransport(worker_id, entries, tick, chaos)
+        return ForkTransport(worker_id, entries, tick, chaos, netchaos)
     if name == "socket":
-        return SocketTransport(worker_id, entries, tick, chaos)
+        return SocketTransport(worker_id, entries, tick, chaos, netchaos)
     raise SimulationError(
         f"unknown shard transport {name!r} "
         f"(have: {', '.join(TRANSPORT_NAMES)})"

@@ -8,12 +8,14 @@ from repro.util.units import (
     format_seconds,
     parse_size,
 )
+from repro.util.backoff import BackoffPolicy
 from repro.util.ringbuffer import RingBuffer
 from repro.util.stats import OnlineStats, ewma
 from repro.util.tabulate import Align, ColumnFormat, render_table
 
 __all__ = [
     "Align",
+    "BackoffPolicy",
     "ColumnFormat",
     "OnlineStats",
     "RingBuffer",

@@ -694,6 +694,78 @@ def _crash_recovery(ex: Execution) -> list[Violation]:
     return out
 
 
+@oracle("net-partition-recovery")
+def _net_partition_recovery(ex: Execution) -> list[Violation]:
+    """Link faults never change what the system computes.
+
+    The split-brain contract, both places it applies:
+
+    * Grid: the supervised engine under partitions/drops/half-opens
+      must match a clean engine's digest bitwise — no epoch applied
+      twice (a stale reply that slipped the fence would double-count),
+      none lost (a swallowed unreachable would drop one). Every
+      unreachable failure must leave a recovery trace, and a fenced
+      reply can only exist where a link fault fired.
+    * Serve: when the daemon cut client connections, at least one
+      subscriber must actually have exercised the reconnect path (the
+      digest bar itself rides on the served-stream oracle).
+    """
+    if not ex.scenario.net_chaotic:
+        return []
+    out: list[Violation] = []
+    if "supervised" in ex.grid:
+        clean = [e for e in ex.grid if e != "supervised"]
+        if clean:
+            reference = clean[0]
+            for diff in deep_diff(ex.grid[reference], ex.grid["supervised"]):
+                out.append(
+                    Violation(
+                        "net-partition-recovery",
+                        f"supervised run under link faults diverges from "
+                        f"clean {reference!r}: {diff}",
+                    )
+                )
+        meta = ex.grid_meta.get("supervised")
+        if meta is not None:
+            stats = meta["stats"]
+            unreachable = stats.get("failures", {}).get("unreachable", 0)
+            recoveries = {"restart", "adopt", "degrade"}
+            recovered = sum(
+                1 for e in meta["events"] if e.get("event") in recoveries
+            )
+            if unreachable and not recovered:
+                out.append(
+                    Violation(
+                        "net-partition-recovery",
+                        f"{unreachable} unreachable failures observed but "
+                        "the event log records no restart/adopt/degrade",
+                    )
+                )
+            if stats.get("fenced_replies", 0) and not stats.get(
+                "net_faults", 0
+            ):
+                out.append(
+                    Violation(
+                        "net-partition-recovery",
+                        f"{stats['fenced_replies']} stale replies fenced "
+                        "on a run with no injected link faults",
+                    )
+                )
+    if ex.served is not None and ex.served.get("net_cuts", 0):
+        reconnects = sum(
+            c.get("reconnects", 0) for c in ex.served["clients"].values()
+        )
+        if not reconnects:
+            out.append(
+                Violation(
+                    "net-partition-recovery",
+                    f"daemon cut {ex.served['net_cuts']} connections but "
+                    "no client reconnected (streams cannot be complete)",
+                )
+            )
+    return out
+
+
 @oracle("worker-leaks")
 def _worker_leaks(ex: Execution) -> list[Violation]:
     """No grid run leaves worker processes alive after close — chaos,

@@ -37,6 +37,7 @@ from repro.sim.arch import get_arch
 from repro.sim.events import Event
 from repro.sim.grid import Grid, NodeSpec, QueueSpec
 from repro.sim.machine import SimMachine
+from repro.sim.netchaos import NetChaosPlan, NetFaultSpec, default_net_specs
 from repro.sim.parallel import node_snapshot
 from repro.sim.supervisor import (
     GridFaultPlan,
@@ -289,9 +290,15 @@ def run_served(scenario: Scenario) -> dict[str, Any]:
     task, one with a server-side derived column over the screen's first
     event.
 
+    When the scenario configures net chaos, the daemon runs under the
+    seeded link-cut schedule and every subscriber auto-reconnects with
+    resume-by-seq — the bitwise bar against the solo run is unchanged;
+    only the path to it now crosses severed connections.
+
     Returns one dict per client: its subscription (as JSON data), the
     canonical digest of every received frame, the sequence numbers, the
-    client's gap count, and the daemon's BYE accounting.
+    client's gap count, reconnect count, and the daemon's BYE
+    accounting; plus the daemon's cut count under ``net_cuts``.
     """
     import asyncio
 
@@ -300,6 +307,7 @@ def run_served(scenario: Scenario) -> dict[str, Any]:
     from repro.serve.daemon import CollectorDaemon
     from repro.serve.protocol import frame_digest
     from repro.serve.session import Subscription
+    from repro.util.backoff import BackoffPolicy
 
     machine = _build_machine(scenario)
     _plan_spawns(scenario, machine)
@@ -325,12 +333,18 @@ def run_served(scenario: Scenario) -> dict[str, Any]:
                 ("X_SERVE", f"{canonical_name(events[0].name)} / delta_t"),
             )
         )
+    netchaos = _net_chaos_plan(scenario)
     daemon = CollectorDaemon(
         sampler,
         advance=lambda: machine.run_for(scenario.delay),
         iterations=scenario.iterations,
         min_clients=len(subs),
+        netchaos=netchaos,
     )
+    # Under link cuts the clients must survive and resume; without them
+    # the old die-on-cut shape keeps the daemon honest about BYEs.
+    reconnect = netchaos is not None
+    ladder = BackoffPolicy(base=0.0)  # in-process: nothing to wait out
 
     async def go() -> list:
         port = await daemon.start()
@@ -338,7 +352,13 @@ def run_served(scenario: Scenario) -> dict[str, Any]:
             asyncio.gather(
                 *(
                     collect(
-                        "127.0.0.1", port, client_id=name, subscription=sub
+                        "127.0.0.1",
+                        port,
+                        client_id=name,
+                        subscription=sub,
+                        reconnect=reconnect,
+                        backoff=ladder,
+                        max_reconnects=64,
                     )
                     for name, sub in subs.items()
                 )
@@ -356,9 +376,14 @@ def run_served(scenario: Scenario) -> dict[str, Any]:
             "digests": [frame_digest(frame) for _, frame in received],
             "seqs": [seq for seq, _ in received],
             "gaps": client.gaps,
+            "reconnects": client.reconnects,
             "stats": (client.bye or {}).get("stats"),
         }
-    return {"clients": clients, "hub": daemon.hub.stats()}
+    return {
+        "clients": clients,
+        "hub": daemon.hub.stats(),
+        "net_cuts": daemon.net_cuts,
+    }
 
 
 #: Events the bare-machine equivalence oracle opens on every immediate
@@ -424,6 +449,34 @@ def _grid_chaos_plan(scenario: Scenario) -> GridFaultPlan | None:
     return GridFaultPlan(seed, specs)
 
 
+def _net_chaos_plan(scenario: Scenario) -> NetChaosPlan | None:
+    """The scenario's link-fault plan (mirrors :func:`_grid_chaos_plan`)."""
+    specs: tuple[NetFaultSpec, ...] = ()
+    if scenario.net_chaos_seed is not None:
+        specs = default_net_specs(scenario.net_chaos_intensity)
+    specs += tuple(
+        NetFaultSpec(
+            kind=f.kind,
+            rate=f.rate,
+            at_epochs=(
+                frozenset(f.at_epochs) if f.at_epochs is not None else None
+            ),
+            link=f.link,
+            duration=f.duration,
+            latency=f.latency,
+        )
+        for f in scenario.net_faults
+    )
+    if not specs:
+        return None
+    seed = (
+        scenario.net_chaos_seed
+        if scenario.net_chaos_seed is not None
+        else scenario.seed
+    )
+    return NetChaosPlan(seed, specs)
+
+
 def run_grid(
     scenario: Scenario, engine: str, transport: str | None = None
 ) -> tuple[dict[str, Any], dict[str, Any]]:
@@ -462,9 +515,10 @@ def run_grid(
     ordered = sorted(
         scenario.jobs, key=lambda j: (j.submit_at, scenario.jobs.index(j))
     )
-    chaos = supervision = None
+    chaos = netchaos = supervision = None
     if engine == "supervised":
         chaos = _grid_chaos_plan(scenario)
+        netchaos = _net_chaos_plan(scenario)
         # No backoff sleep: recovery wall time stays bounded in fuzz
         # runs, and determinism never depends on sleeping anyway.
         supervision = Supervision(
@@ -480,6 +534,7 @@ def run_grid(
         workers=scenario.workers,
         engine=engine,
         grid_chaos=chaos,
+        net_chaos=netchaos,
         supervision=supervision,
         transport=transport,
         hosts=2 if engine == "fleet" else None,
@@ -503,6 +558,7 @@ def run_grid(
         procs = list(getattr(grid.engine, "_procs", []))
         grid.close()
     sup_stats = getattr(grid.engine, "stats", {})
+    engine_obj = grid.engine
     meta = {
         "engine": engine,
         "events": grid.supervisor_events,
@@ -513,6 +569,19 @@ def run_grid(
             },
             "degraded": bool(sup_stats.get("degraded", False)),
             "failures": dict(sup_stats.get("failures", {})),
+            # Split-brain observables: injected link faults and the
+            # stale replies the epoch fence rejected (0 on clean runs
+            # and on engines without a supervision tree).
+            "net_faults": (
+                engine_obj.net_faults()
+                if hasattr(engine_obj, "net_faults")
+                else 0
+            ),
+            "fenced_replies": (
+                engine_obj.fenced_replies()
+                if hasattr(engine_obj, "fenced_replies")
+                else 0
+            ),
         },
         "leaked_workers": sum(1 for p in procs if p.is_alive()),
     }
@@ -543,9 +612,12 @@ def execute(scenario: Scenario) -> Execution:
                 scenario, "sharded", transport=t
             )
         # Replay the chaotic supervised run when there is one: recovery
-        # (not just clean execution) must be byte-deterministic.
+        # (not just clean execution) must be byte-deterministic. Link
+        # chaos counts — partition healing and fencing must replay too.
         replay_engine = scenario.engines[0]
-        if scenario.grid_chaotic and "supervised" in scenario.engines:
+        if (
+            scenario.grid_chaotic or scenario.net_chaotic
+        ) and "supervised" in scenario.engines:
             replay_engine = "supervised"
         ex.grid_replay_engine = replay_engine
         ex.grid_replay, ex.grid_replay_meta = run_grid(scenario, replay_engine)

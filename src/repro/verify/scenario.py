@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.perf.faults import ERROR_CLASSES, OPS
+from repro.sim.netchaos import NET_FAULT_KINDS
 from repro.sim.supervisor import GRID_FAULT_KINDS
 from repro.sim.workloads.synthetic import ARCHETYPES, _ipc_range
 
@@ -122,6 +123,29 @@ class GridFaultClause:
 
 
 @dataclass(frozen=True)
+class NetFaultClause:
+    """One explicit network-fault rule (mirrors
+    :class:`~repro.sim.netchaos.NetFaultSpec`, JSON-serialisable)."""
+
+    kind: str
+    rate: float = 0.0
+    at_epochs: tuple[int, ...] | None = None
+    link: int | None = None
+    duration: int = 1
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ConfigError(f"unknown net fault kind {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(
+                f"net fault rate must be in [0, 1], got {self.rate}"
+            )
+        if self.duration < 1:
+            raise ConfigError(f"duration must be >= 1, got {self.duration}")
+
+
+@dataclass(frozen=True)
 class QueuePlan:
     """One grid queue (subset of :class:`~repro.sim.grid.QueueSpec`)."""
 
@@ -197,6 +221,14 @@ class Scenario:
     #: sharded engine through Grid(transport=...) and its digest joins
     #: the engines-agree comparison (the transport-invariance oracle).
     transports: tuple[str, ...] = ()
+    #: Network chaos. Grid scenarios: the supervised engine's shard
+    #: links run under a seeded NetChaosPlan (partitions, lost/duplicate
+    #: messages, half-open links); the clean engines are the recovery
+    #: reference. Tool scenarios with ``serve``: the daemon's client
+    #: links are cut mid-stream and every subscriber auto-reconnects.
+    net_chaos_seed: int | None = None
+    net_chaos_intensity: float = 1.0
+    net_faults: tuple[NetFaultClause, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("tool", "grid"):
@@ -221,11 +253,28 @@ class Scenario:
         by the supervised engine's workers only)."""
         return self.grid_chaos_seed is not None or bool(self.grid_faults)
 
+    @property
+    def net_chaotic(self) -> bool:
+        """Whether network-fault injection is configured (shard links
+        of the supervised engine, or the serve daemon's client links)."""
+        return self.net_chaos_seed is not None or bool(self.net_faults)
+
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> dict:
         """Plain-data form (JSON-ready; inf survives via ``Infinity``)."""
         d = asdict(self)
         d["schema"] = SCHEMA_VERSION
+        # Net-chaos fields appeared after the corpus was cut; at their
+        # defaults they are omitted so pre-netchaos scenario files and
+        # digests stay byte-stable.
+        if (
+            self.net_chaos_seed is None
+            and not self.net_faults
+            and self.net_chaos_intensity == 1.0
+        ):
+            del d["net_chaos_seed"]
+            del d["net_chaos_intensity"]
+            del d["net_faults"]
         return d
 
     @classmethod
@@ -267,6 +316,21 @@ class Scenario:
             for f in d.get("grid_faults", ())
         )
         d["transports"] = tuple(d.get("transports", ()))
+        d["net_faults"] = tuple(
+            NetFaultClause(
+                kind=f["kind"],
+                rate=f.get("rate", 0.0),
+                at_epochs=(
+                    tuple(f["at_epochs"])
+                    if f.get("at_epochs") is not None
+                    else None
+                ),
+                link=f.get("link"),
+                duration=f.get("duration", 1),
+                latency=f.get("latency", 0.0),
+            )
+            for f in d.get("net_faults", ())
+        )
         return cls(**d)
 
     def to_json(self) -> str:
@@ -362,6 +426,15 @@ def _gen_tool(rng: np.random.Generator, seed: int) -> Scenario:
     # Drawn last so every earlier field keeps its pre-serve value for a
     # given seed (the corpus and the generator-shape tests rely on it).
     serve = bool(rng.random() < 0.25)
+    # Same append-only rule: the net-chaos draws come after everything
+    # above, so pre-partition seeds keep their exact scenarios. Served
+    # streams under link cuts exercise the reconnect/resume path; the
+    # solo comparison bar is unchanged.
+    net_chaos_seed = None
+    net_chaos_intensity = 1.0
+    if serve and rng.random() < 0.4:
+        net_chaos_seed = int(rng.integers(0, 2**31))
+        net_chaos_intensity = float(rng.choice([2.0, 4.0, 6.0]))
     return Scenario(
         kind="tool",
         seed=seed,
@@ -379,6 +452,8 @@ def _gen_tool(rng: np.random.Generator, seed: int) -> Scenario:
         chaos_intensity=chaos_intensity,
         tasks=tasks,
         serve=serve,
+        net_chaos_seed=net_chaos_seed,
+        net_chaos_intensity=net_chaos_intensity,
     )
 
 
@@ -466,6 +541,19 @@ def _gen_grid(rng: np.random.Generator, seed: int) -> Scenario:
         jobs = [
             replace(job, priority=int(rng.integers(0, 3))) for job in jobs
         ]
+    # Network chaos (append-only draws, like the transports sweep above):
+    # partitions/drops/half-opens on the supervised engine's shard links.
+    # A scenario may carry both worker chaos and link chaos — crashes on
+    # a partitioned grid are exactly the split-brain shape fencing is
+    # for. The supervised engine is added when absent so the schedule
+    # has a recovery ladder to run against.
+    net_chaos_seed = None
+    net_chaos_intensity = 1.0
+    if rng.random() < 0.3:
+        net_chaos_seed = int(rng.integers(0, 2**31))
+        net_chaos_intensity = float(rng.choice([1.0, 2.0, 4.0]))
+        if "supervised" not in engines:
+            engines.append("supervised")
     return Scenario(
         kind="grid",
         seed=seed,
@@ -485,6 +573,8 @@ def _gen_grid(rng: np.random.Generator, seed: int) -> Scenario:
         epoch_deadline=1.0,
         restart_budget=restart_budget,
         transports=transports,
+        net_chaos_seed=net_chaos_seed,
+        net_chaos_intensity=net_chaos_intensity,
     )
 
 

@@ -76,13 +76,27 @@ def _candidates(s: Scenario) -> Iterator[Scenario]:
             )
     if s.restart_budget < 8 and s.grid_chaotic:
         yield replace(s, restart_budget=8)
+    # Network chaos shrinks the same way: whole schedule first, then
+    # explicit fault clauses one at a time.
+    if s.net_chaos_seed is not None:
+        yield replace(s, net_chaos_seed=None)
+    if s.net_faults:
+        for i in range(len(s.net_faults)):
+            yield replace(
+                s, net_faults=s.net_faults[:i] + s.net_faults[i + 1 :]
+            )
     # Drop the transport sweep and the fleet engine before the cheaper
     # engine drops: each multiplies the runs per candidate evaluation.
     if s.transports:
         yield replace(s, transports=())
     if "fleet" in s.engines and len(s.engines) > 1:
         yield replace(s, engines=tuple(e for e in s.engines if e != "fleet"))
-    if "supervised" in s.engines and len(s.engines) > 1 and not s.grid_chaotic:
+    if (
+        "supervised" in s.engines
+        and len(s.engines) > 1
+        and not s.grid_chaotic
+        and not s.net_chaotic
+    ):
         yield replace(
             s, engines=tuple(e for e in s.engines if e != "supervised")
         )
